@@ -1,0 +1,133 @@
+// Microbenchmarks: the CV kernels that the services run for real.
+#include <benchmark/benchmark.h>
+
+#include "cv/features.hpp"
+#include "cv/kmeans.hpp"
+#include "cv/pose_detector.hpp"
+#include "cv/rep_counter.hpp"
+#include "media/renderer.hpp"
+#include "services/models.hpp"
+
+using namespace vp;
+
+namespace {
+
+void BM_DetectPose(benchmark::State& state) {
+  media::SceneOptions scene;
+  scene.width = static_cast<int>(state.range(0));
+  scene.height = scene.width * 3 / 4;
+  const media::Image image =
+      media::RenderScene(media::Pose::Standing(), scene, 1);
+  for (auto _ : state) {
+    const cv::DetectedPose pose = cv::DetectPose(image);
+    benchmark::DoNotOptimize(pose.num_detected);
+  }
+}
+BENCHMARK(BM_DetectPose)->Arg(160)->Arg(320)->Arg(640);
+
+void BM_PoseFeatures(benchmark::State& state) {
+  const media::Image image = media::RenderScene(media::Pose::Standing(),
+                                                media::SceneOptions{}, 1);
+  const cv::DetectedPose pose = cv::DetectPose(image);
+  for (auto _ : state) {
+    const auto features = cv::PoseFeatures(pose);
+    benchmark::DoNotOptimize(features.data());
+  }
+}
+BENCHMARK(BM_PoseFeatures);
+
+void BM_ActivityClassify(benchmark::State& state) {
+  const auto& model = services::SharedActivityModel();
+  const media::Image image = media::RenderScene(media::Pose::Standing(),
+                                                media::SceneOptions{}, 1);
+  const cv::DetectedPose pose = cv::DetectPose(image);
+  const std::vector<cv::DetectedPose> window(cv::kActivityWindow, pose);
+  const auto features = cv::WindowFeatures(window);
+  for (auto _ : state) {
+    auto prediction = model.ClassifyFeatures(features);
+    benchmark::DoNotOptimize(prediction);
+  }
+}
+BENCHMARK(BM_ActivityClassify);
+
+void BM_KMeansWindow(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<double> p(34);
+    for (double& d : p) d = rng.NextGaussian(i % 2 ? 1.0 : 0.0, 0.2);
+    points.push_back(std::move(p));
+  }
+  for (auto _ : state) {
+    auto result = cv::KMeans(points, 2);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_KMeansWindow);
+
+void BM_RepCounterStep(benchmark::State& state) {
+  const media::Image image = media::RenderScene(media::Pose::Standing(),
+                                                media::SceneOptions{}, 1);
+  const cv::DetectedPose pose = cv::DetectPose(image);
+  const cv::RepCounter counter;
+  cv::RepCounterState rep_state;
+  // Pre-fill the window so the steady-state path (with k-means) runs.
+  for (int i = 0; i < 64; ++i) {
+    rep_state = *counter.Step(std::move(rep_state), pose);
+  }
+  for (auto _ : state) {
+    rep_state = *counter.Step(std::move(rep_state), pose);
+    benchmark::DoNotOptimize(rep_state.reps);
+  }
+}
+BENCHMARK(BM_RepCounterStep);
+
+void BM_RepStateJsonRoundTrip(benchmark::State& state) {
+  const media::Image image = media::RenderScene(media::Pose::Standing(),
+                                                media::SceneOptions{}, 1);
+  const cv::DetectedPose pose = cv::DetectPose(image);
+  const cv::RepCounter counter;
+  cv::RepCounterState rep_state;
+  for (int i = 0; i < 64; ++i) {
+    rep_state = *counter.Step(std::move(rep_state), pose);
+  }
+  for (auto _ : state) {
+    auto restored = cv::RepCounterState::FromJson(rep_state.ToJson());
+    benchmark::DoNotOptimize(restored);
+  }
+}
+BENCHMARK(BM_RepStateJsonRoundTrip);
+
+}  // namespace
+// (appended) tracker microbenchmark
+#include "cv/tracker.hpp"
+
+namespace {
+
+void BM_TrackerUpdate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  vp::cv::TrackerState tracker_state;
+  std::vector<vp::cv::DetectedObject> detections;
+  for (int i = 0; i < n; ++i) {
+    vp::cv::DetectedObject det;
+    det.class_name = "object";
+    det.x0 = i * 40.0;
+    det.x1 = det.x0 + 30.0;
+    det.y0 = 10;
+    det.y1 = 40;
+    detections.push_back(det);
+  }
+  tracker_state = vp::cv::UpdateTracks(std::move(tracker_state), detections);
+  for (auto _ : state) {
+    for (auto& det : detections) {
+      det.x0 += 2;
+      det.x1 += 2;
+    }
+    tracker_state =
+        vp::cv::UpdateTracks(std::move(tracker_state), detections);
+    benchmark::DoNotOptimize(tracker_state.tracks.size());
+  }
+}
+BENCHMARK(BM_TrackerUpdate)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Microbenchmarks: media substrate — scene rendering, the frame codec
+// and the frame store (real wall-clock costs of the simulation
+// itself, not virtual-time costs).
+#include <benchmark/benchmark.h>
+
+#include "media/codec.hpp"
+#include "media/frame_store.hpp"
+#include "media/renderer.hpp"
+#include "media/video_source.hpp"
+
+using namespace vp;
+
+namespace {
+
+void BM_RenderScene(benchmark::State& state) {
+  media::SceneOptions scene;
+  scene.width = static_cast<int>(state.range(0));
+  scene.height = scene.width * 3 / 4;
+  const media::Pose pose = media::Pose::Standing();
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    const media::Image image = media::RenderScene(pose, scene, seed++);
+    benchmark::DoNotOptimize(image.data().data());
+  }
+}
+BENCHMARK(BM_RenderScene)->Arg(160)->Arg(320)->Arg(640);
+
+void BM_EncodeFrame(benchmark::State& state) {
+  media::SceneOptions scene;
+  scene.width = static_cast<int>(state.range(0));
+  scene.height = scene.width * 3 / 4;
+  media::Frame frame;
+  frame.image = media::RenderScene(media::Pose::Standing(), scene, 1);
+  for (auto _ : state) {
+    const Bytes wire = media::EncodeFrame(frame);
+    benchmark::DoNotOptimize(wire.data());
+  }
+  media::Frame sized;
+  sized.image = media::RenderScene(media::Pose::Standing(), scene, 1);
+  state.counters["bytes"] =
+      static_cast<double>(media::EncodeFrame(sized).size());
+}
+BENCHMARK(BM_EncodeFrame)->Arg(160)->Arg(320)->Arg(640);
+
+void BM_DecodeFrame(benchmark::State& state) {
+  media::SceneOptions scene;
+  scene.width = 320;
+  scene.height = 240;
+  media::Frame frame;
+  frame.image = media::RenderScene(media::Pose::Standing(), scene, 1);
+  const Bytes wire = media::EncodeFrame(frame);
+  for (auto _ : state) {
+    auto decoded = media::DecodeFrame(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_DecodeFrame);
+
+void BM_FrameStorePutGet(benchmark::State& state) {
+  media::FrameStore store(64);
+  media::Frame frame;
+  frame.image = media::Image(320, 240);
+  for (auto _ : state) {
+    const media::FrameId id = store.Put(frame);
+    auto got = store.Get(id);
+    benchmark::DoNotOptimize(got);
+  }
+}
+BENCHMARK(BM_FrameStorePutGet);
+
+void BM_CaptureFrame(benchmark::State& state) {
+  media::SyntheticVideoSource source(media::DefaultWorkoutScript(), 20.0);
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    const media::Frame frame = source.CaptureFrame(seq++ % 600);
+    benchmark::DoNotOptimize(frame.image.data().data());
+  }
+}
+BENCHMARK(BM_CaptureFrame);
+
+}  // namespace

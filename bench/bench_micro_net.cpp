@@ -1,0 +1,71 @@
+// Microbenchmarks: messaging + JSON + the DES kernel itself (events
+// per second the simulator can process).
+#include <benchmark/benchmark.h>
+
+#include "json/parse.hpp"
+#include "json/write.hpp"
+#include "net/message.hpp"
+#include "sim/cluster.hpp"
+
+using namespace vp;
+
+namespace {
+
+void BM_MessageEncodeDecode(benchmark::State& state) {
+  net::Message m("frame");
+  m.set_sender("pose_detection_module");
+  m.set_seq(42);
+  m.payload()["frame_id"] = json::Value(7);
+  m.AddPart(Bytes(static_cast<size_t>(state.range(0)), 0x3C));
+  for (auto _ : state) {
+    const Bytes wire = m.Encode();
+    auto decoded = net::Message::Decode(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_MessageEncodeDecode)->Arg(256)->Arg(20000)->Arg(200000);
+
+void BM_JsonParse(benchmark::State& state) {
+  // A rep-counter-state-sized document.
+  json::Value doc = json::Value::MakeObject();
+  for (int row = 0; row < 48; ++row) {
+    json::Value::Array features;
+    for (int i = 0; i < 34; ++i) {
+      features.push_back(json::Value(row * 0.01 + i * 0.001));
+    }
+    doc["features"].PushBack(json::Value(std::move(features)));
+  }
+  const std::string text = json::Write(doc);
+  state.counters["bytes"] = static_cast<double>(text.size());
+  for (auto _ : state) {
+    auto parsed = json::Parse(text);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_JsonParse);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int remaining = 10000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.After(Duration::Micros(10), tick);
+    };
+    sim.After(Duration::Micros(10), tick);
+    sim.RunUntilIdle();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_NetworkSend(benchmark::State& state) {
+  auto cluster = sim::MakeHomeTestbed();
+  for (auto _ : state) {
+    cluster->network().Send("phone", "desktop", 20000, nullptr);
+    cluster->simulator().RunUntilIdle();
+  }
+}
+BENCHMARK(BM_NetworkSend);
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Microbenchmarks: the vpscript engine (our Duktape stand-in) — the
+// per-event overhead every module pays.
+#include <benchmark/benchmark.h>
+
+#include "script/context.hpp"
+#include "script/convert.hpp"
+#include "script/parser.hpp"
+
+using namespace vp;
+
+namespace {
+
+const char* kModuleSource = R"JS(
+var history = [];
+function event_received(msg) {
+  history.push(msg.value);
+  if (history.length > 15) history.shift();
+  var total = 0;
+  for (var i = 0; i < history.length; i++) total += history[i];
+  return total;
+}
+)JS";
+
+void BM_ParseModule(benchmark::State& state) {
+  for (auto _ : state) {
+    auto program = script::ParseProgram(kModuleSource);
+    benchmark::DoNotOptimize(program);
+  }
+}
+BENCHMARK(BM_ParseModule);
+
+void BM_ContextLoad(benchmark::State& state) {
+  for (auto _ : state) {
+    script::Context context;
+    benchmark::DoNotOptimize(context.Load(kModuleSource));
+  }
+}
+BENCHMARK(BM_ContextLoad);
+
+void BM_EventDispatch(benchmark::State& state) {
+  script::Context context;
+  (void)context.Load(kModuleSource);
+  auto message = script::Value::MakeObject();
+  message.AsObject()->Set("value", script::Value(1.5));
+  for (auto _ : state) {
+    auto result = context.Call("event_received", {message});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EventDispatch);
+
+void BM_Fibonacci(benchmark::State& state) {
+  script::Context context;
+  (void)context.Load(
+      "function fib(n) { return n < 2 ? n : fib(n-1) + fib(n-2); }");
+  for (auto _ : state) {
+    auto result = context.Call(
+        "fib", {script::Value(static_cast<double>(state.range(0)))});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Fibonacci)->Arg(10)->Arg(15);
+
+void BM_JsonToScriptRoundTrip(benchmark::State& state) {
+  json::Value doc = json::Value::MakeObject();
+  for (int i = 0; i < 17; ++i) {
+    json::Value kp = json::Value::MakeObject();
+    kp["x"] = json::Value(i * 1.5);
+    kp["y"] = json::Value(i * 2.5);
+    kp["detected"] = json::Value(true);
+    doc["keypoints"].PushBack(std::move(kp));
+  }
+  for (auto _ : state) {
+    const script::Value v = script::JsonToScript(doc);
+    auto back = script::ScriptToJson(v);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_JsonToScriptRoundTrip);
+
+}  // namespace

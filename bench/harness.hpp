@@ -1,0 +1,90 @@
+// Shared helpers for the table/figure benchmarks: deploy a pipeline on
+// the paper's three-device testbed, run it for a fixed virtual
+// duration, return its metrics.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+
+#include "apps/fitness.hpp"
+#include "apps/gesture.hpp"
+#include "apps/iot.hpp"
+#include "core/orchestrator.hpp"
+#include "sim/cluster.hpp"
+
+namespace vp::bench {
+
+struct Session {
+  std::unique_ptr<sim::Cluster> cluster;
+  std::unique_ptr<core::Orchestrator> orchestrator;
+  std::vector<core::PipelineDeployment*> pipelines;
+  // Keep app-side state alive for gesture pipelines.
+  std::shared_ptr<apps::IoTHub> hub;
+};
+
+inline Session MakeSession(core::OrchestratorOptions options = {}) {
+  Session session;
+  session.cluster = sim::MakeHomeTestbed();
+  session.orchestrator =
+      std::make_unique<core::Orchestrator>(session.cluster.get(), options);
+  session.hub = std::make_shared<apps::IoTHub>();
+  return session;
+}
+
+/// Deploy the fitness pipeline at `fps` under `policy`.
+inline core::PipelineDeployment* DeployFitness(
+    Session& session, core::PlacementPolicy policy, double fps) {
+  auto spec = apps::fitness::Spec();
+  if (!spec.ok()) {
+    std::fprintf(stderr, "fitness config: %s\n",
+                 spec.error().ToString().c_str());
+    std::abort();
+  }
+  spec->source.fps = fps;
+  core::Orchestrator::DeployArgs args;
+  args.workload = apps::fitness::Workout();
+  args.placement.policy = policy;
+  auto deployment =
+      session.orchestrator->Deploy(std::move(*spec), std::move(args));
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "deploy: %s\n",
+                 deployment.error().ToString().c_str());
+    std::abort();
+  }
+  session.pipelines.push_back(*deployment);
+  return *deployment;
+}
+
+/// Deploy the gesture pipeline at `fps` (shares services with any
+/// pipeline already deployed in the session).
+inline core::PipelineDeployment* DeployGesture(Session& session, double fps) {
+  auto spec = apps::gesture::Spec();
+  if (!spec.ok()) std::abort();
+  spec->source.fps = fps;
+  auto args = apps::gesture::MakeDeployArgs(
+      *session.hub, &session.cluster->simulator());
+  // Loop the short gesture session so long runs stay busy.
+  auto looped = media::MotionScript::Make({
+      {"idle", 3.0, {}},  {"wave", 4.8, {.period = 1.2}},
+      {"idle", 3.0, {}},  {"clap", 4.0, {.period = 1.0}},
+      {"idle", 3.0, {}},  {"wave", 4.8, {.period = 1.3}},
+      {"clap", 4.0, {.period = 0.9}}, {"idle", 20.0, {}},
+  });
+  args.workload = std::move(*looped);
+  auto deployment =
+      session.orchestrator->Deploy(std::move(*spec), std::move(args));
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "deploy gesture: %s\n",
+                 deployment.error().ToString().c_str());
+    std::abort();
+  }
+  session.pipelines.push_back(*deployment);
+  return *deployment;
+}
+
+inline void Run(Session& session, double seconds) {
+  session.orchestrator->StartAll();
+  session.orchestrator->RunFor(Duration::Seconds(seconds));
+}
+
+}  // namespace vp::bench

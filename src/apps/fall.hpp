@@ -1,0 +1,40 @@
+// Fall-detection application (paper §4.3): pose detection → fall
+// monitor → alert. Alerts land in an AlertLog via a host function, the
+// stand-in for paging a caregiver / emergency contact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/orchestrator.hpp"
+#include "media/video_source.hpp"
+
+namespace vp::apps::fall {
+
+struct Alert {
+  TimePoint when;
+  double fallen_fraction = 0;
+  double torso_angle_deg = 0;
+};
+
+class AlertLog {
+ public:
+  const std::vector<Alert>& alerts() const { return alerts_; }
+  script::HostFunction MakeHostFunction(sim::Simulator* sim);
+
+ private:
+  std::vector<Alert> alerts_;
+};
+
+std::string ConfigJson();
+core::ScriptResolver Scripts();
+Result<core::PipelineSpec> Spec();
+
+/// A session where the person exercises briefly, then falls.
+media::MotionScript FallSession();
+
+core::Orchestrator::DeployArgs MakeDeployArgs(AlertLog& log,
+                                              sim::Simulator* sim);
+
+}  // namespace vp::apps::fall

@@ -1,0 +1,155 @@
+#include "apps/fitness.hpp"
+
+namespace vp::apps::fitness {
+
+namespace {
+
+// ---- Module sources (vpscript) ---------------------------------------
+
+const char* kPoseDetectionModule = R"JS(
+// Pose detection module: runs the heavyweight pose CNN via the
+// stateless pose_detector service and forwards the skeleton.
+function event_received(msg) {
+  var pose = call_service("pose_detector", { frame_id: msg.frame_id });
+  call_module("activity_detector_module", {
+    frame_id: msg.frame_id,
+    seq: msg.seq,
+    pose: pose
+  });
+}
+)JS";
+
+const char* kActivityDetectorModule = R"JS(
+// Activity recognition over a sliding window of 15 poses (paper
+// §4.1.2). Until the window fills, reports "warming_up".
+var history = [];
+
+function event_received(msg) {
+  history.push(msg.pose);
+  if (history.length > 15) history.shift();
+
+  var label = "warming_up";
+  var confidence = 0;
+  if (history.length == 15) {
+    var res = call_service("activity_classifier", { poses: history });
+    label = res.label;
+    confidence = res.confidence;
+  }
+
+  // Fan-out per Listing 1: the display gets the frame + label, the rep
+  // counter gets the fresh pose.
+  call_module("display_module", {
+    frame_id: msg.frame_id,
+    seq: msg.seq,
+    activity: label,
+    confidence: confidence
+  });
+  call_module("rep_counter_module", {
+    seq: msg.seq,
+    pose: msg.pose,
+    activity: label
+  });
+}
+)JS";
+
+const char* kRepCounterModule = R"JS(
+// Rep counting (paper §4.1.3). The service is stateless: the evolving
+// cluster state lives here, in the module, and rides along with every
+// request.
+var state = null;
+
+function event_received(msg) {
+  var req = { pose: msg.pose };
+  if (state != null) {
+    req.state = state;
+  }
+  var res = call_service("rep_counter", req);
+  state = res.state;
+  call_module("display_module", {
+    seq: msg.seq,
+    reps: res.reps,
+    activity: msg.activity
+  });
+}
+)JS";
+
+const char* kDisplayModule = R"JS(
+// Display module on the TV: renders the frame with the activity label
+// and rep count (Fig. 3). Messages without a frame are overlay-state
+// updates from the rep counter.
+var reps = 0;
+var activity = "unknown";
+var frames_rendered = 0;
+
+function event_received(msg) {
+  if (msg.reps != undefined) {
+    reps = msg.reps;
+    if (msg.activity != undefined) activity = msg.activity;
+    return;
+  }
+  if (msg.activity != undefined) activity = msg.activity;
+  call_service("display", {
+    frame_id: msg.frame_id,
+    overlay: { activity: activity, reps: reps }
+  });
+  frames_rendered = frames_rendered + 1;
+}
+)JS";
+
+}  // namespace
+
+std::string ConfigJson() {
+  return R"CFG(
+// Fitness application pipeline (paper Listing 1 / Fig. 4).
+{
+  "name": "fitness",
+  "source": { "module": "video_streaming_module",
+              "fps": 20, "width": 320, "height": 240 },
+  "modules": [
+    { "name": "video_streaming_module", "type": "source",
+      "endpoint": "bind#tcp://*:5860",
+      "next_module": ["pose_detection_module"] },
+
+    { "name": "pose_detection_module",
+      "include": "PoseDetectionModule.js",
+      "service": ["pose_detector"],
+      "endpoint": "bind#tcp://*:5861",
+      "next_module": ["activity_detector_module"] },
+
+    { "name": "activity_detector_module",
+      "include": "ActivityDetectorModule.js",
+      "service": ["activity_classifier"],
+      "endpoint": "bind#tcp://*:5862",
+      "next_module": ["rep_counter_module", "display_module"] },
+
+    { "name": "rep_counter_module",
+      "include": "RepCounterModule.js",
+      "service": ["rep_counter"],
+      "endpoint": "bind#tcp://*:5863",
+      "next_module": ["display_module"] },
+
+    { "name": "display_module",
+      "include": "DisplayModule.js",
+      "service": ["display"],
+      "endpoint": "bind#tcp://*:5864",
+      "signal_source": true,
+      "next_module": [] }
+  ]
+}
+)CFG";
+}
+
+core::ScriptResolver Scripts() {
+  return core::MapResolver({
+      {"PoseDetectionModule.js", kPoseDetectionModule},
+      {"ActivityDetectorModule.js", kActivityDetectorModule},
+      {"RepCounterModule.js", kRepCounterModule},
+      {"DisplayModule.js", kDisplayModule},
+  });
+}
+
+Result<core::PipelineSpec> Spec() {
+  return core::ParsePipelineConfigText(ConfigJson(), Scripts());
+}
+
+}  // namespace vp::apps::fitness

@@ -1,0 +1,31 @@
+// The fitness application (paper §4.1, Fig. 4):
+//   phone camera → pose detection → activity recognition →
+//   { rep counter, display } → display on the TV.
+//
+// Module logic is written in vpscript (the runtime the paper runs on
+// Duktape); the pipeline wiring is the paper's Listing-1 configuration
+// expressed as JSON.
+#pragma once
+
+#include <string>
+
+#include "core/config.hpp"
+#include "media/video_source.hpp"
+
+namespace vp::apps::fitness {
+
+/// The Listing-1-style configuration document.
+std::string ConfigJson();
+
+/// Resolver mapping the config's `include` names to vpscript sources.
+core::ScriptResolver Scripts();
+
+/// Parse + validate the pipeline spec.
+Result<core::PipelineSpec> Spec();
+
+/// The default camera workload (a workout session).
+inline media::MotionScript Workout() {
+  return media::DefaultWorkoutScript();
+}
+
+}  // namespace vp::apps::fitness

@@ -1,0 +1,132 @@
+#include "apps/gesture.hpp"
+
+namespace vp::apps::gesture {
+
+namespace {
+
+const char* kPoseDetectionModule = R"JS(
+function event_received(msg) {
+  var pose = call_service("pose_detector", { frame_id: msg.frame_id });
+  call_module("gesture_recognition_module", { seq: msg.seq, pose: pose });
+}
+)JS";
+
+const char* kGestureRecognitionModule = R"JS(
+// Same sliding-window classifier as the fitness app, but routed to
+// the IoT controller. "The activity classifier can be trained with
+// custom actions that trigger custom behaviours" (§4.2).
+var history = [];
+
+function event_received(msg) {
+  history.push(msg.pose);
+  if (history.length > 15) history.shift();
+
+  var gesture = "none";
+  var confidence = 0;
+  if (history.length == 15) {
+    var res = call_service("activity_classifier", { poses: history });
+    gesture = res.label;
+    confidence = res.confidence;
+  }
+  call_module("iot_control_module", {
+    seq: msg.seq,
+    gesture: gesture,
+    confidence: confidence
+  });
+}
+)JS";
+
+const char* kIotControlModule = R"JS(
+// Debounced gesture → action rules: a gesture must be observed for 5
+// consecutive frames, then a refractory period suppresses re-triggers
+// while the user is still mid-gesture.
+var last = "";
+var streak = 0;
+var cooldown = 0;
+var actions = 0;
+
+function event_received(msg) {
+  var g = msg.gesture;
+  if (g == last) {
+    streak = streak + 1;
+  } else {
+    last = g;
+    streak = 1;
+  }
+  if (cooldown > 0) cooldown = cooldown - 1;
+  if (streak >= 5 && cooldown == 0 && msg.confidence >= 0.5) {
+    if (g == "clap") {
+      iot_command("living_room_light", "toggle");
+      actions = actions + 1;
+      cooldown = 25;
+    }
+    if (g == "wave") {
+      iot_command("doorbell_camera", "toggle");
+      actions = actions + 1;
+      cooldown = 25;
+    }
+  }
+}
+)JS";
+
+}  // namespace
+
+std::string ConfigJson() {
+  return R"CFG(
+// Gesture-control pipeline (paper §4.2).
+{
+  "name": "gesture",
+  "source": { "module": "video_streaming_module",
+              "fps": 20, "width": 320, "height": 240 },
+  "modules": [
+    { "name": "video_streaming_module", "type": "source",
+      "endpoint": "bind#tcp://*:5960",
+      "next_module": ["pose_detection_module"] },
+
+    { "name": "pose_detection_module",
+      "include": "GesturePoseModule.js",
+      "service": ["pose_detector"],
+      "endpoint": "bind#tcp://*:5961",
+      "next_module": ["gesture_recognition_module"] },
+
+    { "name": "gesture_recognition_module",
+      "include": "GestureRecognitionModule.js",
+      "service": ["activity_classifier"],
+      "endpoint": "bind#tcp://*:5962",
+      "next_module": ["iot_control_module"] },
+
+    { "name": "iot_control_module",
+      "include": "IotControlModule.js",
+      "endpoint": "bind#tcp://*:5963",
+      "signal_source": true,
+      "next_module": [] }
+  ]
+}
+)CFG";
+}
+
+core::ScriptResolver Scripts() {
+  return core::MapResolver({
+      {"GesturePoseModule.js", kPoseDetectionModule},
+      {"GestureRecognitionModule.js", kGestureRecognitionModule},
+      {"IotControlModule.js", kIotControlModule},
+  });
+}
+
+Result<core::PipelineSpec> Spec() {
+  return core::ParsePipelineConfigText(ConfigJson(), Scripts());
+}
+
+core::Orchestrator::DeployArgs MakeDeployArgs(IoTHub& hub,
+                                              sim::Simulator* sim) {
+  hub.AddDevice("living_room_light");
+  hub.AddDevice("doorbell_camera");
+  core::Orchestrator::DeployArgs args;
+  args.workload = GestureSession();
+  args.seed = 11;
+  args.extra_host_functions["iot_control_module"].emplace_back(
+      "iot_command", hub.MakeHostFunction(sim));
+  return args;
+}
+
+}  // namespace vp::apps::gesture

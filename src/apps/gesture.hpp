@@ -1,0 +1,30 @@
+// Gesture-based IoT control application (paper §4.2): the same pose
+// detector service as the fitness app (shared!), an activity
+// classifier tuned to gestures, and an IoT control module that toggles
+// the living-room light on a clap and the doorbell camera on a wave.
+#pragma once
+
+#include <string>
+
+#include "apps/iot.hpp"
+#include "core/config.hpp"
+#include "core/orchestrator.hpp"
+#include "media/video_source.hpp"
+
+namespace vp::apps::gesture {
+
+std::string ConfigJson();
+core::ScriptResolver Scripts();
+Result<core::PipelineSpec> Spec();
+
+inline media::MotionScript GestureSession() {
+  return media::DefaultGestureScript();
+}
+
+/// Deployment args with the iot_command host function bound to `hub`
+/// and the default gesture workload installed. The hub must outlive
+/// the orchestrator.
+core::Orchestrator::DeployArgs MakeDeployArgs(IoTHub& hub,
+                                              sim::Simulator* sim);
+
+}  // namespace vp::apps::gesture

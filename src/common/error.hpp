@@ -1,0 +1,192 @@
+// Error handling vocabulary for VideoPipe.
+//
+// The library reports recoverable failures through `Result<T>` /
+// `Status` values rather than exceptions, so that the discrete-event
+// simulator can keep running after an individual module or service
+// fails (fault injection relies on this).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace vp {
+
+/// Coarse classification of failures. Mirrors the categories the
+/// runtime needs to react to differently (retry, drop frame, abort).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnavailable,      // transient: endpoint not reachable, replica busy
+  kResourceExhausted,
+  kTimeout,
+  kInternal,
+  kUnimplemented,
+  kParseError,       // config / script / message decoding problems
+  kScriptError,      // runtime error raised inside a vpscript module
+};
+
+/// Human-readable name of a status code (stable, for logs and tests).
+const char* StatusCodeName(StatusCode code);
+
+/// An error: a code plus a context message.
+class Error {
+ public:
+  Error(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "NOT_FOUND: no module named 'pose'"
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Status: success or an Error. Use for functions with no payload.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : error_(std::in_place, code, std::move(message)) {}
+  explicit Status(Error error) : error_(std::move(error)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  StatusCode code() const {
+    return error_ ? error_->code() : StatusCode::kOk;
+  }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return error_ ? error_->message() : kEmpty;
+  }
+  std::string ToString() const {
+    return error_ ? error_->ToString() : "OK";
+  }
+  const Error& error() const {
+    assert(error_.has_value());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Result<T>: either a value or an Error. A lightweight `expected`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  Result(Error error) : data_(std::in_place_index<1>, std::move(error)) {}
+  Result(StatusCode code, std::string message)
+      : data_(std::in_place_index<1>, Error(code, std::move(message))) {}
+
+  bool ok() const { return data_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<0>(std::move(data_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<1>(data_);
+  }
+  StatusCode code() const {
+    return ok() ? StatusCode::kOk : error().code();
+  }
+  Status status() const {
+    return ok() ? Status::Ok() : Status(error());
+  }
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Convenience constructors, e.g. `return NotFound("no such device");`
+inline Error InvalidArgument(std::string m) {
+  return Error(StatusCode::kInvalidArgument, std::move(m));
+}
+inline Error NotFound(std::string m) {
+  return Error(StatusCode::kNotFound, std::move(m));
+}
+inline Error AlreadyExists(std::string m) {
+  return Error(StatusCode::kAlreadyExists, std::move(m));
+}
+inline Error FailedPrecondition(std::string m) {
+  return Error(StatusCode::kFailedPrecondition, std::move(m));
+}
+inline Error Unavailable(std::string m) {
+  return Error(StatusCode::kUnavailable, std::move(m));
+}
+inline Error ResourceExhausted(std::string m) {
+  return Error(StatusCode::kResourceExhausted, std::move(m));
+}
+inline Error Timeout(std::string m) {
+  return Error(StatusCode::kTimeout, std::move(m));
+}
+inline Error Internal(std::string m) {
+  return Error(StatusCode::kInternal, std::move(m));
+}
+inline Error Unimplemented(std::string m) {
+  return Error(StatusCode::kUnimplemented, std::move(m));
+}
+inline Error ParseError(std::string m) {
+  return Error(StatusCode::kParseError, std::move(m));
+}
+inline Error ScriptError(std::string m) {
+  return Error(StatusCode::kScriptError, std::move(m));
+}
+
+}  // namespace vp
+
+/// Propagate an error from an expression producing a Result<T>.
+#define VP_CONCAT_INNER_(a, b) a##b
+#define VP_CONCAT_(a, b) VP_CONCAT_INNER_(a, b)
+#define VP_ASSIGN_OR_RETURN_IMPL_(decl, expr, tmp) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.error();                            \
+  }                                                \
+  decl = std::move(tmp).take()
+#define VP_ASSIGN_OR_RETURN(decl, expr) \
+  VP_ASSIGN_OR_RETURN_IMPL_(decl, expr, VP_CONCAT_(vp_result_, __LINE__))
+
+/// Propagate a non-OK Status.
+#define VP_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::vp::Status vp_status_ = (expr);             \
+    if (!vp_status_.ok()) return vp_status_;      \
+  } while (false)
+
+/// Propagate a non-OK Status out of a function returning Result<T>.
+#define VP_RETURN_IF_ERROR_R(expr)                    \
+  do {                                                \
+    ::vp::Status vp_status_ = (expr);                 \
+    if (!vp_status_.ok()) return vp_status_.error();  \
+  } while (false)

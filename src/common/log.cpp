@@ -1,0 +1,44 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace vp {
+namespace {
+std::mutex g_sink_mutex;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& message) {
+    std::fprintf(stderr, "%-5s %s\n", LogLevelName(level), message.c_str());
+  };
+}
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  sink_ = std::move(sink);
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (sink_) sink_(level, message);
+}
+
+}  // namespace vp

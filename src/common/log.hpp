@@ -1,0 +1,72 @@
+// Minimal structured logging.
+//
+// The simulator is single-threaded by design, but examples may log from
+// helper threads, so the sink is guarded by a mutex. Log lines carry an
+// optional virtual timestamp supplied by the caller (the DES clock),
+// not wall time, so transcripts are deterministic.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace vp {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* LogLevelName(LogLevel level);
+
+/// Process-wide logger configuration.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& Instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Replace the output sink (default: stderr). Used by tests to
+  /// capture output.
+  void set_sink(Sink sink);
+
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+/// Stream-style log statement builder.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* component) : level_(level) {
+    stream_ << "[" << component << "] ";
+  }
+  ~LogLine() { Logger::Instance().Write(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace vp
+
+#define VP_LOG(level, component)                         \
+  if (!::vp::Logger::Instance().enabled(level)) {        \
+  } else                                                 \
+    ::vp::LogLine(level, component)
+
+#define VP_TRACE(component) VP_LOG(::vp::LogLevel::kTrace, component)
+#define VP_DEBUG(component) VP_LOG(::vp::LogLevel::kDebug, component)
+#define VP_INFO(component) VP_LOG(::vp::LogLevel::kInfo, component)
+#define VP_WARN(component) VP_LOG(::vp::LogLevel::kWarn, component)
+#define VP_ERROR(component) VP_LOG(::vp::LogLevel::kError, component)

@@ -1,0 +1,28 @@
+// Small string utilities shared across subsystems.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vp {
+
+/// Split on a delimiter character. Empty pieces are kept.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Join pieces with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Lower-case ASCII copy.
+std::string ToLower(std::string_view s);
+
+}  // namespace vp

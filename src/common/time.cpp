@@ -1,0 +1,23 @@
+#include "common/time.hpp"
+
+#include <cstdio>
+
+namespace vp {
+
+std::string Duration::ToString() const {
+  char buf[64];
+  if (us_ >= 1000000 || us_ <= -1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fms", millis());
+  }
+  return buf;
+}
+
+std::string TimePoint::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "t=%.3fms", millis());
+  return buf;
+}
+
+}  // namespace vp

@@ -1,0 +1,78 @@
+// Virtual-time vocabulary used throughout the simulator and runtime.
+//
+// All simulation timestamps are integer microseconds since the start
+// of the simulation. Integer ticks keep the discrete-event simulator
+// fully deterministic across platforms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vp {
+
+/// A duration in virtual time, microsecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration Micros(int64_t us) { return Duration(us); }
+  static constexpr Duration Millis(double ms) {
+    return Duration(static_cast<int64_t>(ms * 1000.0));
+  }
+  static constexpr Duration Seconds(double s) {
+    return Duration(static_cast<int64_t>(s * 1e6));
+  }
+  static constexpr Duration Zero() { return Duration(0); }
+
+  constexpr int64_t micros() const { return us_; }
+  constexpr double millis() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(us_ + o.us_); }
+  constexpr Duration operator-(Duration o) const { return Duration(us_ - o.us_); }
+  constexpr Duration operator*(double k) const {
+    return Duration(static_cast<int64_t>(static_cast<double>(us_) * k));
+  }
+  constexpr Duration operator/(double k) const {
+    return Duration(static_cast<int64_t>(static_cast<double>(us_) / k));
+  }
+  Duration& operator+=(Duration o) { us_ += o.us_; return *this; }
+  Duration& operator-=(Duration o) { us_ -= o.us_; return *this; }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// "12.345ms" / "1.200s" — for logs.
+  std::string ToString() const;
+
+ private:
+  constexpr explicit Duration(int64_t us) : us_(us) {}
+  int64_t us_ = 0;
+};
+
+/// An absolute point in virtual time.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint FromMicros(int64_t us) { return TimePoint(us); }
+
+  constexpr int64_t micros() const { return us_; }
+  constexpr double millis() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint(us_ + d.micros());
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint(us_ - d.micros());
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::Micros(us_ - o.us_);
+  }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  constexpr explicit TimePoint(int64_t us) : us_(us) {}
+  int64_t us_ = 0;
+};
+
+}  // namespace vp

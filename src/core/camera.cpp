@@ -1,0 +1,99 @@
+#include "core/camera.hpp"
+
+#include <cmath>
+
+#include "media/codec.hpp"
+
+namespace vp::core {
+
+CameraDriver::CameraDriver(sim::Simulator* sim, sim::ExecutionLane* lane,
+                           media::SyntheticVideoSource source,
+                           PipelineMetrics* metrics, EmitFn emit,
+                           CameraOptions options)
+    : sim_(sim), lane_(lane), source_(std::move(source)), metrics_(metrics),
+      emit_(std::move(emit)), options_(options) {}
+
+void CameraDriver::Start() {
+  if (running_) return;
+  running_ = true;
+  MaybeEmit();
+}
+
+void CameraDriver::OnCredit() {
+  if (watchdog_event_ != 0) {
+    sim_->Cancel(watchdog_event_);
+    watchdog_event_ = 0;
+  }
+  if (credits_ < 1) ++credits_;  // single-slot credit (one frame in flight)
+  MaybeEmit();
+}
+
+void CameraDriver::MaybeEmit() {
+  if (!running_ || emission_scheduled_) return;
+  if (options_.paced_by_credits && credits_ <= 0) return;
+  const Duration min_gap = Duration::Seconds(1.0 / source_.fps());
+  const TimePoint earliest =
+      emitted_any_ ? last_emit_ + min_gap : sim_->Now();
+  emission_scheduled_ = true;
+  if (earliest <= sim_->Now()) {
+    sim_->After(Duration::Zero(), [this] { CaptureAndEmit(); });
+  } else {
+    sim_->At(earliest, [this] { CaptureAndEmit(); });
+  }
+}
+
+void CameraDriver::CaptureAndEmit() {
+  emission_scheduled_ = false;
+  if (!running_) return;
+  if (options_.paced_by_credits) {
+    if (credits_ <= 0) return;
+    --credits_;
+  }
+
+  // The sensor frame that exists *now*.
+  const double fps = source_.fps();
+  const auto seq = static_cast<uint64_t>(
+      std::floor(sim_->Now().seconds() * fps + 1e-9));
+  // Everything between the previous emission and this one was never
+  // admitted into the pipeline.
+  if (last_seq_ >= 0 && static_cast<int64_t>(seq) > last_seq_ + 1) {
+    dropped_ += static_cast<uint64_t>(static_cast<int64_t>(seq) - last_seq_ - 1);
+    for (int64_t s = last_seq_ + 1; s < static_cast<int64_t>(seq); ++s) {
+      metrics_->OnSourceDrop();
+    }
+  }
+  last_seq_ = static_cast<int64_t>(seq);
+  last_emit_ = sim_->Now();
+  emitted_any_ = true;
+  metrics_->OnSourceTick();
+
+  media::Frame frame = source_.CaptureFrame(seq);
+  frame.capture_time = sim_->Now();
+  Bytes encoded = media::EncodeFrame(frame);
+  const Duration cost = options_.capture_cost +
+                        media::EncodeCost(frame.image);
+  const TimePoint capture_time = sim_->Now();
+  metrics_->OnCaptured(seq, capture_time);
+
+  lane_->Run(cost, [this, seq, capture_time,
+                    encoded = std::move(encoded)]() mutable {
+    ++emitted_;
+    emit_(seq, capture_time, std::move(encoded));
+  });
+
+  if (!options_.paced_by_credits) {
+    MaybeEmit();  // free-running: next sensor frame regardless
+    return;
+  }
+  // Arm the credit watchdog for this emission.
+  if (options_.credit_timeout > Duration::Zero()) {
+    watchdog_event_ = sim_->After(options_.credit_timeout, [this] {
+      watchdog_event_ = 0;
+      ++credit_timeouts_;
+      if (credits_ < 1) ++credits_;
+      MaybeEmit();
+    });
+  }
+}
+
+}  // namespace vp::core

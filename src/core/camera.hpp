@@ -1,0 +1,87 @@
+// Camera driver: the pipeline's source module + native video-source
+// service (the phone-side pair in Fig. 4), plus the queue-free flow
+// control of §2.3.
+//
+// Admission protocol: the driver holds a single credit. Emitting a
+// frame consumes it; the credit returns when the sink module finishes
+// a frame and the runtime signals the source. The camera sensor runs
+// at `fps`; on emission the driver sends the *latest* sensor frame and
+// counts every skipped sensor frame as a drop — "this approach pushes
+// frame dropping to the beginning of the pipeline and eliminates
+// queuing delays inside the pipeline."
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "media/video_source.hpp"
+#include "sim/device.hpp"
+
+namespace vp::core {
+
+struct CameraOptions {
+  /// Sensor/ISP cost per captured frame (reference ms), charged on the
+  /// camera's native lane in addition to the real encode cost.
+  Duration capture_cost = Duration::Millis(1.0);
+  /// Watchdog: if the sink's credit does not return within this long
+  /// after an emission (frame lost to a module failure), the credit is
+  /// regenerated so the pipeline cannot wedge.
+  Duration credit_timeout = Duration::Seconds(1.0);
+  /// §2.3 ablation: when false, the camera free-runs at the sensor
+  /// rate and pushes every frame into the pipeline regardless of
+  /// credits — the design the paper rejects ("Queuing the images
+  /// anywhere inside the pipeline will introduce delays").
+  bool paced_by_credits = true;
+};
+
+class CameraDriver {
+ public:
+  /// `emit` delivers an encoded frame into the pipeline: (seq,
+  /// capture_time, encoded bytes, decoded image size).
+  using EmitFn = std::function<void(uint64_t seq, TimePoint capture,
+                                    Bytes encoded)>;
+
+  CameraDriver(sim::Simulator* sim, sim::ExecutionLane* lane,
+               media::SyntheticVideoSource source, PipelineMetrics* metrics,
+               EmitFn emit, CameraOptions options = {});
+
+  /// Begin producing: the first frame goes out immediately (one
+  /// initial credit).
+  void Start();
+  void Stop() { running_ = false; }
+
+  /// Credit from the sink (§2.3): admits the next frame.
+  void OnCredit();
+
+  uint64_t frames_emitted() const { return emitted_; }
+  uint64_t frames_dropped() const { return dropped_; }
+  uint64_t credit_timeouts() const { return credit_timeouts_; }
+  double fps() const { return source_.fps(); }
+
+ private:
+  /// Emit if a credit is available and the sensor pacing allows.
+  void MaybeEmit();
+  void CaptureAndEmit();
+
+  sim::Simulator* sim_;
+  sim::ExecutionLane* lane_;
+  media::SyntheticVideoSource source_;
+  PipelineMetrics* metrics_;
+  EmitFn emit_;
+  CameraOptions options_;
+
+  bool running_ = false;
+  int credits_ = 1;
+  bool emission_scheduled_ = false;
+  int64_t last_seq_ = -1;
+  TimePoint last_emit_;
+  bool emitted_any_ = false;
+  uint64_t emitted_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t credit_timeouts_ = 0;
+  uint64_t watchdog_event_ = 0;  // 0 = none armed
+};
+
+}  // namespace vp::core

@@ -1,0 +1,105 @@
+// Pipeline configuration (paper §3.1, Listing 1).
+//
+// An application is a DAG of modules declared in a configuration
+// document. We use the same fields as the paper's example —
+// name / include / service / endpoint / next_module — expressed as
+// JSON (the paper's listing is JSON-ish pseudo-config):
+//
+//   {
+//     "name": "fitness",
+//     "source": { "module": "video_streaming_module",
+//                 "fps": 20, "width": 320, "height": 240 },
+//     "modules": [
+//       { "name": "video_streaming_module", "type": "source",
+//         "endpoint": "bind#tcp://*:5860",
+//         "next_module": ["pose_detection_module"] },
+//       { "name": "pose_detection_module",
+//         "include": "PoseDetectionModule.js",
+//         "service": ["pose_detector"],
+//         "endpoint": "bind#tcp://*:5861",
+//         "next_module": ["activity_detector_module"] },
+//       …
+//       { "name": "display_module", "service": ["display"],
+//         "endpoint": "bind#tcp://*:5864",
+//         "signal_source": true, "next_module": [] }
+//     ]
+//   }
+//
+// `include` references module source files; callers resolve includes
+// through a ScriptResolver (name → vpscript source), or provide the
+// source inline under "code".
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "json/value.hpp"
+#include "net/endpoint.hpp"
+
+namespace vp::core {
+
+enum class ModuleType { kScript, kSource };
+
+struct ModuleSpec {
+  std::string name;
+  ModuleType type = ModuleType::kScript;
+  /// vpscript source (resolved from "include" or taken from "code").
+  std::string code;
+  /// Name of the include file (informational once resolved).
+  std::string include;
+  /// Services this module calls (paper: "service: ['pose_detector']").
+  std::vector<std::string> services;
+  /// Listen endpoint, e.g. "bind#tcp://*:5861".
+  net::Endpoint endpoint;
+  /// Outgoing edges.
+  std::vector<std::string> next_modules;
+  /// Optional placement pin (empty = policy decides).
+  std::string device;
+  /// Sink flag: when this module finishes a frame event, the runtime
+  /// signals the source to admit a new frame (§2.3).
+  bool signal_source = false;
+};
+
+struct SourceSpec {
+  std::string module;  // name of the source module in `modules`
+  double fps = 20.0;
+  int width = 320;
+  int height = 240;
+};
+
+struct PipelineSpec {
+  std::string name;
+  SourceSpec source;
+  std::vector<ModuleSpec> modules;
+
+  const ModuleSpec* FindModule(const std::string& name) const;
+};
+
+/// Resolves "include" references to vpscript source text.
+using ScriptResolver =
+    std::function<Result<std::string>(const std::string& include)>;
+
+/// Parse + validate a pipeline configuration document.
+/// Validation: unique module names, existing edge targets, acyclic
+/// graph, exactly one source, at least one signal_source sink
+/// reachable from the source, unique ports per pipeline.
+Result<PipelineSpec> ParsePipelineConfig(const json::Value& doc,
+                                         const ScriptResolver& resolver);
+
+/// Convenience: parse from JSON text.
+Result<PipelineSpec> ParsePipelineConfigText(const std::string& text,
+                                             const ScriptResolver& resolver);
+
+/// Structural validation only (used internally by the parser and by
+/// programmatically-built specs).
+Status ValidatePipelineSpec(const PipelineSpec& spec);
+
+/// A resolver backed by an in-memory map (used by the example apps —
+/// module sources are embedded in the binary).
+ScriptResolver MapResolver(
+    std::vector<std::pair<std::string, std::string>> sources);
+
+}  // namespace vp::core

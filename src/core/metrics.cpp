@@ -1,0 +1,97 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vp::core {
+
+LatencySummary Summarize(const std::vector<double>& samples_ms) {
+  LatencySummary out;
+  if (samples_ms.empty()) return out;
+  std::vector<double> sorted = samples_ms;
+  std::sort(sorted.begin(), sorted.end());
+  out.count = sorted.size();
+  out.min_ms = sorted.front();
+  out.max_ms = sorted.back();
+  double sum = 0;
+  for (double s : sorted) sum += s;
+  out.mean_ms = sum / static_cast<double>(sorted.size());
+  const auto at = [&](double q) {
+    const double idx = q * static_cast<double>(sorted.size() - 1);
+    return sorted[static_cast<size_t>(std::llround(idx))];
+  };
+  out.p50_ms = at(0.50);
+  out.p95_ms = at(0.95);
+  return out;
+}
+
+void PipelineMetrics::OnCaptured(uint64_t seq, TimePoint when) {
+  FrameTrace& trace = traces_[seq];
+  trace.seq = seq;
+  trace.capture = when;
+}
+
+void PipelineMetrics::OnStageStart(uint64_t seq, const std::string& module,
+                                   TimePoint when) {
+  StageSpan& span = traces_[seq].stages[module];
+  // A module can handle several messages for one frame (fan-in edges);
+  // the stage span records the FIRST, which is the data-path one.
+  if (span.end > span.start || span.start > TimePoint()) return;
+  span.start = when;
+}
+
+void PipelineMetrics::OnStageEnd(uint64_t seq, const std::string& module,
+                                 TimePoint when) {
+  StageSpan& span = traces_[seq].stages[module];
+  if (span.end > span.start) return;  // keep the first completed span
+  span.end = when;
+}
+
+void PipelineMetrics::OnCompleted(uint64_t seq, TimePoint when) {
+  FrameTrace& trace = traces_[seq];
+  if (trace.completed.has_value()) return;
+  trace.completed = when;
+  ++completed_;
+  if (!first_completion_) first_completion_ = when;
+  last_completion_ = when;
+}
+
+double PipelineMetrics::EndToEndFps() const {
+  if (completed_ < 2 || !first_completion_ || !last_completion_) return 0;
+  const double seconds = (*last_completion_ - *first_completion_).seconds();
+  if (seconds <= 0) return 0;
+  return static_cast<double>(completed_ - 1) / seconds;
+}
+
+LatencySummary PipelineMetrics::ModuleLatency(const std::string& module) const {
+  std::vector<double> samples;
+  for (const auto& [seq, trace] : traces_) {
+    auto it = trace.stages.find(module);
+    if (it == trace.stages.end()) continue;
+    if (it->second.end < it->second.start) continue;  // incomplete
+    samples.push_back(it->second.duration().millis());
+  }
+  return Summarize(samples);
+}
+
+LatencySummary PipelineMetrics::CaptureToStageStart(
+    const std::string& module) const {
+  std::vector<double> samples;
+  for (const auto& [seq, trace] : traces_) {
+    auto it = trace.stages.find(module);
+    if (it == trace.stages.end()) continue;
+    samples.push_back((it->second.start - trace.capture).millis());
+  }
+  return Summarize(samples);
+}
+
+LatencySummary PipelineMetrics::TotalLatency() const {
+  std::vector<double> samples;
+  for (const auto& [seq, trace] : traces_) {
+    if (!trace.completed) continue;
+    samples.push_back((*trace.completed - trace.capture).millis());
+  }
+  return Summarize(samples);
+}
+
+}  // namespace vp::core

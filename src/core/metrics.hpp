@@ -1,0 +1,84 @@
+// Pipeline instrumentation.
+//
+// Records, per frame sequence number, the virtual-time trace of the
+// frame through the pipeline (capture, per-module handler start/end,
+// sink completion), plus source-side admission statistics. The
+// benchmarks aggregate these into the paper's Fig. 6 (per-module
+// latency) and Table 2 (end-to-end FPS) outputs.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace vp::core {
+
+struct StageSpan {
+  TimePoint start;
+  TimePoint end;
+  Duration duration() const { return end - start; }
+};
+
+struct FrameTrace {
+  uint64_t seq = 0;
+  TimePoint capture;
+  /// Module name → handler span (arrival-to-finish recorded per edge).
+  std::map<std::string, StageSpan> stages;
+  std::optional<TimePoint> completed;  // sink finished
+};
+
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean_ms = 0;
+  double min_ms = 0;
+  double max_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+};
+
+LatencySummary Summarize(const std::vector<double>& samples_ms);
+
+class PipelineMetrics {
+ public:
+  // -- recording (called by the runtime) ------------------------------
+  void OnCaptured(uint64_t seq, TimePoint when);
+  void OnStageStart(uint64_t seq, const std::string& module, TimePoint when);
+  void OnStageEnd(uint64_t seq, const std::string& module, TimePoint when);
+  void OnCompleted(uint64_t seq, TimePoint when);
+  void OnSourceTick() { ++source_ticks_; }
+  void OnSourceDrop() { ++source_drops_; }
+
+  // -- reporting --------------------------------------------------------
+  uint64_t frames_captured() const { return traces_.size(); }
+  uint64_t frames_completed() const { return completed_; }
+  uint64_t source_ticks() const { return source_ticks_; }
+  uint64_t source_drops() const { return source_drops_; }
+
+  /// Completed-frame throughput between the first and last completion.
+  double EndToEndFps() const;
+
+  /// Handler latency of one module across completed frames.
+  LatencySummary ModuleLatency(const std::string& module) const;
+
+  /// Capture → first handler start of `module` (the paper's "Load
+  /// Frame" when applied to the first processing module).
+  LatencySummary CaptureToStageStart(const std::string& module) const;
+
+  /// Capture → sink completion ("Total Duration").
+  LatencySummary TotalLatency() const;
+
+  const std::map<uint64_t, FrameTrace>& traces() const { return traces_; }
+
+ private:
+  std::map<uint64_t, FrameTrace> traces_;
+  uint64_t completed_ = 0;
+  uint64_t source_ticks_ = 0;
+  uint64_t source_drops_ = 0;
+  std::optional<TimePoint> first_completion_;
+  std::optional<TimePoint> last_completion_;
+};
+
+}  // namespace vp::core

@@ -1,0 +1,286 @@
+#include "core/module_runtime.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "core/orchestrator.hpp"
+#include "media/codec.hpp"
+#include "script/convert.hpp"
+
+namespace vp::core {
+
+ModuleRuntime::ModuleRuntime(Orchestrator* orchestrator,
+                             PipelineDeployment* pipeline,
+                             const ModuleSpec* spec, std::string device,
+                             net::Address address)
+    : orchestrator_(orchestrator), pipeline_(pipeline), spec_(spec),
+      device_(std::move(device)), address_(std::move(address)) {}
+
+Status ModuleRuntime::Initialize(
+    const std::vector<std::pair<std::string, script::HostFunction>>&
+        extra_host_functions) {
+  script::ContextOptions options;
+  options.limits = orchestrator_->options().script_limits;
+  options.random_seed =
+      orchestrator_->options().seed ^ std::hash<std::string>{}(spec_->name);
+  context_ = std::make_unique<script::Context>(options);
+
+  context_->DefineGlobal("MODULE_NAME", script::Value(spec_->name));
+  context_->DefineGlobal("DEVICE_NAME", script::Value(device_));
+  context_->DefineGlobal("PIPELINE_NAME",
+                         script::Value(pipeline_->spec().name));
+
+  const std::string log_prefix =
+      pipeline_->spec().name + "/" + spec_->name;
+  context_->interpreter().set_print_handler(
+      [log_prefix](const std::string& line) {
+        VP_INFO("module") << log_prefix << ": " << line;
+      });
+
+  context_->RegisterHostFunction(
+      "call_service", [this](std::vector<script::Value>& args,
+                             script::Interpreter&) {
+        return HostCallService(args);
+      });
+  context_->RegisterHostFunction(
+      "call_module", [this](std::vector<script::Value>& args,
+                            script::Interpreter&) {
+        return HostCallModule(args);
+      });
+  context_->RegisterHostFunction(
+      "busy_ms",
+      [this](std::vector<script::Value>& args, script::Interpreter&) {
+        return HostBusyMs(args);
+      });
+  context_->RegisterHostFunction(
+      "frame_info",
+      [this](std::vector<script::Value>& args, script::Interpreter&) {
+        return HostFrameInfo(args);
+      });
+  context_->RegisterHostFunction(
+      "log", [this, log_prefix](std::vector<script::Value>& args,
+                                script::Interpreter&)
+                 -> Result<script::Value> {
+        std::string line;
+        for (size_t i = 0; i < args.size(); ++i) {
+          if (i) line += ' ';
+          line += args[i].ToDisplayString();
+        }
+        VP_INFO("module") << log_prefix << ": " << line;
+        return script::Value::Undefined();
+      });
+  context_->RegisterHostFunction(
+      "now_ms", [this](std::vector<script::Value>&, script::Interpreter&)
+                    -> Result<script::Value> {
+        return script::Value(
+            orchestrator_->cluster().simulator().Now().millis());
+      });
+  // set_timer(ms[, payload]) — one-shot: after `ms` virtual
+  // milliseconds the module receives an event_received({timer: true,
+  // …payload}). Lets modules aggregate, poll, or implement periodic
+  // housekeeping without holding frames.
+  context_->RegisterHostFunction(
+      "set_timer",
+      [this](std::vector<script::Value>& args,
+             script::Interpreter&) -> Result<script::Value> {
+        if (args.empty() || !args[0].is_number()) {
+          return ScriptError("set_timer(ms[, payload]): ms needed");
+        }
+        const double ms = args[0].AsNumber();
+        if (!(ms >= 0.0) || ms > 3.6e6) {
+          return ScriptError("set_timer: ms must be in [0, 3.6e6]");
+        }
+        json::Value payload = json::Value::MakeObject();
+        if (args.size() > 1 && args[1].is_object()) {
+          auto converted = script::ScriptToJson(args[1]);
+          if (!converted.ok()) return converted.error();
+          payload = std::move(*converted);
+        }
+        payload["timer"] = json::Value(true);
+        const uint64_t seq = current_seq_;
+        orchestrator_->cluster().simulator().After(
+            Duration::Millis(ms),
+            [this, seq, payload = std::move(payload)]() mutable {
+              net::Message message("timer", std::move(payload));
+              message.set_sender(name());
+              message.set_seq(seq);
+              OnMessage(std::move(message));
+            });
+        return script::Value(true);
+      });
+
+  for (const auto& [name, fn] : extra_host_functions) {
+    context_->RegisterHostFunction(name, fn);
+  }
+
+  VP_RETURN_IF_ERROR(context_->Load(spec_->code));
+  if (context_->HasFunction("init")) {
+    auto result = context_->Call("init", {});
+    if (!result.ok()) return Status(result.error());
+  }
+  return Status::Ok();
+}
+
+void ModuleRuntime::OnMessage(net::Message message) {
+  if (busy_) {
+    // Queue-free semantics: one parked slot, newest message wins.
+    if (parked_.has_value()) ++stats_.dropped_replaced;
+    parked_ = std::move(message);
+    return;
+  }
+  busy_ = true;
+  ProcessMessage(std::move(message));
+}
+
+void ModuleRuntime::ProcessMessage(net::Message message) {
+  // Pre-handler cost on the device's module lane: dispatch overhead
+  // plus (when the message carries an encoded frame) the decode.
+  Duration cost = orchestrator_->options().module_event_overhead;
+  if (!message.parts().empty()) {
+    cost += media::DecodeCost(message.parts().front().size());
+  }
+  sim::Device* device = orchestrator_->cluster().FindDevice(device_);
+  device->module_lane().Run(
+      cost, [this, message = std::move(message)]() mutable {
+        ExecuteHandler(std::move(message));
+      });
+}
+
+void ModuleRuntime::ExecuteHandler(net::Message message) {
+  current_seq_ = message.seq();
+  ++stats_.events;
+
+  json::Value payload = std::move(message.payload());
+
+  // Register an attached encoded frame in this device's store and
+  // rewrite the reference (the decode cost was charged pre-handler;
+  // the pixel work happens here, once, for real).
+  if (!message.parts().empty()) {
+    auto frame = media::DecodeFrame(message.parts().front());
+    if (!frame.ok()) {
+      ++stats_.script_errors;
+      VP_WARN("module") << name() << ": undecodable frame: "
+                        << frame.error().ToString();
+      FinishEvent();
+      return;
+    }
+    const media::FrameId id = orchestrator_->store(device_).Put(
+        std::move(*frame), std::move(message.mutable_parts().front()));
+    payload["frame_id"] = json::Value(static_cast<double>(id));
+  }
+
+  const TimePoint start = orchestrator_->cluster().Now();
+  pipeline_->metrics().OnStageStart(current_seq_, name(), start);
+
+  auto arg = script::JsonToScript(payload);
+  auto result = context_->Call("event_received", {std::move(arg)});
+  if (!result.ok()) {
+    ++stats_.script_errors;
+    VP_WARN("module") << name() << ": event_received failed: "
+                      << result.error().ToString();
+  }
+
+  const TimePoint end = orchestrator_->cluster().Now();
+  pipeline_->metrics().OnStageEnd(current_seq_, name(), end);
+
+  // Sink: first completion of each frame sequence returns the credit
+  // (§2.3) and closes the frame's end-to-end trace.
+  if (spec_->signal_source &&
+      (!signaled_any_ || current_seq_ > last_signaled_seq_)) {
+    signaled_any_ = true;
+    last_signaled_seq_ = current_seq_;
+    pipeline_->metrics().OnCompleted(current_seq_, end);
+    orchestrator_->SignalSource(*pipeline_, device_);
+  }
+  FinishEvent();
+}
+
+void ModuleRuntime::FinishEvent() {
+  busy_ = false;
+  if (parked_.has_value()) {
+    net::Message next = std::move(*parked_);
+    parked_.reset();
+    busy_ = true;
+    ProcessMessage(std::move(next));
+  }
+}
+
+Result<script::Value> ModuleRuntime::HostCallService(
+    std::vector<script::Value>& args) {
+  if (args.size() < 1 || !args[0].is_string()) {
+    return ScriptError("call_service(service, message): service name needed");
+  }
+  const std::string& service = args[0].AsString();
+  if (std::find(spec_->services.begin(), spec_->services.end(), service) ==
+      spec_->services.end()) {
+    return ScriptError("module '" + name() + "' does not declare service '" +
+                       service + "' in its config");
+  }
+  json::Value payload;
+  if (args.size() > 1) {
+    auto converted = script::ScriptToJson(args[1]);
+    if (!converted.ok()) return converted.error();
+    payload = std::move(*converted);
+  }
+  ++stats_.service_calls;
+  auto response = orchestrator_->CallService(*this, service,
+                                             std::move(payload));
+  if (!response.ok()) return response.error();
+  return script::JsonToScript(*response);
+}
+
+Result<script::Value> ModuleRuntime::HostCallModule(
+    std::vector<script::Value>& args) {
+  if (args.size() < 1 || !args[0].is_string()) {
+    return ScriptError("call_module(module, message): module name needed");
+  }
+  const std::string& target = args[0].AsString();
+  if (std::find(spec_->next_modules.begin(), spec_->next_modules.end(),
+                target) == spec_->next_modules.end()) {
+    return ScriptError("module '" + name() + "' has no edge to '" + target +
+                       "' (declare it in next_module)");
+  }
+  json::Value payload;
+  if (args.size() > 1) {
+    auto converted = script::ScriptToJson(args[1]);
+    if (!converted.ok()) return converted.error();
+    payload = std::move(*converted);
+  }
+  ++stats_.module_sends;
+  Status sent = orchestrator_->SendToModule(*this, target, std::move(payload));
+  if (!sent.ok()) return ScriptError(sent.message());
+  return script::Value::Undefined();
+}
+
+Result<script::Value> ModuleRuntime::HostBusyMs(
+    std::vector<script::Value>& args) {
+  const double ms = args.empty() ? 0.0 : args[0].ToNumber();
+  if (!(ms >= 0.0) || ms > 60000.0) {
+    return ScriptError("busy_ms(ms): ms must be in [0, 60000]");
+  }
+  sim::Device* device = orchestrator_->cluster().FindDevice(device_);
+  Status status = orchestrator_->BlockOnLane(device->module_lane(),
+                                             Duration::Millis(ms));
+  if (!status.ok()) return status.error();
+  return script::Value::Undefined();
+}
+
+Result<script::Value> ModuleRuntime::HostFrameInfo(
+    std::vector<script::Value>& args) {
+  if (args.empty() || !args[0].is_number()) {
+    return ScriptError("frame_info(frame_id): numeric id needed");
+  }
+  const auto id = static_cast<media::FrameId>(args[0].AsNumber());
+  auto frame = orchestrator_->store(device_).Get(id);
+  if (!frame.ok()) return frame.error();
+  auto info = script::Value::MakeObject();
+  info.AsObject()->Set("seq",
+                       script::Value(static_cast<double>((*frame)->seq)));
+  info.AsObject()->Set("width", script::Value((*frame)->image.width()));
+  info.AsObject()->Set("height", script::Value((*frame)->image.height()));
+  info.AsObject()->Set(
+      "capture_ms", script::Value((*frame)->capture_time.millis()));
+  return info;
+}
+
+}  // namespace vp::core

@@ -1,0 +1,95 @@
+// Module runtime: hosts one module's script context on a device.
+//
+// Mirrors the paper's §3 implementation: "For each module of an
+// application, a separate Duktape context is created to execute the
+// module code" — here a vpscript Context — with the Table-1 API bound
+// as host functions:
+//
+//   init()                          module-defined, called on deploy
+//   event_received(message)         module-defined, called per event
+//   call_service(service, message)  → response (blocks in virtual time)
+//   call_module(module, message)    → fire-and-forget to a next_module
+//
+// plus pragmatic extras: log(…), now_ms(), busy_ms(ms) (models module
+// CPU), frame_info(frame_id).
+//
+// Event semantics are queue-free (§2.3): a module busy with one event
+// parks at most ONE pending message (newest wins; replaced messages
+// count as drops). The flow-control credit keeps at most one frame in
+// the pipeline, so parking only triggers on fan-in edges.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "net/fabric.hpp"
+#include "script/context.hpp"
+
+namespace vp::core {
+
+class Orchestrator;
+class PipelineDeployment;
+
+struct ModuleRuntimeStats {
+  uint64_t events = 0;
+  uint64_t dropped_replaced = 0;  // parked message overwritten
+  uint64_t script_errors = 0;
+  uint64_t service_calls = 0;
+  uint64_t module_sends = 0;
+};
+
+class ModuleRuntime {
+ public:
+  ModuleRuntime(Orchestrator* orchestrator, PipelineDeployment* pipeline,
+                const ModuleSpec* spec, std::string device,
+                net::Address address);
+
+  /// Build the script context, bind host functions, load the module
+  /// code and run its init().
+  Status Initialize(
+      const std::vector<std::pair<std::string, script::HostFunction>>&
+          extra_host_functions);
+
+  /// Fabric delivery entry point.
+  void OnMessage(net::Message message);
+
+  const std::string& name() const { return spec_->name; }
+  const std::string& device() const { return device_; }
+  PipelineDeployment& pipeline() const { return *pipeline_; }
+  const net::Address& address() const { return address_; }
+  const ModuleSpec& spec() const { return *spec_; }
+  const ModuleRuntimeStats& stats() const { return stats_; }
+  script::Context& context() { return *context_; }
+
+  /// Sequence number of the event currently being handled.
+  uint64_t current_seq() const { return current_seq_; }
+
+ private:
+  void ProcessMessage(net::Message message);
+  void ExecuteHandler(net::Message message);
+  void FinishEvent();
+
+  // Host-function implementations (Table 1).
+  Result<script::Value> HostCallService(std::vector<script::Value>& args);
+  Result<script::Value> HostCallModule(std::vector<script::Value>& args);
+  Result<script::Value> HostBusyMs(std::vector<script::Value>& args);
+  Result<script::Value> HostFrameInfo(std::vector<script::Value>& args);
+
+  Orchestrator* orchestrator_;
+  PipelineDeployment* pipeline_;
+  const ModuleSpec* spec_;
+  std::string device_;
+  net::Address address_;
+  std::unique_ptr<script::Context> context_;
+
+  bool busy_ = false;
+  std::optional<net::Message> parked_;
+  uint64_t current_seq_ = 0;
+  uint64_t last_signaled_seq_ = 0;
+  bool signaled_any_ = false;
+  ModuleRuntimeStats stats_;
+};
+
+}  // namespace vp::core

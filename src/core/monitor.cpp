@@ -1,0 +1,149 @@
+#include "core/monitor.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace vp::core {
+
+json::Value MonitorSample::ToJson() const {
+  json::Value out = json::Value::MakeObject();
+  out["t_ms"] = json::Value(when.millis());
+  json::Value fps = json::Value::MakeObject();
+  for (const auto& [pipeline, value] : pipeline_fps) {
+    fps[pipeline] = json::Value(value);
+  }
+  out["pipeline_fps"] = std::move(fps);
+  json::Value backlog = json::Value::MakeObject();
+  for (const auto& [group, value] : service_backlog) {
+    backlog[group] = json::Value(value);
+  }
+  out["service_backlog"] = std::move(backlog);
+  out["network_bytes"] = json::Value(static_cast<double>(network_bytes));
+  return out;
+}
+
+PipelineMonitor::PipelineMonitor(Orchestrator* orchestrator,
+                                 Duration interval)
+    : orchestrator_(orchestrator), interval_(interval) {}
+
+void PipelineMonitor::WatchService(const std::string& device,
+                                   const std::string& service) {
+  watched_services_.emplace_back(device, service);
+}
+
+void PipelineMonitor::PublishTo(const std::string& from_device,
+                                const std::string& topic) {
+  publish_device_ = from_device;
+  publish_topic_ = topic;
+}
+
+void PipelineMonitor::Start() {
+  if (running_) return;
+  running_ = true;
+  orchestrator_->cluster().simulator().After(interval_, [this] { Sample(); });
+}
+
+void PipelineMonitor::Sample() {
+  if (!running_) return;
+  MonitorSample sample;
+  sample.when = orchestrator_->cluster().Now();
+
+  for (const auto& pipeline : orchestrator_->pipelines()) {
+    const std::string& name = pipeline->spec().name;
+    const uint64_t completed = pipeline->metrics().frames_completed();
+    const uint64_t previous = last_completed_.count(name)
+                                  ? last_completed_[name]
+                                  : 0;
+    sample.frames_completed[name] = completed;
+    sample.pipeline_fps[name] =
+        static_cast<double>(completed - previous) / interval_.seconds();
+    last_completed_[name] = completed;
+  }
+
+  const TimePoint now = orchestrator_->cluster().Now();
+  for (const auto& [device, service] : watched_services_) {
+    const std::string key = device + "/" + service;
+    int backlog = 0;
+    auto replicas = orchestrator_->registry().Replicas(device, service);
+    for (services::ServiceInstance* replica : replicas) {
+      backlog += replica->backlog(now);
+    }
+    sample.service_backlog[key] = backlog;
+    sample.service_replicas[key] = static_cast<int>(replicas.size());
+  }
+  for (sim::Device* device : orchestrator_->cluster().devices()) {
+    const Duration busy = device->module_lane().busy_time();
+    const Duration previous = last_busy_.count(device->name())
+                                  ? last_busy_[device->name()]
+                                  : Duration::Zero();
+    sample.device_utilization[device->name()] =
+        std::min(1.0, (busy - previous).seconds() / interval_.seconds());
+    last_busy_[device->name()] = busy;
+  }
+  sample.network_bytes = orchestrator_->cluster().network().stats().bytes;
+
+  if (!publish_topic_.empty()) {
+    net::Message telemetry("telemetry", sample.ToJson());
+    (void)orchestrator_->fabric().Publish(publish_device_, publish_topic_,
+                                          telemetry);
+  }
+  samples_.push_back(std::move(sample));
+  orchestrator_->cluster().simulator().After(interval_, [this] { Sample(); });
+}
+
+std::string PipelineMonitor::Report() const {
+  std::string out;
+  if (samples_.empty()) return "no samples\n";
+
+  std::map<std::string, std::vector<double>> fps_series;
+  for (const MonitorSample& sample : samples_) {
+    for (const auto& [pipeline, fps] : sample.pipeline_fps) {
+      fps_series[pipeline].push_back(fps);
+    }
+  }
+  out += Format("monitor: %zu samples over %.1f s\n", samples_.size(),
+                (samples_.back().when - samples_.front().when).seconds());
+  for (const auto& [pipeline, series] : fps_series) {
+    double total = 0;
+    double low = series.empty() ? 0 : series[0];
+    double high = 0;
+    for (double fps : series) {
+      total += fps;
+      low = std::min(low, fps);
+      high = std::max(high, fps);
+    }
+    out += Format("  pipeline %-12s fps min/mean/max = %.1f / %.1f / %.1f\n",
+                  pipeline.c_str(), low,
+                  total / static_cast<double>(series.size()), high);
+  }
+
+  std::map<std::string, int> peak_backlog;
+  for (const MonitorSample& sample : samples_) {
+    for (const auto& [group, backlog] : sample.service_backlog) {
+      peak_backlog[group] = std::max(peak_backlog[group], backlog);
+    }
+  }
+  for (const auto& [group, backlog] : peak_backlog) {
+    out += Format("  service  %-24s peak backlog = %d (replicas: %d)\n",
+                  group.c_str(), backlog,
+                  samples_.back().service_replicas.count(group)
+                      ? samples_.back().service_replicas.at(group)
+                      : 0);
+  }
+
+  std::map<std::string, double> peak_utilization;
+  for (const MonitorSample& sample : samples_) {
+    for (const auto& [device, utilization] : sample.device_utilization) {
+      peak_utilization[device] =
+          std::max(peak_utilization[device], utilization);
+    }
+  }
+  for (const auto& [device, utilization] : peak_utilization) {
+    out += Format("  device   %-24s peak module-lane load = %.0f%%\n",
+                  device.c_str(), utilization * 100);
+  }
+  return out;
+}
+
+}  // namespace vp::core

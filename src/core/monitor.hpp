@@ -1,0 +1,71 @@
+// Pipeline monitoring — one of the paper's named future-work items
+// (§7: "we aim to include automatic deployment, scheduling and
+// monitoring components to VideoPipe").
+//
+// The monitor samples every deployed pipeline and every watched
+// service group on a fixed virtual-time cadence, keeps the timeseries,
+// and can publish each sample on a fabric PUB/SUB topic so dashboards
+// (or the autoscaler of tomorrow) can subscribe from any device.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/orchestrator.hpp"
+
+namespace vp::core {
+
+struct MonitorSample {
+  TimePoint when;
+  /// Pipeline name → frames completed during the last interval / dt.
+  std::map<std::string, double> pipeline_fps;
+  /// Pipeline name → cumulative completed frames.
+  std::map<std::string, uint64_t> frames_completed;
+  /// "device/service" → instantaneous backlog across replicas.
+  std::map<std::string, int> service_backlog;
+  /// "device/service" → replica count.
+  std::map<std::string, int> service_replicas;
+  /// Device → module-lane utilization over the last interval [0,1].
+  std::map<std::string, double> device_utilization;
+  uint64_t network_bytes = 0;
+
+  json::Value ToJson() const;
+};
+
+class PipelineMonitor {
+ public:
+  explicit PipelineMonitor(Orchestrator* orchestrator,
+                           Duration interval = Duration::Millis(1000));
+
+  /// Include a (device, service) group in every sample.
+  void WatchService(const std::string& device, const std::string& service);
+
+  /// Publish each sample as a "telemetry" message on this fabric topic
+  /// from this device (optional).
+  void PublishTo(const std::string& from_device, const std::string& topic);
+
+  void Start();
+  void Stop() { running_ = false; }
+
+  const std::vector<MonitorSample>& samples() const { return samples_; }
+
+  /// Multi-line text summary (min/mean/max fps per pipeline, peak
+  /// backlog per service group).
+  std::string Report() const;
+
+ private:
+  void Sample();
+
+  Orchestrator* orchestrator_;
+  Duration interval_;
+  bool running_ = false;
+  std::vector<std::pair<std::string, std::string>> watched_services_;
+  std::string publish_device_;
+  std::string publish_topic_;
+  std::map<std::string, uint64_t> last_completed_;
+  std::map<std::string, Duration> last_busy_;
+  std::vector<MonitorSample> samples_;
+};
+
+}  // namespace vp::core

@@ -1,0 +1,536 @@
+#include "core/orchestrator.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "media/codec.hpp"
+
+namespace vp::core {
+
+namespace {
+
+net::Message MakeReply(const Result<json::Value>& result) {
+  net::Message reply("reply");
+  json::Value payload = json::Value::MakeObject();
+  if (result.ok()) {
+    payload["ok"] = json::Value(true);
+    payload["result"] = result.value();
+  } else {
+    payload["ok"] = json::Value(false);
+    payload["code"] = json::Value(StatusCodeName(result.error().code()));
+    payload["message"] = json::Value(result.error().message());
+  }
+  reply.set_payload(std::move(payload));
+  return reply;
+}
+
+Result<json::Value> ParseReply(const net::Message& reply) {
+  const json::Value& payload = reply.payload();
+  if (payload.GetBool("ok")) {
+    const json::Value* result = payload.Find("result");
+    return result ? *result : json::Value();
+  }
+  return Error(StatusCode::kUnavailable,
+               "service error [" + payload.GetString("code", "UNKNOWN") +
+                   "]: " + payload.GetString("message"));
+}
+
+std::optional<media::FrameId> FrameIdOf(const json::Value& payload) {
+  const json::Value* id = payload.Find("frame_id");
+  if (id == nullptr || !id->is_number()) return std::nullopt;
+  return static_cast<media::FrameId>(id->AsDouble());
+}
+
+}  // namespace
+
+ModuleRuntime* PipelineDeployment::FindModule(const std::string& name) {
+  for (const auto& module : modules_) {
+    if (module->name() == name) return module.get();
+  }
+  return nullptr;
+}
+
+Result<net::Address> PipelineDeployment::ModuleAddress(
+    const std::string& name) const {
+  auto it = addresses_.find(name);
+  if (it == addresses_.end()) {
+    return NotFound("no address for module '" + name + "'");
+  }
+  return it->second;
+}
+
+Orchestrator::Orchestrator(sim::Cluster* cluster, OrchestratorOptions options)
+    : cluster_(cluster), options_(options), jitter_rng_(options.seed) {
+  fabric_ = std::make_unique<net::Fabric>(cluster_);
+  catalog_ = services::ServiceCatalog::WithBuiltins();
+  services::ContainerOptions container_options = options_.container_options;
+  container_options.cost_jitter = options_.service_cost_jitter;
+  container_options.jitter_seed = options_.seed;
+  containers_ = std::make_unique<services::ContainerRuntime>(
+      cluster_, &catalog_, container_options);
+  registry_ = std::make_unique<services::ServiceRegistry>(cluster_);
+  autoscaler_ = std::make_unique<services::Autoscaler>(
+      cluster_, containers_.get(), registry_.get(),
+      options_.autoscaler_options);
+}
+
+Orchestrator::~Orchestrator() = default;
+
+media::FrameStore& Orchestrator::store(const std::string& device) {
+  auto it = stores_.find(device);
+  if (it == stores_.end()) {
+    it = stores_
+             .emplace(device, std::make_unique<media::FrameStore>(
+                                  options_.frame_store_capacity))
+             .first;
+  }
+  return *it->second;
+}
+
+Status Orchestrator::Await(PendingResult& pending) {
+  while (!pending.done) {
+    if (!cluster_->simulator().Step()) {
+      return Status(StatusCode::kInternal,
+                    "event queue drained while a module was blocked on a "
+                    "service response");
+    }
+  }
+  return Status::Ok();
+}
+
+Status Orchestrator::BlockOnLane(sim::ExecutionLane& lane, Duration cost) {
+  PendingResult pending;
+  lane.Run(cost, [&pending] { pending.done = true; });
+  return Await(pending);
+}
+
+net::Address Orchestrator::ServiceGateway(const std::string& device,
+                                          const std::string& service) const {
+  auto it = gateways_.find({device, service});
+  return it == gateways_.end() ? net::Address{} : it->second;
+}
+
+Status Orchestrator::BindServiceGateway(const std::string& device,
+                                        const std::string& service) {
+  if (gateways_.count({device, service}) != 0) return Status::Ok();
+  const net::Address address{device, AllocatePort()};
+  Status bound = fabric_->Bind(
+      address, [this, device, service](net::Message message,
+                                       net::Responder respond) {
+        services::ServiceInstance* instance =
+            registry_->Find(device, service);
+        if (instance == nullptr) {
+          if (respond) {
+            respond(MakeReply(
+                Unavailable("no replica of '" + service + "' on " + device)));
+          }
+          return;
+        }
+        if (!respond) return;  // services are request/response only
+
+        json::Value payload = std::move(message.payload());
+        if (!message.parts().empty()) {
+          // Remote caller shipped the frame: decode on this replica's
+          // lane (charged), then handle.
+          Bytes part = std::move(message.mutable_parts().front());
+          const Duration decode_cost = media::DecodeCost(part.size());
+          instance->lane()->Run(
+              decode_cost,
+              [instance, payload = std::move(payload),
+               part = std::move(part), respond = std::move(respond)]() mutable {
+                services::ServiceRequest request;
+                request.payload = std::move(payload);
+                auto frame = media::DecodeFrame(part);
+                if (!frame.ok()) {
+                  respond(MakeReply(frame.error()));
+                  return;
+                }
+                request.frame =
+                    std::make_shared<const media::Frame>(std::move(*frame));
+                instance->Invoke(std::move(request),
+                                 [respond](Result<json::Value> result) {
+                                   respond(MakeReply(result));
+                                 });
+              });
+          return;
+        }
+        services::ServiceRequest request;
+        request.payload = std::move(payload);
+        instance->Invoke(std::move(request),
+                         [respond = std::move(respond)](
+                             Result<json::Value> result) {
+                           respond(MakeReply(result));
+                         });
+      });
+  if (!bound.ok()) return bound;
+  gateways_[{device, service}] = address;
+  return Status::Ok();
+}
+
+Status Orchestrator::EnsureServiceDeployed(const std::string& device,
+                                           const std::string& service,
+                                           bool native) {
+  VP_RETURN_IF_ERROR(BindServiceGateway(device, service));
+  if (registry_->Find(device, service) != nullptr) {
+    return Status::Ok();  // shared with a previously deployed pipeline
+  }
+  auto instance = native ? containers_->LaunchNative(device, service)
+                         : containers_->Launch(device, service);
+  if (!instance.ok()) return instance.status();
+  registry_->Add(std::move(*instance));
+  VP_INFO("orchestrator") << "launched " << service << " on " << device
+                          << (native ? " (native)" : " (container)");
+  return Status::Ok();
+}
+
+Status Orchestrator::ScaleService(const std::string& device,
+                                  const std::string& service) {
+  if (registry_->Find(device, service) == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "no existing replica of '" + service + "' on " + device);
+  }
+  auto instance = containers_->Launch(device, service);
+  if (!instance.ok()) return instance.status();
+  registry_->Add(std::move(*instance));
+  return Status::Ok();
+}
+
+Result<PipelineDeployment*> Orchestrator::Deploy(PipelineSpec spec,
+                                                 DeployArgs args) {
+  auto plan = PlanDeployment(spec, *cluster_, args.placement);
+  if (!plan.ok()) return plan.error();
+
+  auto deployment = std::make_unique<PipelineDeployment>();
+  deployment->spec_ = std::move(spec);
+  deployment->plan_ = std::move(*plan);
+  const PipelineSpec& pspec = deployment->spec_;
+  const DeploymentPlan& pplan = deployment->plan_;
+  deployment->source_device_ = pplan.module_device.at(pspec.source.module);
+
+  // 1. Services (shared across pipelines when already running).
+  for (const auto& [service, device] : pplan.service_device) {
+    VP_RETURN_IF_ERROR_R(
+        EnsureServiceDeployed(device, service, pplan.IsNative(service)));
+  }
+
+  // 2. Module addresses. Configured ports are honored when free;
+  //    conflicts (e.g. two pipelines from the same template) fall back
+  //    to auto-assigned ports.
+  for (const ModuleSpec& m : pspec.modules) {
+    const std::string& device = pplan.module_device.at(m.name);
+    uint16_t port = m.endpoint.port;
+    if (port == 0 || fabric_->IsBound(net::Address{device, port})) {
+      port = AllocatePort();
+    }
+    deployment->addresses_[m.name] = net::Address{device, port};
+  }
+
+  // 3. Script module runtimes.
+  deployment->extra_host_functions_ = args.extra_host_functions;
+  for (const ModuleSpec& m : pspec.modules) {
+    if (m.type != ModuleType::kScript) continue;
+    const std::string& device = pplan.module_device.at(m.name);
+    auto runtime = std::make_unique<ModuleRuntime>(
+        this, deployment.get(), &m, device, deployment->addresses_[m.name]);
+    ModuleRuntime* raw = runtime.get();
+    VP_RETURN_IF_ERROR_R(fabric_->Bind(
+        deployment->addresses_[m.name],
+        [raw](net::Message message, net::Responder) {
+          raw->OnMessage(std::move(message));
+        }));
+    std::vector<std::pair<std::string, script::HostFunction>> extras;
+    if (auto it = args.extra_host_functions.find(m.name);
+        it != args.extra_host_functions.end()) {
+      extras = it->second;
+    }
+    VP_RETURN_IF_ERROR_R(runtime->Initialize(extras));
+    deployment->modules_.push_back(std::move(runtime));
+  }
+
+  // 4. Camera (source module + native video-source service).
+  const ModuleSpec* source = pspec.FindModule(pspec.source.module);
+  sim::Device* source_device =
+      cluster_->FindDevice(deployment->source_device_);
+  deployment->camera_lane_ = std::make_unique<sim::ExecutionLane>(
+      &cluster_->simulator(), deployment->source_device_ + "/camera",
+      source_device->spec().cpu_speed);
+
+  media::SceneOptions scene = args.scene;
+  scene.width = pspec.source.width;
+  scene.height = pspec.source.height;
+  media::SyntheticVideoSource video_source(std::move(args.workload),
+                                           pspec.source.fps, scene,
+                                           args.seed);
+
+  deployment->camera_address_ =
+      net::Address{deployment->source_device_, AllocatePort()};
+
+  PipelineDeployment* raw_deployment = deployment.get();
+  std::vector<std::string> targets = source->next_modules;
+  auto emit = [this, raw_deployment, targets](uint64_t seq,
+                                              TimePoint capture,
+                                              Bytes encoded) {
+    (void)capture;
+    for (const std::string& target : targets) {
+      net::Message message("frame");
+      message.set_sender(raw_deployment->spec_.source.module);
+      message.set_seq(seq);
+      json::Value payload = json::Value::MakeObject();
+      payload["seq"] = json::Value(static_cast<double>(seq));
+      message.set_payload(std::move(payload));
+      message.AddPart(encoded);  // copy when fanning out
+      Status pushed = fabric_->Push(raw_deployment->source_device_,
+                                    raw_deployment->addresses_.at(target),
+                                    std::move(message));
+      if (!pushed.ok()) {
+        VP_WARN("orchestrator")
+            << "camera push failed: " << pushed.ToString();
+      }
+    }
+  };
+  deployment->camera_ = std::make_unique<CameraDriver>(
+      &cluster_->simulator(), deployment->camera_lane_.get(),
+      std::move(video_source), &deployment->metrics_, std::move(emit),
+      options_.camera_options);
+
+  CameraDriver* camera = deployment->camera_.get();
+  VP_RETURN_IF_ERROR_R(fabric_->Bind(
+      deployment->camera_address_,
+      [camera](net::Message message, net::Responder) {
+        if (message.type() == "credit") camera->OnCredit();
+      }));
+
+  VP_INFO("orchestrator") << "deployed pipeline '" << pspec.name
+                          << "': " << pplan.ToString();
+  pipelines_.push_back(std::move(deployment));
+  return pipelines_.back().get();
+}
+
+void Orchestrator::StartAll() {
+  for (const auto& pipeline : pipelines_) pipeline->Start();
+}
+
+void Orchestrator::RunFor(Duration duration) {
+  cluster_->simulator().RunUntil(cluster_->Now() + duration);
+}
+
+Result<json::Value> Orchestrator::CallService(ModuleRuntime& caller,
+                                              const std::string& service,
+                                              json::Value payload) {
+  const DeploymentPlan& plan = caller.pipeline().plan();
+  auto it = plan.service_device.find(service);
+  if (it == plan.service_device.end()) {
+    return NotFound("service '" + service + "' not in the deployment plan");
+  }
+  const std::string& host_device = it->second;
+
+  // ---- Co-located: in-process call, frame by reference. --------------
+  if (host_device == caller.device()) {
+    services::ServiceRequest request;
+    if (auto frame_id = FrameIdOf(payload)) {
+      auto frame = store(caller.device()).Get(*frame_id);
+      if (!frame.ok()) return frame.error();
+      request.frame = *frame;
+    }
+    request.payload = std::move(payload);
+
+    services::ServiceInstance* instance =
+        registry_->Find(host_device, service);
+    if (instance == nullptr) {
+      return Unavailable("no replica of '" + service + "' on " + host_device);
+    }
+    PendingResult pending;
+    const Duration ipc = cluster_->network().loopback_delay();
+    cluster_->simulator().After(
+        ipc, [this, instance, &pending, ipc,
+              request = std::move(request)]() mutable {
+          instance->Invoke(
+              std::move(request),
+              [this, &pending, ipc](Result<json::Value> result) {
+                cluster_->simulator().After(
+                    ipc, [&pending, result = std::move(result)]() mutable {
+                      pending.value = std::move(result);
+                      pending.done = true;
+                    });
+              });
+        });
+    VP_RETURN_IF_ERROR_R(Await(pending));
+    return std::move(pending.value);
+  }
+
+  // ---- Remote: ship the request (and the frame) over the network. -----
+  net::Message message("request");
+  message.set_sender(caller.name());
+  message.set_seq(caller.current_seq());
+  if (auto frame_id = FrameIdOf(payload)) {
+    media::FrameStore& caller_store = store(caller.device());
+    auto frame = caller_store.Get(*frame_id);
+    if (!frame.ok()) return frame.error();
+    std::shared_ptr<const Bytes> encoded = caller_store.Encoded(*frame_id);
+    if (encoded == nullptr) {
+      // Encode on the calling device (charged, blocking), then cache.
+      Bytes bytes = media::EncodeFrame(**frame);
+      sim::Device* device = cluster_->FindDevice(caller.device());
+      VP_RETURN_IF_ERROR_R(BlockOnLane(device->module_lane(),
+                                       media::EncodeCost((*frame)->image)));
+      caller_store.CacheEncoded(*frame_id, bytes);
+      encoded = caller_store.Encoded(*frame_id);
+    }
+    payload.AsObject().Erase("frame_id");  // remote ids are meaningless
+    message.AddPart(*encoded);
+  }
+  message.set_payload(std::move(payload));
+
+  const net::Address gateway = ServiceGateway(host_device, service);
+  if (gateway.device.empty()) {
+    return Unavailable("no gateway for '" + service + "' on " + host_device);
+  }
+  PendingResult pending;
+  Status sent = fabric_->Request(
+      caller.device(), gateway, std::move(message),
+      [&pending](Result<net::Message> reply) {
+        pending.value = reply.ok() ? ParseReply(*reply)
+                                   : Result<json::Value>(reply.error());
+        pending.done = true;
+      });
+  VP_RETURN_IF_ERROR_R(sent);
+  VP_RETURN_IF_ERROR_R(Await(pending));
+  return std::move(pending.value);
+}
+
+Status Orchestrator::SendToModule(ModuleRuntime& caller,
+                                  const std::string& target,
+                                  json::Value payload) {
+  PipelineDeployment& pipeline = caller.pipeline();
+  auto address = pipeline.ModuleAddress(target);
+  if (!address.ok()) return address.status();
+  const std::string& target_device = pipeline.plan().module_device.at(target);
+
+  net::Message message("event");
+  message.set_sender(caller.name());
+  message.set_seq(caller.current_seq());
+
+  if (auto frame_id = FrameIdOf(payload)) {
+    if (target_device != caller.device()) {
+      media::FrameStore& caller_store = store(caller.device());
+      auto frame = caller_store.Get(*frame_id);
+      if (!frame.ok()) return frame.status();
+      std::shared_ptr<const Bytes> encoded = caller_store.Encoded(*frame_id);
+      if (encoded == nullptr) {
+        Bytes bytes = media::EncodeFrame(**frame);
+        sim::Device* device = cluster_->FindDevice(caller.device());
+        VP_RETURN_IF_ERROR(BlockOnLane(device->module_lane(),
+                                       media::EncodeCost((*frame)->image)));
+        caller_store.CacheEncoded(*frame_id, bytes);
+        encoded = caller_store.Encoded(*frame_id);
+      }
+      payload.AsObject().Erase("frame_id");
+      message.AddPart(*encoded);
+    }
+  }
+  message.set_payload(std::move(payload));
+  return fabric_->Push(caller.device(), *address, std::move(message));
+}
+
+Status Orchestrator::MigrateModule(PipelineDeployment& pipeline,
+                                   const std::string& module,
+                                   const std::string& target_device) {
+  if (cluster_->FindDevice(target_device) == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "unknown device '" + target_device + "'");
+  }
+  ModuleRuntime* old_runtime = pipeline.FindModule(module);
+  if (old_runtime == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "no script module '" + module + "' in pipeline '" +
+                      pipeline.spec().name + "'");
+  }
+  const ModuleSpec* spec = pipeline.spec().FindModule(module);
+  if (old_runtime->device() == target_device) return Status::Ok();
+
+  // Snapshot, then cut the old instance off the fabric. Messages that
+  // arrive before the new instance is up are dropped (watchdog
+  // recovers the credit).
+  const json::Value snapshot = old_runtime->context().SnapshotState();
+  const std::string old_device = old_runtime->device();
+  fabric_->Unbind(old_runtime->address());
+
+  const net::Address new_address{target_device, AllocatePort()};
+  auto runtime = std::make_unique<ModuleRuntime>(
+      this, &pipeline, spec, target_device, new_address);
+  std::vector<std::pair<std::string, script::HostFunction>> extras;
+  if (auto it = pipeline.extra_host_functions_.find(module);
+      it != pipeline.extra_host_functions_.end()) {
+    extras = it->second;
+  }
+  VP_RETURN_IF_ERROR(runtime->Initialize(extras));
+  VP_RETURN_IF_ERROR(runtime->context().RestoreState(snapshot));
+
+  ModuleRuntime* raw = runtime.get();
+  // Ship the state over the network; the new instance goes live (binds
+  // its endpoint) when the snapshot arrives.
+  net::Message state_transfer("migrate", snapshot);
+  const size_t transfer_bytes = state_transfer.ByteSize();
+  cluster_->network().Send(
+      old_device, target_device, transfer_bytes,
+      [this, raw, new_address] {
+        Status bound = fabric_->Bind(
+            new_address, [raw](net::Message message, net::Responder) {
+              raw->OnMessage(std::move(message));
+            });
+        if (!bound.ok()) {
+          VP_ERROR("orchestrator")
+              << "migration bind failed: " << bound.ToString();
+        }
+      });
+
+  // Retire the old runtime (kept alive: an in-flight handler may still
+  // be executing on it) and route the module name to the new one.
+  for (auto& owned : pipeline.modules_) {
+    if (owned.get() == old_runtime) {
+      pipeline.retired_modules_.push_back(std::move(owned));
+      owned = std::move(runtime);
+      break;
+    }
+  }
+  pipeline.addresses_[module] = new_address;
+  pipeline.plan_.module_device[module] = target_device;
+  VP_INFO("orchestrator") << "migrated " << module << ": " << old_device
+                          << " → " << target_device << " ("
+                          << transfer_bytes << " B of state)";
+  return Status::Ok();
+}
+
+Status Orchestrator::Undeploy(PipelineDeployment* pipeline) {
+  auto it = std::find_if(pipelines_.begin(), pipelines_.end(),
+                         [pipeline](const auto& owned) {
+                           return owned.get() == pipeline;
+                         });
+  if (it == pipelines_.end()) {
+    return Status(StatusCode::kNotFound,
+                  "pipeline is not currently deployed");
+  }
+  pipeline->Stop();
+  fabric_->Unbind(pipeline->camera_address());
+  for (const auto& [module, address] : pipeline->addresses_) {
+    fabric_->Unbind(address);
+  }
+  VP_INFO("orchestrator") << "undeployed pipeline '"
+                          << pipeline->spec().name << "'";
+  undeployed_.push_back(std::move(*it));
+  pipelines_.erase(it);
+  return Status::Ok();
+}
+
+void Orchestrator::SignalSource(PipelineDeployment& pipeline,
+                                const std::string& from_device) {
+  net::Message credit("credit");
+  credit.set_sender("sink");
+  Status pushed = fabric_->Push(from_device, pipeline.camera_address_,
+                                std::move(credit));
+  if (!pushed.ok()) {
+    VP_WARN("orchestrator") << "credit push failed: " << pushed.ToString();
+  }
+}
+
+}  // namespace vp::core

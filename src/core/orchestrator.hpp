@@ -1,0 +1,203 @@
+// Orchestrator: the VideoPipe control plane.
+//
+// Owns the cluster-wide runtime pieces — message fabric, service
+// catalog/containers/registry, per-device frame stores — and deploys
+// pipelines onto them: places modules (placement policy), launches or
+// *reuses* service replicas (stateless sharing across pipelines,
+// §5.2.2), binds endpoints, wires module edges and the flow-control
+// credit path, and drives the simulation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/camera.hpp"
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/module_runtime.hpp"
+#include "core/placement.hpp"
+#include "media/frame_store.hpp"
+#include "net/fabric.hpp"
+#include "services/autoscaler.hpp"
+#include "services/container.hpp"
+#include "services/registry.hpp"
+#include "sim/cluster.hpp"
+
+namespace vp::core {
+
+struct OrchestratorOptions {
+  /// Per-event module runtime overhead (context dispatch), ref ms.
+  Duration module_event_overhead = Duration::Millis(0.25);
+  script::InterpreterLimits script_limits;
+  services::ContainerOptions container_options;
+  CameraOptions camera_options;
+  /// Multiplicative stddev applied to service compute times
+  /// (models real-device variance; keeps FPS rows honest).
+  double service_cost_jitter = 0.06;
+  /// Frame-store capacity per device.
+  size_t frame_store_capacity = 64;
+  services::AutoscalerOptions autoscaler_options;
+  uint64_t seed = 42;
+};
+
+/// One deployed pipeline: spec + plan + live modules + camera + metrics.
+class PipelineDeployment {
+ public:
+  const PipelineSpec& spec() const { return spec_; }
+  const DeploymentPlan& plan() const { return plan_; }
+  PipelineMetrics& metrics() { return metrics_; }
+  const PipelineMetrics& metrics() const { return metrics_; }
+  CameraDriver& camera() { return *camera_; }
+
+  /// Begin producing frames.
+  void Start() { camera_->Start(); }
+  void Stop() { camera_->Stop(); }
+
+  ModuleRuntime* FindModule(const std::string& name);
+  Result<net::Address> ModuleAddress(const std::string& name) const;
+  const net::Address& camera_address() const { return camera_address_; }
+  const std::string& source_device() const { return source_device_; }
+
+ private:
+  friend class Orchestrator;
+  friend class ModuleRuntime;
+
+  PipelineSpec spec_;
+  DeploymentPlan plan_;
+  PipelineMetrics metrics_;
+  std::map<std::string, net::Address> addresses_;
+  net::Address camera_address_;
+  std::string source_device_;
+  std::vector<std::unique_ptr<ModuleRuntime>> modules_;
+  /// Runtimes replaced by migration; kept alive for in-flight events.
+  std::vector<std::unique_ptr<ModuleRuntime>> retired_modules_;
+  /// Per-module extra host functions from DeployArgs (needed again
+  /// when a module migrates and gets a fresh context).
+  std::map<std::string,
+           std::vector<std::pair<std::string, script::HostFunction>>>
+      extra_host_functions_;
+  std::unique_ptr<sim::ExecutionLane> camera_lane_;
+  std::unique_ptr<CameraDriver> camera_;
+};
+
+class Orchestrator {
+ public:
+  explicit Orchestrator(sim::Cluster* cluster,
+                        OrchestratorOptions options = {});
+  ~Orchestrator();
+  Orchestrator(const Orchestrator&) = delete;
+  Orchestrator& operator=(const Orchestrator&) = delete;
+
+  struct DeployArgs {
+    /// What the camera films.
+    media::MotionScript workload;
+    media::SceneOptions scene;  // width/height overridden by the spec
+    uint64_t seed = 7;
+    PlacementOptions placement;
+    /// Extra host functions per module name (e.g. IoT control).
+    std::map<std::string,
+             std::vector<std::pair<std::string, script::HostFunction>>>
+        extra_host_functions;
+  };
+
+  /// Deploy a pipeline. Existing service replicas satisfying the plan
+  /// are shared; missing ones are launched.
+  Result<PipelineDeployment*> Deploy(PipelineSpec spec, DeployArgs args);
+
+  void StartAll();
+  /// Advance virtual time by `duration` (events may overshoot slightly
+  /// when a blocked handler spans the boundary).
+  void RunFor(Duration duration);
+
+  // -- module-runtime service interface --------------------------------
+  Result<json::Value> CallService(ModuleRuntime& caller,
+                                  const std::string& service,
+                                  json::Value payload);
+  Status SendToModule(ModuleRuntime& caller, const std::string& target,
+                      json::Value payload);
+  void SignalSource(PipelineDeployment& pipeline,
+                    const std::string& from_device);
+
+  /// Run `cost` on `lane`, blocking (in virtual time) until done.
+  Status BlockOnLane(sim::ExecutionLane& lane, Duration cost);
+
+  // -- accessors ---------------------------------------------------------
+  sim::Cluster& cluster() { return *cluster_; }
+  net::Fabric& fabric() { return *fabric_; }
+  services::ServiceRegistry& registry() { return *registry_; }
+  services::ContainerRuntime& containers() { return *containers_; }
+  services::Autoscaler& autoscaler() { return *autoscaler_; }
+  const services::ServiceCatalog& catalog() const { return catalog_; }
+  media::FrameStore& store(const std::string& device);
+  const OrchestratorOptions& options() const { return options_; }
+  const std::vector<std::unique_ptr<PipelineDeployment>>& pipelines() const {
+    return pipelines_;
+  }
+
+  /// Launch an extra replica of an already-deployed service group
+  /// (manual scale-up; the Autoscaler uses the same path).
+  Status ScaleService(const std::string& device, const std::string& service);
+
+  /// Live-migrate a script module to another device (§7 "automatic
+  /// deployment, scheduling"): snapshot its serializable state, ship
+  /// it over the network, resume in a fresh context on the target and
+  /// rebind the module's address there. Messages arriving during the
+  /// cutover are dropped; the camera's credit watchdog recovers any
+  /// frame lost this way. The deployment plan is updated, so
+  /// subsequent co-location decisions (local vs remote service calls)
+  /// follow the module.
+  Status MigrateModule(PipelineDeployment& pipeline,
+                       const std::string& module,
+                       const std::string& target_device);
+
+  /// Tear a pipeline down: stop its camera, unbind every endpoint it
+  /// owns and remove it from pipelines(). Shared service replicas stay
+  /// up (other pipelines may use them). The deployment object remains
+  /// valid until the orchestrator is destroyed (in-flight events may
+  /// still reference it) but receives no further messages.
+  Status Undeploy(PipelineDeployment* pipeline);
+
+ private:
+  friend class ModuleRuntime;
+
+  struct PendingResult {
+    bool done = false;
+    Result<json::Value> value{json::Value()};
+  };
+
+  /// Run the simulator until `pending.done` (re-entrant blocking).
+  Status Await(PendingResult& pending);
+
+  Status EnsureServiceDeployed(const std::string& device,
+                               const std::string& service, bool native);
+  net::Address ServiceGateway(const std::string& device,
+                              const std::string& service) const;
+  Status BindServiceGateway(const std::string& device,
+                            const std::string& service);
+  uint16_t AllocatePort() { return next_port_++; }
+
+  /// Resolve + (if remote) encode a frame referenced by `payload`;
+  /// returns the message to send and strips/keeps frame_id as needed.
+  Result<net::Message> BuildFrameMessage(ModuleRuntime& caller,
+                                         json::Value payload,
+                                         const std::string& target_device,
+                                         const std::string& type);
+
+  sim::Cluster* cluster_;
+  OrchestratorOptions options_;
+  std::unique_ptr<net::Fabric> fabric_;
+  services::ServiceCatalog catalog_;
+  std::unique_ptr<services::ContainerRuntime> containers_;
+  std::unique_ptr<services::ServiceRegistry> registry_;
+  std::unique_ptr<services::Autoscaler> autoscaler_;
+  std::map<std::string, std::unique_ptr<media::FrameStore>> stores_;
+  std::map<std::pair<std::string, std::string>, net::Address> gateways_;
+  std::vector<std::unique_ptr<PipelineDeployment>> pipelines_;
+  std::vector<std::unique_ptr<PipelineDeployment>> undeployed_;
+  uint16_t next_port_ = 20000;
+  Rng jitter_rng_;
+};
+
+}  // namespace vp::core

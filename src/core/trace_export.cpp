@@ -1,0 +1,97 @@
+#include "core/trace_export.hpp"
+
+#include <fstream>
+#include <map>
+
+#include "json/write.hpp"
+
+namespace vp::core {
+
+json::Value ChromeTrace(const PipelineDeployment& pipeline) {
+  json::Value::Array events;
+
+  // Stable small integer ids for devices (lanes).
+  std::map<std::string, int> device_tid;
+  auto tid_of = [&](const std::string& device) {
+    auto it = device_tid.find(device);
+    if (it != device_tid.end()) return it->second;
+    const int tid = static_cast<int>(device_tid.size()) + 1;
+    device_tid[device] = tid;
+    return tid;
+  };
+  constexpr int kPid = 1;
+
+  auto slice = [&](const std::string& name, const std::string& device,
+                   TimePoint start, Duration duration, uint64_t seq) {
+    json::Value event = json::Value::MakeObject();
+    event["name"] = json::Value(name);
+    event["cat"] = json::Value("module");
+    event["ph"] = json::Value("X");
+    event["ts"] = json::Value(static_cast<double>(start.micros()));
+    event["dur"] = json::Value(static_cast<double>(duration.micros()));
+    event["pid"] = json::Value(kPid);
+    event["tid"] = json::Value(tid_of(device));
+    event["args"]["seq"] = json::Value(static_cast<double>(seq));
+    events.push_back(std::move(event));
+  };
+
+  const DeploymentPlan& plan = pipeline.plan();
+  for (const auto& [seq, trace] : pipeline.metrics().traces()) {
+    // Camera capture instant.
+    json::Value capture = json::Value::MakeObject();
+    capture["name"] = json::Value("capture");
+    capture["cat"] = json::Value("camera");
+    capture["ph"] = json::Value("i");
+    capture["s"] = json::Value("p");
+    capture["ts"] = json::Value(static_cast<double>(trace.capture.micros()));
+    capture["pid"] = json::Value(kPid);
+    capture["tid"] = json::Value(tid_of(pipeline.source_device()));
+    events.push_back(std::move(capture));
+
+    for (const auto& [module, span] : trace.stages) {
+      if (span.end < span.start) continue;  // incomplete
+      auto it = plan.module_device.find(module);
+      const std::string device =
+          it == plan.module_device.end() ? "?" : it->second;
+      slice(module, device, span.start, span.duration(), seq);
+    }
+  }
+
+  // Lane-naming metadata events.
+  json::Value process_name = json::Value::MakeObject();
+  process_name["name"] = json::Value("process_name");
+  process_name["ph"] = json::Value("M");
+  process_name["pid"] = json::Value(kPid);
+  process_name["args"]["name"] =
+      json::Value("pipeline:" + pipeline.spec().name);
+  events.push_back(std::move(process_name));
+  for (const auto& [device, tid] : device_tid) {
+    json::Value thread_name = json::Value::MakeObject();
+    thread_name["name"] = json::Value("thread_name");
+    thread_name["ph"] = json::Value("M");
+    thread_name["pid"] = json::Value(kPid);
+    thread_name["tid"] = json::Value(tid);
+    thread_name["args"]["name"] = json::Value(device);
+    events.push_back(std::move(thread_name));
+  }
+
+  json::Value doc = json::Value::MakeObject();
+  doc["traceEvents"] = json::Value(std::move(events));
+  doc["displayTimeUnit"] = json::Value("ms");
+  return doc;
+}
+
+Status WriteChromeTrace(const PipelineDeployment& pipeline,
+                        const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status(StatusCode::kNotFound, "cannot open " + path);
+  }
+  file << json::Write(ChromeTrace(pipeline), 1);
+  if (!file) {
+    return Status(StatusCode::kInternal, "short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace vp::core

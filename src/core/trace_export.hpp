@@ -1,0 +1,22 @@
+// Chrome-trace export: turn a pipeline's frame traces into the Trace
+// Event Format that chrome://tracing and Perfetto open directly — one
+// lane per device, one slice per module handler, per frame.
+#pragma once
+
+#include <string>
+
+#include "core/orchestrator.hpp"
+
+namespace vp::core {
+
+/// Build the trace document: {"traceEvents": [...]}.
+/// Slices ("ph":"X") are the per-module handler spans from the
+/// pipeline's metrics; lanes (tid) are devices; the process (pid) is
+/// the pipeline.
+json::Value ChromeTrace(const PipelineDeployment& pipeline);
+
+/// Write ChromeTrace(pipeline) as JSON to `path`.
+Status WriteChromeTrace(const PipelineDeployment& pipeline,
+                        const std::string& path);
+
+}  // namespace vp::core

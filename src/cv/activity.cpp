@@ -1,0 +1,29 @@
+#include "cv/activity.hpp"
+
+#include "cv/features.hpp"
+
+namespace vp::cv {
+
+Result<ActivityPrediction> ActivityClassifier::Classify(
+    const std::vector<DetectedPose>& window) const {
+  return ClassifyFeatures(WindowFeatures(window));
+}
+
+Result<ActivityPrediction> ActivityClassifier::ClassifyFeatures(
+    const std::vector<double>& features) const {
+  auto prediction = knn_.Predict(features);
+  if (!prediction.ok()) return prediction.error();
+  ActivityPrediction out;
+  out.label = prediction->label;
+  out.confidence = prediction->confidence;
+  return out;
+}
+
+Result<ActivityClassifier> ActivityClassifier::FromJson(
+    const json::Value& v) {
+  auto knn = KnnClassifier::FromJson(v);
+  if (!knn.ok()) return knn.error();
+  return ActivityClassifier(std::move(*knn));
+}
+
+}  // namespace vp::cv

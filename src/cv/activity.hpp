@@ -1,0 +1,48 @@
+// Activity recognition (§4.1.2).
+//
+// kNN over 15-frame pose windows with hip-centered, torso-scaled
+// coordinates. The trained model is JSON-serializable so the stateless
+// activity service can replicate it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "cv/knn.hpp"
+#include "cv/pose_detector.hpp"
+
+namespace vp::cv {
+
+struct ActivityPrediction {
+  std::string label;
+  double confidence = 0;
+};
+
+class ActivityClassifier {
+ public:
+  ActivityClassifier() : knn_(3) {}
+  explicit ActivityClassifier(KnnClassifier knn) : knn_(std::move(knn)) {}
+
+  /// Classify a window of detected poses (expects kActivityWindow
+  /// frames; tolerates other sizes by zero-padding in the distance).
+  Result<ActivityPrediction> Classify(
+      const std::vector<DetectedPose>& window) const;
+
+  /// Classify an already-extracted window feature vector.
+  Result<ActivityPrediction> ClassifyFeatures(
+      const std::vector<double>& features) const;
+
+  const KnnClassifier& knn() const { return knn_; }
+
+  json::Value ToJson() const { return knn_.ToJson(); }
+  static Result<ActivityClassifier> FromJson(const json::Value& v);
+
+  /// Reference compute cost per classification (kNN scan).
+  static Duration Cost() { return Duration::Millis(7.0); }
+
+ private:
+  KnnClassifier knn_;
+};
+
+}  // namespace vp::cv

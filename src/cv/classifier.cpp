@@ -1,0 +1,119 @@
+#include "cv/classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cv/features.hpp"
+
+namespace vp::cv {
+
+std::vector<double> ImageClassifier::Thumbnail(
+    const media::Image& image) const {
+  std::vector<double> out(static_cast<size_t>(thumb_) * thumb_, 0.0);
+  if (image.empty()) return out;
+  for (int ty = 0; ty < thumb_; ++ty) {
+    for (int tx = 0; tx < thumb_; ++tx) {
+      // Max-pool luminance over the source region mapped to this cell:
+      // sparse bright structure (a skeleton, a marker) must register
+      // even when it covers a small fraction of the cell.
+      const int x0 = tx * image.width() / thumb_;
+      const int x1 = std::max(x0 + 1, (tx + 1) * image.width() / thumb_);
+      const int y0 = ty * image.height() / thumb_;
+      const int y1 = std::max(y0 + 1, (ty + 1) * image.height() / thumb_);
+      double peak = 0;
+      for (int y = y0; y < y1 && y < image.height(); ++y) {
+        for (int x = x0; x < x1 && x < image.width(); ++x) {
+          const media::Rgb c = image.At(x, y);
+          peak = std::max(peak, (c.r + c.g + c.b) / 3.0);
+        }
+      }
+      out[static_cast<size_t>(ty) * thumb_ + tx] = peak / 255.0;
+    }
+  }
+  return out;
+}
+
+void ImageClassifier::Train(const std::string& label,
+                            const media::Image& image) {
+  const std::vector<double> thumb = Thumbnail(image);
+  for (Class& cls : classes_) {
+    if (cls.label == label) {
+      for (size_t i = 0; i < thumb.size(); ++i) {
+        cls.centroid[i] =
+            (cls.centroid[i] * cls.count + thumb[i]) / (cls.count + 1);
+      }
+      ++cls.count;
+      return;
+    }
+  }
+  classes_.push_back(Class{label, thumb, 1});
+}
+
+Result<ClassifierPrediction> ImageClassifier::Classify(
+    const media::Image& image) const {
+  if (classes_.empty()) {
+    return FailedPrecondition("classifier has no trained classes");
+  }
+  const std::vector<double> thumb = Thumbnail(image);
+  double best = 1e18;
+  double second = 1e18;
+  const Class* winner = nullptr;
+  for (const Class& cls : classes_) {
+    const double d = L2Distance(thumb, cls.centroid);
+    if (d < best) {
+      second = best;
+      best = d;
+      winner = &cls;
+    } else if (d < second) {
+      second = d;
+    }
+  }
+  ClassifierPrediction out;
+  out.label = winner->label;
+  out.confidence = classes_.size() == 1
+                       ? 1.0
+                       : std::clamp(1.0 - best / (second + 1e-9), 0.0, 1.0);
+  return out;
+}
+
+json::Value ImageClassifier::ToJson() const {
+  json::Value out = json::Value::MakeObject();
+  out["thumb"] = json::Value(thumb_);
+  json::Value::Array classes;
+  for (const Class& cls : classes_) {
+    json::Value item = json::Value::MakeObject();
+    item["label"] = json::Value(cls.label);
+    item["count"] = json::Value(cls.count);
+    json::Value::Array centroid;
+    centroid.reserve(cls.centroid.size());
+    for (double d : cls.centroid) centroid.push_back(json::Value(d));
+    item["centroid"] = json::Value(std::move(centroid));
+    classes.push_back(std::move(item));
+  }
+  out["classes"] = json::Value(std::move(classes));
+  return out;
+}
+
+Result<ImageClassifier> ImageClassifier::FromJson(const json::Value& v) {
+  ImageClassifier model(static_cast<int>(v.GetInt("thumb", 12)));
+  const json::Value* classes = v.Find("classes");
+  if (classes == nullptr || !classes->is_array()) {
+    return ParseError("classifier: missing 'classes'");
+  }
+  for (const json::Value& item : classes->AsArray()) {
+    const json::Value* centroid = item.Find("centroid");
+    if (centroid == nullptr || !centroid->is_array()) {
+      return ParseError("classifier: bad class");
+    }
+    Class cls;
+    cls.label = item.GetString("label");
+    cls.count = static_cast<int>(item.GetInt("count", 1));
+    for (const json::Value& d : centroid->AsArray()) {
+      cls.centroid.push_back(d.AsDouble());
+    }
+    model.classes_.push_back(std::move(cls));
+  }
+  return model;
+}
+
+}  // namespace vp::cv

@@ -1,0 +1,53 @@
+// Image classification service algorithm (§2.2 lists image
+// classification among the heavyweight services).
+//
+// Nearest-centroid over downsampled grayscale thumbnails: trivially
+// trainable on synthetic scenes (e.g. "person_present" vs "empty_room"
+// vs "lights_off") and JSON-serializable for stateless replication.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/time.hpp"
+#include "json/value.hpp"
+#include "media/image.hpp"
+
+namespace vp::cv {
+
+struct ClassifierPrediction {
+  std::string label;
+  double confidence = 0;  // softmax-ish margin over centroid distances
+};
+
+class ImageClassifier {
+ public:
+  /// `thumb_size` controls the downsampled grid (thumb × thumb).
+  explicit ImageClassifier(int thumb_size = 12) : thumb_(thumb_size) {}
+
+  /// Add one training image for `label` (centroids update online).
+  void Train(const std::string& label, const media::Image& image);
+
+  size_t num_classes() const { return classes_.size(); }
+
+  Result<ClassifierPrediction> Classify(const media::Image& image) const;
+
+  json::Value ToJson() const;
+  static Result<ImageClassifier> FromJson(const json::Value& v);
+
+  static Duration Cost() { return Duration::Millis(9.0); }
+
+ private:
+  std::vector<double> Thumbnail(const media::Image& image) const;
+
+  struct Class {
+    std::string label;
+    std::vector<double> centroid;
+    int count = 0;
+  };
+  int thumb_;
+  std::vector<Class> classes_;
+};
+
+}  // namespace vp::cv

@@ -1,0 +1,74 @@
+#include "cv/features.hpp"
+
+#include <cmath>
+
+namespace vp::cv {
+
+std::vector<double> PoseFeatures(const DetectedPose& pose) {
+  // Hip center from detected hips; fall back to bbox center.
+  const auto& lhip = pose.keypoints[media::kLeftHip];
+  const auto& rhip = pose.keypoints[media::kRightHip];
+  double cx = 0, cy = 0;
+  if (lhip.detected && rhip.detected) {
+    cx = (lhip.x + rhip.x) / 2;
+    cy = (lhip.y + rhip.y) / 2;
+  } else if (lhip.detected) {
+    cx = lhip.x;
+    cy = lhip.y;
+  } else if (rhip.detected) {
+    cx = rhip.x;
+    cy = rhip.y;
+  } else if (pose.bbox.valid) {
+    cx = (pose.bbox.x0 + pose.bbox.x1) / 2;
+    cy = (pose.bbox.y0 + pose.bbox.y1) / 2;
+  }
+
+  // Scale: shoulder-midpoint to hip-center distance.
+  double scale = 0;
+  const auto& lsh = pose.keypoints[media::kLeftShoulder];
+  const auto& rsh = pose.keypoints[media::kRightShoulder];
+  if (lsh.detected && rsh.detected) {
+    const double sx = (lsh.x + rsh.x) / 2;
+    const double sy = (lsh.y + rsh.y) / 2;
+    scale = std::sqrt((sx - cx) * (sx - cx) + (sy - cy) * (sy - cy));
+  }
+  if (scale < 1e-6 && pose.bbox.valid) scale = pose.bbox.height() / 3.0;
+  if (scale < 1e-6) scale = 1.0;
+
+  std::vector<double> features;
+  features.reserve(media::kNumKeypoints * 2);
+  for (const DetectedKeypoint& kp : pose.keypoints) {
+    if (kp.detected) {
+      features.push_back((kp.x - cx) / scale);
+      features.push_back((kp.y - cy) / scale);
+    } else {
+      features.push_back(0.0);
+      features.push_back(0.0);
+    }
+  }
+  return features;
+}
+
+std::vector<double> WindowFeatures(const std::vector<DetectedPose>& window) {
+  std::vector<double> features;
+  features.reserve(window.size() * media::kNumKeypoints * 2);
+  for (const DetectedPose& pose : window) {
+    const std::vector<double> f = PoseFeatures(pose);
+    features.insert(features.end(), f.begin(), f.end());
+  }
+  return features;
+}
+
+double L2Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  double sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  // Penalize length mismatch heavily (shouldn't happen in practice).
+  sum += 100.0 * static_cast<double>(std::max(a.size(), b.size()) - n);
+  return std::sqrt(sum);
+}
+
+}  // namespace vp::cv

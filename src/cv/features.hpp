@@ -1,0 +1,33 @@
+// Pose feature extraction.
+//
+// Implements the normalization of §4.1.2: "We normalize the
+// coordinates framewise so that (0,0) is located at the average of the
+// left and right hips of the human in that frame", plus torso-length
+// scale normalization so the features are distance-invariant
+// (the paper leans on a standardized viewing distance; we normalize
+// instead so synthetic scenes with different person sizes still work).
+#pragma once
+
+#include <vector>
+
+#include "cv/pose_detector.hpp"
+
+namespace vp::cv {
+
+/// Per-frame feature vector: 34 values (x,y per keypoint), hip-
+/// centered and torso-scaled. Undetected keypoints contribute (0,0)
+/// (the hip center), which is the least-biased imputation available
+/// framewise.
+std::vector<double> PoseFeatures(const DetectedPose& pose);
+
+/// Window features: concatenation of per-frame features over a window
+/// of poses (the paper uses 15 consecutive frames).
+std::vector<double> WindowFeatures(const std::vector<DetectedPose>& window);
+
+/// Euclidean distance between equally-sized vectors.
+double L2Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Number of frames per activity window (§4.1.2).
+inline constexpr int kActivityWindow = 15;
+
+}  // namespace vp::cv

@@ -1,0 +1,76 @@
+#include "cv/knn.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "cv/features.hpp"
+
+namespace vp::cv {
+
+void KnnClassifier::Add(std::vector<double> features, std::string label) {
+  samples_.push_back(Sample{std::move(features), std::move(label)});
+}
+
+Result<KnnPrediction> KnnClassifier::Predict(
+    const std::vector<double>& features) const {
+  if (samples_.empty()) {
+    return FailedPrecondition("kNN model has no training samples");
+  }
+  std::vector<std::pair<double, const Sample*>> distances;
+  distances.reserve(samples_.size());
+  for (const Sample& s : samples_) {
+    distances.emplace_back(L2Distance(features, s.features), &s);
+  }
+  const size_t k = std::min<size_t>(static_cast<size_t>(k_),
+                                    distances.size());
+  std::partial_sort(distances.begin(),
+                    distances.begin() + static_cast<ptrdiff_t>(k),
+                    distances.end(),
+                    [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::map<std::string, int> votes;
+  for (size_t i = 0; i < k; ++i) ++votes[distances[i].second->label];
+  const auto best = std::max_element(
+      votes.begin(), votes.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  KnnPrediction out;
+  out.label = best->first;
+  out.confidence = static_cast<double>(best->second) / static_cast<double>(k);
+  out.nearest_distance = distances[0].first;
+  return out;
+}
+
+json::Value KnnClassifier::ToJson() const {
+  json::Value out = json::Value::MakeObject();
+  out["k"] = json::Value(k_);
+  json::Value::Array samples;
+  for (const Sample& s : samples_) {
+    json::Value item = json::Value::MakeObject();
+    item["label"] = json::Value(s.label);
+    json::Value::Array f;
+    f.reserve(s.features.size());
+    for (double d : s.features) f.push_back(json::Value(d));
+    item["features"] = json::Value(std::move(f));
+    samples.push_back(std::move(item));
+  }
+  out["samples"] = json::Value(std::move(samples));
+  return out;
+}
+
+Result<KnnClassifier> KnnClassifier::FromJson(const json::Value& v) {
+  KnnClassifier model(static_cast<int>(v.GetInt("k", 3)));
+  const json::Value* samples = v.Find("samples");
+  if (samples == nullptr || !samples->is_array()) {
+    return ParseError("knn: missing 'samples'");
+  }
+  for (const json::Value& item : samples->AsArray()) {
+    const json::Value* f = item.Find("features");
+    if (f == nullptr || !f->is_array()) return ParseError("knn: bad sample");
+    std::vector<double> features;
+    features.reserve(f->AsArray().size());
+    for (const json::Value& d : f->AsArray()) features.push_back(d.AsDouble());
+    model.Add(std::move(features), item.GetString("label"));
+  }
+  return model;
+}
+
+}  // namespace vp::cv

@@ -1,0 +1,48 @@
+// k-nearest-neighbor classifier (the paper's activity recognizer:
+// "Our activity recognition system utilizes nearest neighbor on pose
+// sequences", §4.1.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "json/value.hpp"
+
+namespace vp::cv {
+
+struct KnnPrediction {
+  std::string label;
+  /// Fraction of the k votes won by `label`.
+  double confidence = 0;
+  /// Distance to the nearest sample.
+  double nearest_distance = 0;
+};
+
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(int k = 3) : k_(k) {}
+
+  void Add(std::vector<double> features, std::string label);
+  size_t size() const { return samples_.size(); }
+  int k() const { return k_; }
+
+  /// Majority vote over the k nearest samples (L2). Errors when the
+  /// model is empty.
+  Result<KnnPrediction> Predict(const std::vector<double>& features) const;
+
+  /// Model (de)serialization — lets the stateless service ship its
+  /// trained model to replicas.
+  json::Value ToJson() const;
+  static Result<KnnClassifier> FromJson(const json::Value& v);
+
+ private:
+  struct Sample {
+    std::vector<double> features;
+    std::string label;
+  };
+  int k_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace vp::cv

@@ -1,0 +1,139 @@
+#include "cv/pose_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vp::cv {
+
+json::Value DetectedPose::ToJson() const {
+  json::Value out = json::Value::MakeObject();
+  json::Value::Array kps;
+  for (const DetectedKeypoint& kp : keypoints) {
+    json::Value k = json::Value::MakeObject();
+    k["x"] = json::Value(kp.x);
+    k["y"] = json::Value(kp.y);
+    k["detected"] = json::Value(kp.detected);
+    k["confidence"] = json::Value(kp.confidence);
+    kps.push_back(std::move(k));
+  }
+  out["keypoints"] = json::Value(std::move(kps));
+  json::Value box = json::Value::MakeObject();
+  box["x0"] = json::Value(bbox.x0);
+  box["y0"] = json::Value(bbox.y0);
+  box["x1"] = json::Value(bbox.x1);
+  box["y1"] = json::Value(bbox.y1);
+  box["valid"] = json::Value(bbox.valid);
+  out["bbox"] = std::move(box);
+  out["num_detected"] = json::Value(num_detected);
+  return out;
+}
+
+Result<DetectedPose> DetectedPose::FromJson(const json::Value& v) {
+  const json::Value* kps = v.Find("keypoints");
+  if (kps == nullptr || !kps->is_array() ||
+      kps->AsArray().size() != media::kNumKeypoints) {
+    return ParseError("pose: expected 17 keypoints");
+  }
+  DetectedPose pose;
+  for (int k = 0; k < media::kNumKeypoints; ++k) {
+    const json::Value& kp = kps->AsArray()[static_cast<size_t>(k)];
+    DetectedKeypoint& out = pose.keypoints[static_cast<size_t>(k)];
+    out.x = kp.GetDouble("x");
+    out.y = kp.GetDouble("y");
+    out.detected = kp.GetBool("detected");
+    out.confidence = kp.GetDouble("confidence");
+  }
+  if (const json::Value* box = v.Find("bbox"); box != nullptr) {
+    pose.bbox.x0 = box->GetDouble("x0");
+    pose.bbox.y0 = box->GetDouble("y0");
+    pose.bbox.x1 = box->GetDouble("x1");
+    pose.bbox.y1 = box->GetDouble("y1");
+    pose.bbox.valid = box->GetBool("valid");
+  }
+  pose.num_detected = static_cast<int>(v.GetInt("num_detected"));
+  return pose;
+}
+
+DetectedPose DetectPose(const media::Image& image,
+                        const PoseDetectorOptions& options) {
+  struct Accumulator {
+    double sx = 0, sy = 0;
+    int count = 0;
+  };
+  std::array<Accumulator, media::kNumKeypoints> acc{};
+
+  // One pass over the pixels; nearest palette color within tolerance.
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      const media::Rgb c = image.At(x, y);
+      // Quick reject: markers are saturated; the background and bones
+      // are dark/gray.
+      const int maxc = std::max({c.r, c.g, c.b});
+      const int minc = std::min({c.r, c.g, c.b});
+      if (maxc < 100 || (maxc - minc) < 40) {
+        // Could still be the white right-hip marker (255,255,255).
+        if (maxc < 200) continue;
+      }
+      int best_joint = -1;
+      int best_dist = options.color_tolerance + 1;
+      for (int k = 0; k < media::kNumKeypoints; ++k) {
+        const int d = media::ColorDistance(c, media::KeypointColor(k));
+        if (d < best_dist) {
+          best_dist = d;
+          best_joint = k;
+        }
+      }
+      if (best_joint >= 0) {
+        auto& a = acc[static_cast<size_t>(best_joint)];
+        a.sx += x;
+        a.sy += y;
+        ++a.count;
+      }
+    }
+  }
+
+  DetectedPose pose;
+  const double expected_area =
+      M_PI * 2.2 * 2.2;  // nominal marker radius from SceneOptions
+  for (int k = 0; k < media::kNumKeypoints; ++k) {
+    const auto& a = acc[static_cast<size_t>(k)];
+    DetectedKeypoint& kp = pose.keypoints[static_cast<size_t>(k)];
+    if (a.count >= options.min_blob_pixels) {
+      kp.detected = true;
+      kp.x = a.sx / a.count;
+      kp.y = a.sy / a.count;
+      kp.confidence = std::min(1.0, a.count / expected_area);
+      ++pose.num_detected;
+    }
+  }
+
+  if (pose.num_detected > 0) {
+    double x0 = 1e9, y0 = 1e9, x1 = -1e9, y1 = -1e9;
+    for (const DetectedKeypoint& kp : pose.keypoints) {
+      if (!kp.detected) continue;
+      x0 = std::min(x0, kp.x);
+      y0 = std::min(y0, kp.y);
+      x1 = std::max(x1, kp.x);
+      y1 = std::max(y1, kp.y);
+    }
+    pose.bbox = BoundingBox{std::max(0.0, x0 - options.bbox_margin),
+                            std::max(0.0, y0 - options.bbox_margin),
+                            std::min<double>(image.width() - 1,
+                                             x1 + options.bbox_margin),
+                            std::min<double>(image.height() - 1,
+                                             y1 + options.bbox_margin),
+                            true};
+  }
+  return pose;
+}
+
+Duration PoseDetectCost(const media::Image& image) {
+  // CNN inference dominated by a fixed network cost plus modest
+  // resolution scaling; calibrated so the paper's desktop runs it in
+  // ~55 ms (Fig. 6).
+  const double megapixels =
+      static_cast<double>(image.width()) * image.height() / 1e6;
+  return Duration::Millis(45.0 + 130.0 * megapixels);
+}
+
+}  // namespace vp::cv

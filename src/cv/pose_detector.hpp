@@ -1,0 +1,67 @@
+// 2D pose detector.
+//
+// Stand-in for the paper's CNN pose estimator (§4.1.1): "The 2D pose
+// detector first detects a human and places a bounding box around
+// them. Within that bounding box, it detects 17 keypoints."
+//
+// Our detector is real image processing on the synthetic frames: it
+// scans the pixel buffer for the per-joint color signatures the
+// renderer emits, computes blob centroids, and derives the person
+// bounding box from the detected joints. Sensor noise, marker
+// occlusion (e.g. hands meeting in a clap) and quantization give it
+// honestly imperfect output. Its *latency* comes from the calibrated
+// cost model below, charged on the executing device's lane.
+#pragma once
+
+#include <array>
+
+#include "common/time.hpp"
+#include "json/value.hpp"
+#include "media/image.hpp"
+#include "media/skeleton.hpp"
+
+namespace vp::cv {
+
+struct DetectedKeypoint {
+  double x = 0;  // pixels
+  double y = 0;
+  bool detected = false;
+  /// Blob pixel count relative to the expected marker area.
+  double confidence = 0;
+};
+
+struct BoundingBox {
+  double x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+  bool valid = false;
+  double width() const { return x1 - x0; }
+  double height() const { return y1 - y0; }
+};
+
+struct DetectedPose {
+  std::array<DetectedKeypoint, media::kNumKeypoints> keypoints{};
+  BoundingBox bbox;
+  int num_detected = 0;
+  bool person_found() const { return num_detected >= 5; }
+
+  json::Value ToJson() const;
+  static Result<DetectedPose> FromJson(const json::Value& v);
+};
+
+struct PoseDetectorOptions {
+  /// Max per-channel color distance for a pixel to match a joint.
+  int color_tolerance = 26;
+  /// Minimum blob pixels for a joint to count as detected.
+  int min_blob_pixels = 3;
+  /// Bounding-box margin around the outermost joints (pixels).
+  double bbox_margin = 4.0;
+};
+
+/// Run detection on an image.
+DetectedPose DetectPose(const media::Image& image,
+                        const PoseDetectorOptions& options = {});
+
+/// Reference-device compute cost of one detection (the dominant cost
+/// in the paper's pipeline; Fig. 6 shows pose detection at ~55–75 ms).
+Duration PoseDetectCost(const media::Image& image);
+
+}  // namespace vp::cv

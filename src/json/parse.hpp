@@ -1,0 +1,15 @@
+// JSON parser (strict RFC-8259 plus two conveniences used by our
+// configuration files: `//` line comments and trailing commas).
+#pragma once
+
+#include <string_view>
+
+#include "common/error.hpp"
+#include "json/value.hpp"
+
+namespace vp::json {
+
+/// Parse a complete JSON document. Errors carry line/column context.
+Result<Value> Parse(std::string_view text);
+
+}  // namespace vp::json

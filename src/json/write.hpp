@@ -1,0 +1,17 @@
+// JSON serialization.
+#pragma once
+
+#include <string>
+
+#include "json/value.hpp"
+
+namespace vp::json {
+
+/// Serialize `v`. `indent < 0` → compact single line; otherwise pretty
+/// print with the given indent width.
+std::string Write(const Value& v, int indent = -1);
+
+/// Escape a string for embedding in JSON (without surrounding quotes).
+std::string EscapeString(const std::string& s);
+
+}  // namespace vp::json

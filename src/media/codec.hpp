@@ -1,0 +1,34 @@
+// Frame codec for network transfer.
+//
+// Lossy compression, JPEG-in-spirit: 16-level per-channel quantization
+// (which swallows sensor noise) followed by run-length encoding over
+// the quantized RGB triples. Synthetic indoor scenes compress to a few
+// tens of kilobytes, giving inter-device frame transfers a realistic
+// on-wire size. The codec is real code on real buffers — round-trip
+// bounds are tested — and its CPU cost model (reference ms per
+// megapixel) is charged by the runtime on the encoding/decoding
+// device.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/time.hpp"
+#include "media/frame.hpp"
+
+namespace vp::media {
+
+/// Encode a frame (image + tiny header carrying seq/capture time).
+Bytes EncodeFrame(const Frame& frame);
+
+/// Decode; the returned frame has id 0 (ids are store-local and must
+/// be re-assigned by the receiving FrameStore). Ground truth survives
+/// the trip — it rides along as JSON for evaluation purposes.
+Result<Frame> DecodeFrame(std::span<const uint8_t> data);
+
+/// Cost model (reference milliseconds on the speed-1.0 device).
+/// Calibrated to software JPEG-class codecs: ~6 ms to encode and
+/// ~3 ms to decode a 640×480 frame at reference speed.
+Duration EncodeCost(const Image& image);
+Duration DecodeCost(size_t encoded_bytes);
+
+}  // namespace vp::media

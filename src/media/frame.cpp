@@ -1,0 +1,5 @@
+#include "media/frame.hpp"
+
+// Frame is a plain aggregate; this translation unit exists so the
+// header has a home in the library and future non-inline helpers have
+// a place to land.

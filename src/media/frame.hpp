@@ -1,0 +1,32 @@
+// Video frames.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/time.hpp"
+#include "json/value.hpp"
+#include "media/image.hpp"
+
+namespace vp::media {
+
+/// Frame ids are opaque 64-bit handles; 0 is "no frame".
+using FrameId = uint64_t;
+inline constexpr FrameId kInvalidFrameId = 0;
+
+struct Frame {
+  FrameId id = kInvalidFrameId;
+  /// Source sequence number (frame index at the camera).
+  uint64_t seq = 0;
+  /// Virtual capture timestamp.
+  TimePoint capture_time;
+  Image image;
+  /// Ground-truth annotations from the synthetic source (activity
+  /// label, rep count, true pose). Never consulted by the CV services
+  /// — only by accuracy evaluations.
+  json::Value ground_truth;
+};
+
+using FramePtr = std::shared_ptr<const Frame>;
+
+}  // namespace vp::media

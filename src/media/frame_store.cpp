@@ -1,0 +1,53 @@
+#include "media/frame_store.hpp"
+
+namespace vp::media {
+
+FrameId FrameStore::Put(Frame frame, Bytes encoded) {
+  const FrameId id = next_id_++;
+  frame.id = id;
+  Entry entry;
+  entry.frame = std::make_shared<const Frame>(std::move(frame));
+  if (!encoded.empty()) {
+    entry.encoded = std::make_shared<const Bytes>(std::move(encoded));
+  }
+  frames_[id] = std::move(entry);
+  order_.push_back(id);
+  ++puts_;
+  while (frames_.size() > capacity_ && !order_.empty()) {
+    const FrameId victim = order_.front();
+    order_.pop_front();
+    if (frames_.erase(victim) > 0) ++evictions_;
+  }
+  return id;
+}
+
+Result<FramePtr> FrameStore::Get(FrameId id) const {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) {
+    return NotFound("frame " + std::to_string(id) + " not in store");
+  }
+  return it->second.frame;
+}
+
+std::shared_ptr<const Bytes> FrameStore::Encoded(FrameId id) const {
+  auto it = frames_.find(id);
+  return it == frames_.end() ? nullptr : it->second.encoded;
+}
+
+void FrameStore::CacheEncoded(FrameId id, Bytes encoded) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return;
+  it->second.encoded = std::make_shared<const Bytes>(std::move(encoded));
+}
+
+bool FrameStore::Release(FrameId id) { return frames_.erase(id) > 0; }
+
+size_t FrameStore::resident_bytes() const {
+  size_t total = 0;
+  for (const auto& [id, entry] : frames_) {
+    total += entry.frame->image.byte_size();
+  }
+  return total;
+}
+
+}  // namespace vp::media

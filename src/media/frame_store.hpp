@@ -1,0 +1,64 @@
+// Per-device frame store: the paper's copy-avoidance mechanism.
+//
+// §3: "rather than copying the full image frames to the module, we
+// pass on a reference id that identifies the frame." Each device
+// runtime owns one FrameStore; modules and co-located services resolve
+// ids against it in O(1) without copying pixels. Capacity is bounded;
+// the oldest frames are evicted first (a live pipeline only ever needs
+// a handful of frames in flight).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "media/frame.hpp"
+
+namespace vp::media {
+
+class FrameStore {
+ public:
+  /// `capacity` = max resident frames; evicts oldest on overflow.
+  explicit FrameStore(size_t capacity = 64) : capacity_(capacity) {}
+
+  /// Register a frame, assigning it a fresh id (ignores frame->id).
+  /// Returns the new id. `encoded` optionally caches the frame's wire
+  /// encoding so later transfers skip re-encoding (real systems reuse
+  /// the camera JPEG; the baseline benefits from this too).
+  FrameId Put(Frame frame, Bytes encoded = {});
+
+  /// Resolve an id. Errors with kNotFound when absent/evicted.
+  Result<FramePtr> Get(FrameId id) const;
+
+  /// Cached wire encoding; nullptr when none was stored.
+  std::shared_ptr<const Bytes> Encoded(FrameId id) const;
+
+  /// Attach a wire encoding after the fact.
+  void CacheEncoded(FrameId id, Bytes encoded);
+
+  /// Drop a frame explicitly (sinks call this when done).
+  bool Release(FrameId id);
+
+  size_t size() const { return frames_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t puts() const { return puts_; }
+
+  /// Total pixel bytes currently resident.
+  size_t resident_bytes() const;
+
+ private:
+  struct Entry {
+    FramePtr frame;
+    std::shared_ptr<const Bytes> encoded;  // optional wire-format cache
+  };
+  size_t capacity_;
+  FrameId next_id_ = 1;
+  std::unordered_map<FrameId, Entry> frames_;
+  std::deque<FrameId> order_;  // insertion order for eviction
+  uint64_t evictions_ = 0;
+  uint64_t puts_ = 0;
+};
+
+}  // namespace vp::media

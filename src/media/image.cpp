@@ -1,0 +1,107 @@
+#include "media/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace vp::media {
+
+int ColorDistance(Rgb a, Rgb b) {
+  const int dr = std::abs(static_cast<int>(a.r) - static_cast<int>(b.r));
+  const int dg = std::abs(static_cast<int>(a.g) - static_cast<int>(b.g));
+  const int db = std::abs(static_cast<int>(a.b) - static_cast<int>(b.b));
+  return std::max({dr, dg, db});
+}
+
+Image::Image(int width, int height, Rgb fill)
+    : width_(width), height_(height),
+      data_(static_cast<size_t>(width) * static_cast<size_t>(height) * 3) {
+  Fill(fill);
+}
+
+void Image::Fill(Rgb c) {
+  for (size_t i = 0; i + 2 < data_.size(); i += 3) {
+    data_[i] = c.r;
+    data_[i + 1] = c.g;
+    data_[i + 2] = c.b;
+  }
+}
+
+void Image::DrawDisk(int cx, int cy, double r, Rgb c) {
+  const int ri = static_cast<int>(std::ceil(r));
+  const double r2 = r * r;
+  for (int dy = -ri; dy <= ri; ++dy) {
+    for (int dx = -ri; dx <= ri; ++dx) {
+      if (dx * dx + dy * dy <= r2) SetClipped(cx + dx, cy + dy, c);
+    }
+  }
+}
+
+void Image::DrawLine(int x0, int y0, int x1, int y1, double thickness,
+                     Rgb c) {
+  const double dx = x1 - x0;
+  const double dy = y1 - y0;
+  const double len = std::sqrt(dx * dx + dy * dy);
+  const int steps = std::max(1, static_cast<int>(std::ceil(len * 2)));
+  const double radius = thickness / 2.0;
+  for (int i = 0; i <= steps; ++i) {
+    const double t = static_cast<double>(i) / steps;
+    DrawDisk(static_cast<int>(std::lround(x0 + t * dx)),
+             static_cast<int>(std::lround(y0 + t * dy)), radius, c);
+  }
+}
+
+void Image::DrawRect(int x0, int y0, int x1, int y1, Rgb c) {
+  if (x0 > x1) std::swap(x0, x1);
+  if (y0 > y1) std::swap(y0, y1);
+  for (int x = x0; x <= x1; ++x) {
+    SetClipped(x, y0, c);
+    SetClipped(x, y1, c);
+  }
+  for (int y = y0; y <= y1; ++y) {
+    SetClipped(x0, y, c);
+    SetClipped(x1, y, c);
+  }
+}
+
+Image Image::Downsample(int factor) const {
+  if (factor <= 1) return *this;
+  const int w = std::max(1, width_ / factor);
+  const int h = std::max(1, height_ / factor);
+  Image out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      int sr = 0, sg = 0, sb = 0, n = 0;
+      for (int dy = 0; dy < factor; ++dy) {
+        for (int dx = 0; dx < factor; ++dx) {
+          const int sx = x * factor + dx;
+          const int sy = y * factor + dy;
+          if (!InBounds(sx, sy)) continue;
+          const Rgb c = At(sx, sy);
+          sr += c.r;
+          sg += c.g;
+          sb += c.b;
+          ++n;
+        }
+      }
+      if (n == 0) n = 1;
+      out.Set(x, y,
+              Rgb{static_cast<uint8_t>(sr / n), static_cast<uint8_t>(sg / n),
+                  static_cast<uint8_t>(sb / n)});
+    }
+  }
+  return out;
+}
+
+double Image::MeanAbsDiff(const Image& other) const {
+  if (width_ != other.width_ || height_ != other.height_) return 255.0;
+  if (data_.empty()) return 0.0;
+  uint64_t sum = 0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    sum += static_cast<uint64_t>(
+        std::abs(static_cast<int>(data_[i]) - static_cast<int>(other.data_[i])));
+  }
+  return static_cast<double>(sum) / static_cast<double>(data_.size());
+}
+
+}  // namespace vp::media

@@ -1,0 +1,302 @@
+#include "media/motion.hpp"
+
+#include <cmath>
+
+namespace vp::media {
+namespace {
+
+/// Cycle position in [0,1): 0 = start/rest position.
+double CyclePos(double t, const MotionParams& p) {
+  const double cycles = t / p.period + p.phase;
+  return cycles - std::floor(cycles);
+}
+
+/// Smooth 0→1→0 bump over one cycle (rest at cycle boundaries).
+double Bump(double cycle_pos) {
+  return 0.5 * (1.0 - std::cos(2.0 * M_PI * cycle_pos));
+}
+
+int FullCycles(double t, const MotionParams& p) {
+  if (t <= 0) return 0;
+  return static_cast<int>(std::floor(t / p.period));
+}
+
+class IdleMotion : public MotionModel {
+ public:
+  explicit IdleMotion(MotionParams p) : p_(p) {}
+  std::string label() const override { return "idle"; }
+  Pose PoseAt(double t) const override {
+    Pose pose = Pose::Standing();
+    // Gentle sway.
+    const double sway = 0.008 * p_.amplitude *
+                        std::sin(2.0 * M_PI * t / (p_.period * 2.0));
+    for (auto& pt : pose.points) pt.x += sway;
+    return pose;
+  }
+
+ private:
+  MotionParams p_;
+};
+
+class SquatMotion : public MotionModel {
+ public:
+  explicit SquatMotion(MotionParams p) : p_(p) {}
+  std::string label() const override { return "squat"; }
+  Pose PoseAt(double t) const override {
+    Pose pose = Pose::Standing();
+    const double depth = 0.16 * p_.amplitude * Bump(CyclePos(t, p_));
+    // Hips and torso sink; knees bend outward; arms raise forward for
+    // balance.
+    for (int k : {kNose, kLeftEye, kRightEye, kLeftEar, kRightEar,
+                  kLeftShoulder, kRightShoulder, kLeftElbow, kRightElbow,
+                  kLeftWrist, kRightWrist, kLeftHip, kRightHip}) {
+      pose[k].y += depth;
+    }
+    pose[kLeftKnee].y += depth * 0.45;
+    pose[kRightKnee].y += depth * 0.45;
+    pose[kLeftKnee].x -= depth * 0.30;
+    pose[kRightKnee].x += depth * 0.30;
+    // Arms extend forward (drawn as horizontal reach).
+    pose[kLeftWrist].x -= depth * 0.55;
+    pose[kRightWrist].x += depth * 0.55;
+    pose[kLeftWrist].y -= depth * 0.9;
+    pose[kRightWrist].y -= depth * 0.9;
+    return pose;
+  }
+  int RepsCompleted(double t) const override { return FullCycles(t, p_); }
+
+ private:
+  MotionParams p_;
+};
+
+class JumpingJackMotion : public MotionModel {
+ public:
+  explicit JumpingJackMotion(MotionParams p) : p_(p) {}
+  std::string label() const override { return "jumping_jack"; }
+  Pose PoseAt(double t) const override {
+    Pose pose = Pose::Standing();
+    const double u = Bump(CyclePos(t, p_)) * p_.amplitude;
+    // Arms sweep from sides to overhead.
+    pose[kLeftElbow].x -= 0.05 * u;
+    pose[kRightElbow].x += 0.05 * u;
+    pose[kLeftElbow].y -= 0.22 * u;
+    pose[kRightElbow].y -= 0.22 * u;
+    pose[kLeftWrist].x += 0.06 * u;   // wrists end up above the head
+    pose[kRightWrist].x -= 0.06 * u;
+    pose[kLeftWrist].y -= 0.52 * u;
+    pose[kRightWrist].y -= 0.52 * u;
+    // Legs spread.
+    pose[kLeftKnee].x -= 0.08 * u;
+    pose[kRightKnee].x += 0.08 * u;
+    pose[kLeftAnkle].x -= 0.14 * u;
+    pose[kRightAnkle].x += 0.14 * u;
+    // Small hop.
+    const double hop = 0.02 * u;
+    for (auto& pt : pose.points) pt.y -= hop;
+    return pose;
+  }
+  int RepsCompleted(double t) const override { return FullCycles(t, p_); }
+
+ private:
+  MotionParams p_;
+};
+
+class LungeMotion : public MotionModel {
+ public:
+  explicit LungeMotion(MotionParams p) : p_(p) {}
+  std::string label() const override { return "lunge"; }
+  Pose PoseAt(double t) const override {
+    Pose pose = Pose::Standing();
+    const double u = Bump(CyclePos(t, p_)) * p_.amplitude;
+    // Left leg steps forward (in 2D: to the left) and bends; body
+    // sinks.
+    pose[kLeftKnee].x -= 0.16 * u;
+    pose[kLeftAnkle].x -= 0.22 * u;
+    pose[kLeftKnee].y += 0.05 * u;
+    pose[kRightKnee].x += 0.06 * u;
+    pose[kRightKnee].y += 0.12 * u;
+    pose[kRightAnkle].x += 0.10 * u;
+    const double sink = 0.10 * u;
+    for (int k : {kNose, kLeftEye, kRightEye, kLeftEar, kRightEar,
+                  kLeftShoulder, kRightShoulder, kLeftElbow, kRightElbow,
+                  kLeftWrist, kRightWrist, kLeftHip, kRightHip}) {
+      pose[k].y += sink;
+    }
+    return pose;
+  }
+  int RepsCompleted(double t) const override { return FullCycles(t, p_); }
+
+ private:
+  MotionParams p_;
+};
+
+class WaveMotion : public MotionModel {
+ public:
+  explicit WaveMotion(MotionParams p) : p_(p) {}
+  std::string label() const override { return "wave"; }
+  Pose PoseAt(double t) const override {
+    Pose pose = Pose::Standing();
+    // Right arm raised, forearm oscillating left-right.
+    const double s =
+        std::sin(2.0 * M_PI * (t / p_.period + p_.phase)) * p_.amplitude;
+    pose[kRightElbow] = {0.68, 0.16};
+    pose[kRightWrist] = {0.70 + 0.10 * s, 0.02};
+    return pose;
+  }
+
+ private:
+  MotionParams p_;
+};
+
+class ClapMotion : public MotionModel {
+ public:
+  explicit ClapMotion(MotionParams p) : p_(p) {}
+  std::string label() const override { return "clap"; }
+  Pose PoseAt(double t) const override {
+    Pose pose = Pose::Standing();
+    const double u = Bump(CyclePos(t, p_)) * p_.amplitude;
+    // Hands meet in front of the chest.
+    pose[kLeftElbow] = {0.38 + 0.04 * u, 0.33 - 0.04 * u};
+    pose[kRightElbow] = {0.62 - 0.04 * u, 0.33 - 0.04 * u};
+    // Wrists meet exactly at the apex: the markers coincide and one
+    // occludes the other (which the pose detector must tolerate).
+    pose[kLeftWrist] = {0.34 + 0.16 * u, 0.50 - 0.22 * u};
+    pose[kRightWrist] = {0.66 - 0.16 * u, 0.50 - 0.22 * u};
+    return pose;
+  }
+
+ private:
+  MotionParams p_;
+};
+
+class FallMotion : public MotionModel {
+ public:
+  explicit FallMotion(MotionParams p) : p_(p) {}
+  std::string label() const override { return "fall"; }
+  Pose PoseAt(double t) const override {
+    // Stand for the first 40% of the period, fall over the next 30%,
+    // then lie still.
+    const Pose standing = Pose::Standing();
+    Pose lying;
+    // Rotate the standing pose ~90° around the ankles and flatten.
+    for (int k = 0; k < kNumKeypoints; ++k) {
+      const auto i = static_cast<size_t>(k);
+      const double dx = standing.points[i].x - 0.5;
+      const double dy = 0.96 - standing.points[i].y;  // height above feet
+      // Slightly foreshortened so the fallen body stays in body space.
+      lying.points[i] = {0.45 + dy * 0.6 + dx * 0.1, 0.93 - dx * 0.12};
+    }
+    const double t_fall_start = p_.period * 0.4;
+    const double t_fall_end = p_.period * 0.7;
+    if (t < t_fall_start) return standing;
+    if (t >= t_fall_end) return lying;
+    const double u = (t - t_fall_start) / (t_fall_end - t_fall_start);
+    // Ease-in: a fall accelerates.
+    return Lerp(standing, lying, u * u);
+  }
+
+ private:
+  MotionParams p_;
+};
+
+}  // namespace
+
+std::vector<std::string> KnownMotionLabels() {
+  return {"idle", "squat", "jumping_jack", "lunge", "wave", "clap", "fall"};
+}
+
+Result<std::unique_ptr<MotionModel>> MakeMotion(const std::string& label,
+                                                MotionParams params) {
+  if (params.period <= 0.0) {
+    return InvalidArgument("motion period must be positive");
+  }
+  std::unique_ptr<MotionModel> m;
+  if (label == "idle") m = std::make_unique<IdleMotion>(params);
+  else if (label == "squat") m = std::make_unique<SquatMotion>(params);
+  else if (label == "jumping_jack") m = std::make_unique<JumpingJackMotion>(params);
+  else if (label == "lunge") m = std::make_unique<LungeMotion>(params);
+  else if (label == "wave") m = std::make_unique<WaveMotion>(params);
+  else if (label == "clap") m = std::make_unique<ClapMotion>(params);
+  else if (label == "fall") m = std::make_unique<FallMotion>(params);
+  else return NotFound("unknown motion label '" + label + "'");
+  return m;
+}
+
+Result<MotionScript> MotionScript::Make(std::vector<Segment> segments) {
+  MotionScript script;
+  double start = 0;
+  for (Segment& seg : segments) {
+    if (seg.duration <= 0) {
+      return InvalidArgument("segment duration must be positive");
+    }
+    auto model = MakeMotion(seg.label, seg.params);
+    if (!model.ok()) return model.error();
+    auto entry = std::make_shared<Entry>();
+    entry->segment = seg;
+    entry->model = std::move(*model);
+    entry->start = start;
+    start += seg.duration;
+    script.entries_.push_back(std::move(entry));
+    script.segments_.push_back(std::move(seg));
+  }
+  script.total_ = start;
+  return script;
+}
+
+Result<MotionScript> MotionScript::FromJson(const json::Value& doc) {
+  if (!doc.is_array()) {
+    return ParseError("workload must be a JSON array of segments");
+  }
+  std::vector<Segment> segments;
+  for (const json::Value& item : doc.AsArray()) {
+    if (!item.is_object()) {
+      return ParseError("workload segments must be objects");
+    }
+    Segment segment;
+    segment.label = item.GetString("motion");
+    segment.duration = item.GetDouble("seconds", 5.0);
+    segment.params.period = item.GetDouble("period", 2.0);
+    segment.params.amplitude = item.GetDouble("amplitude", 1.0);
+    segment.params.phase = item.GetDouble("phase", 0.0);
+    segments.push_back(std::move(segment));
+  }
+  return Make(std::move(segments));
+}
+
+namespace {
+const std::string kIdleLabel = "idle";
+}
+
+Pose MotionScript::PoseAt(double t) const {
+  for (const auto& e : entries_) {
+    if (t < e->start + e->segment.duration || e == entries_.back()) {
+      if (t >= e->start || e == entries_.front()) {
+        return e->model->PoseAt(std::max(0.0, t - e->start));
+      }
+    }
+  }
+  return Pose::Standing();
+}
+
+const std::string& MotionScript::LabelAt(double t) const {
+  for (const auto& e : entries_) {
+    if (t < e->start + e->segment.duration || e == entries_.back()) {
+      if (t >= e->start || e == entries_.front()) {
+        return e->segment.label;
+      }
+    }
+  }
+  return kIdleLabel;
+}
+
+int MotionScript::RepsUpTo(double t) const {
+  int reps = 0;
+  for (const auto& e : entries_) {
+    if (t <= e->start) break;
+    const double local = std::min(t - e->start, e->segment.duration);
+    reps += e->model->RepsCompleted(local);
+  }
+  return reps;
+}
+
+}  // namespace vp::media

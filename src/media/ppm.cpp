@@ -1,0 +1,58 @@
+#include "media/ppm.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace vp::media {
+
+Status WritePpm(const Image& image, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    return Status(StatusCode::kNotFound, "cannot open " + path);
+  }
+  file << "P6\n" << image.width() << " " << image.height() << "\n255\n";
+  file.write(reinterpret_cast<const char*>(image.data().data()),
+             static_cast<std::streamsize>(image.data().size()));
+  if (!file) {
+    return Status(StatusCode::kInternal, "short write to " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Image> ReadPpm(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return NotFound("cannot open " + path);
+
+  std::string magic;
+  int width = 0;
+  int height = 0;
+  int maxval = 0;
+  file >> magic;
+  if (magic != "P6") return ParseError(path + ": not a P6 PPM");
+  // Skip comments between header tokens.
+  auto next_int = [&](int& out) -> bool {
+    while (file >> std::ws && file.peek() == '#') {
+      std::string comment;
+      std::getline(file, comment);
+    }
+    return static_cast<bool>(file >> out);
+  };
+  if (!next_int(width) || !next_int(height) || !next_int(maxval)) {
+    return ParseError(path + ": malformed PPM header");
+  }
+  if (maxval != 255 || width <= 0 || height <= 0 || width > 1 << 14 ||
+      height > 1 << 14) {
+    return ParseError(path + ": unsupported PPM parameters");
+  }
+  file.get();  // single whitespace after maxval
+
+  Image image(width, height);
+  file.read(reinterpret_cast<char*>(image.data().data()),
+            static_cast<std::streamsize>(image.data().size()));
+  if (file.gcount() != static_cast<std::streamsize>(image.data().size())) {
+    return ParseError(path + ": truncated pixel data");
+  }
+  return image;
+}
+
+}  // namespace vp::media

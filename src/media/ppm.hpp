@@ -1,0 +1,18 @@
+// PPM (P6) image I/O — the debug tap: dump any frame the pipeline saw
+// to a file a human can open.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "media/image.hpp"
+
+namespace vp::media {
+
+/// Write `image` as a binary PPM (P6) file.
+Status WritePpm(const Image& image, const std::string& path);
+
+/// Read a binary PPM (P6) file (maxval must be 255).
+Result<Image> ReadPpm(const std::string& path);
+
+}  // namespace vp::media

@@ -1,0 +1,56 @@
+// Scene renderer: turns a body Pose into a raster camera frame.
+//
+// The scene is a dim living room (noisy dark background, optional
+// colored props) with the person drawn as gray bones plus per-joint
+// color-coded markers. The pose detector recovers the keypoints from
+// these pixels; sensor noise, quantization and marker occlusion make
+// its output honestly imperfect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "media/image.hpp"
+#include "media/skeleton.hpp"
+
+namespace vp::media {
+
+/// A static colored object in the scene (for the object-detection
+/// service): normalized position/size, solid color.
+struct Prop {
+  std::string class_name;
+  double x = 0, y = 0, w = 0.1, h = 0.1;  // normalized to image
+  Rgb color;
+};
+
+struct SceneOptions {
+  int width = 160;
+  int height = 120;
+  /// Person placement: body-space unit square maps to a box of
+  /// person_height × (person_height * 0.6) pixels, feet at
+  /// person_foot_y (normalized).
+  double person_center_x = 0.5;
+  double person_foot_y = 0.97;
+  double person_height = 0.88;  // fraction of image height
+  /// Sensor noise stddev (per channel, 8-bit).
+  double noise_stddev = 3.0;
+  /// Joint marker radius in pixels.
+  double joint_radius = 2.2;
+  double bone_thickness = 2.0;
+  /// Mid-quantization-bucket color so codec round-trips keep the
+  /// background flat (see codec.hpp).
+  Rgb background{24, 24, 24};
+  std::vector<Prop> props;
+};
+
+/// Render one frame; `frame_seed` drives the sensor noise so each
+/// frame differs (deterministically).
+Image RenderScene(const Pose& pose, const SceneOptions& options,
+                  uint64_t frame_seed);
+
+/// The body-space → pixel transform used by RenderScene; exposed so
+/// accuracy evaluations can map ground-truth poses into pixel space.
+Point2 BodyToPixel(const Point2& body_point, const SceneOptions& options);
+
+}  // namespace vp::media

@@ -1,0 +1,168 @@
+#include "media/skeleton.hpp"
+
+#include <cmath>
+
+namespace vp::media {
+
+const char* KeypointName(int k) {
+  switch (k) {
+    case kNose: return "nose";
+    case kLeftEye: return "left_eye";
+    case kRightEye: return "right_eye";
+    case kLeftEar: return "left_ear";
+    case kRightEar: return "right_ear";
+    case kLeftShoulder: return "left_shoulder";
+    case kRightShoulder: return "right_shoulder";
+    case kLeftElbow: return "left_elbow";
+    case kRightElbow: return "right_elbow";
+    case kLeftWrist: return "left_wrist";
+    case kRightWrist: return "right_wrist";
+    case kLeftHip: return "left_hip";
+    case kRightHip: return "right_hip";
+    case kLeftKnee: return "left_knee";
+    case kRightKnee: return "right_knee";
+    case kLeftAnkle: return "left_ankle";
+    case kRightAnkle: return "right_ankle";
+    default: return "?";
+  }
+}
+
+const std::vector<std::pair<int, int>>& SkeletonBones() {
+  static const std::vector<std::pair<int, int>> bones = {
+      {kNose, kLeftEye},           {kNose, kRightEye},
+      {kLeftEye, kLeftEar},        {kRightEye, kRightEar},
+      {kLeftShoulder, kRightShoulder},
+      {kLeftShoulder, kLeftElbow}, {kLeftElbow, kLeftWrist},
+      {kRightShoulder, kRightElbow}, {kRightElbow, kRightWrist},
+      {kLeftShoulder, kLeftHip},   {kRightShoulder, kRightHip},
+      {kLeftHip, kRightHip},
+      {kLeftHip, kLeftKnee},       {kLeftKnee, kLeftAnkle},
+      {kRightHip, kRightKnee},     {kRightKnee, kRightAnkle},
+  };
+  return bones;
+}
+
+Rgb KeypointColor(int k) {
+  // Saturated, mutually distant colors (pairwise Chebyshev distance
+  // ≥ 60) so joint blobs survive sensor noise without colliding with
+  // the dark background or gray bones.
+  static const Rgb palette[kNumKeypoints] = {
+      {255, 64, 64},    // nose
+      {255, 160, 64},   // left_eye
+      {255, 255, 64},   // right_eye
+      {160, 255, 64},   // left_ear
+      {64, 255, 64},    // right_ear
+      {64, 255, 160},   // left_shoulder
+      {64, 255, 255},   // right_shoulder
+      {64, 160, 255},   // left_elbow
+      {64, 64, 255},    // right_elbow
+      {160, 64, 255},   // left_wrist
+      {255, 64, 255},   // right_wrist
+      {255, 64, 160},   // left_hip
+      {255, 255, 255},  // right_hip
+      {255, 128, 128},  // left_knee
+      {128, 255, 128},  // right_knee
+      {128, 128, 255},  // left_ankle
+      {255, 224, 160},  // right_ankle
+  };
+  return palette[k];
+}
+
+Pose::Pose() {
+  visible.fill(true);
+}
+
+Point2 Pose::HipCenter() const {
+  const Point2& l = points[kLeftHip];
+  const Point2& r = points[kRightHip];
+  return Point2{(l.x + r.x) / 2.0, (l.y + r.y) / 2.0};
+}
+
+double Pose::TorsoLength() const {
+  const Point2 shoulders{
+      (points[kLeftShoulder].x + points[kRightShoulder].x) / 2.0,
+      (points[kLeftShoulder].y + points[kRightShoulder].y) / 2.0};
+  const Point2 hips = HipCenter();
+  const double dx = shoulders.x - hips.x;
+  const double dy = shoulders.y - hips.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Pose Pose::Standing() {
+  Pose p;
+  // Body space: x in [0,1], y in [0,1], y grows downward.
+  p[kNose] = {0.50, 0.06};
+  p[kLeftEye] = {0.47, 0.045};
+  p[kRightEye] = {0.53, 0.045};
+  p[kLeftEar] = {0.44, 0.055};
+  p[kRightEar] = {0.56, 0.055};
+  p[kLeftShoulder] = {0.40, 0.20};
+  p[kRightShoulder] = {0.60, 0.20};
+  p[kLeftElbow] = {0.36, 0.35};
+  p[kRightElbow] = {0.64, 0.35};
+  p[kLeftWrist] = {0.34, 0.50};
+  p[kRightWrist] = {0.66, 0.50};
+  p[kLeftHip] = {0.44, 0.52};
+  p[kRightHip] = {0.56, 0.52};
+  p[kLeftKnee] = {0.43, 0.74};
+  p[kRightKnee] = {0.57, 0.74};
+  p[kLeftAnkle] = {0.43, 0.96};
+  p[kRightAnkle] = {0.57, 0.96};
+  return p;
+}
+
+json::Value Pose::ToJson() const {
+  json::Value::Array pts;
+  json::Value::Array vis;
+  for (int k = 0; k < kNumKeypoints; ++k) {
+    json::Value::Array pt;
+    pt.push_back(json::Value(points[static_cast<size_t>(k)].x));
+    pt.push_back(json::Value(points[static_cast<size_t>(k)].y));
+    pts.push_back(json::Value(std::move(pt)));
+    vis.push_back(json::Value(visible[static_cast<size_t>(k)]));
+  }
+  json::Value out = json::Value::MakeObject();
+  out["points"] = json::Value(std::move(pts));
+  out["visible"] = json::Value(std::move(vis));
+  return out;
+}
+
+Result<Pose> Pose::FromJson(const json::Value& v) {
+  const json::Value* pts = v.Find("points");
+  if (pts == nullptr || !pts->is_array() ||
+      pts->AsArray().size() != kNumKeypoints) {
+    return ParseError("pose: expected 17 'points'");
+  }
+  Pose p;
+  for (int k = 0; k < kNumKeypoints; ++k) {
+    const json::Value& pt = pts->AsArray()[static_cast<size_t>(k)];
+    if (!pt.is_array() || pt.AsArray().size() != 2) {
+      return ParseError("pose: bad point");
+    }
+    p[k] = {pt[0].AsDouble(), pt[1].AsDouble()};
+  }
+  if (const json::Value* vis = v.Find("visible");
+      vis != nullptr && vis->is_array() &&
+      vis->AsArray().size() == kNumKeypoints) {
+    for (int k = 0; k < kNumKeypoints; ++k) {
+      p.visible[static_cast<size_t>(k)] =
+          vis->AsArray()[static_cast<size_t>(k)].is_bool()
+              ? vis->AsArray()[static_cast<size_t>(k)].AsBool()
+              : true;
+    }
+  }
+  return p;
+}
+
+Pose Lerp(const Pose& a, const Pose& b, double t) {
+  Pose out;
+  for (int k = 0; k < kNumKeypoints; ++k) {
+    const auto i = static_cast<size_t>(k);
+    out.points[i].x = a.points[i].x + (b.points[i].x - a.points[i].x) * t;
+    out.points[i].y = a.points[i].y + (b.points[i].y - a.points[i].y) * t;
+    out.visible[i] = a.visible[i] && b.visible[i];
+  }
+  return out;
+}
+
+}  // namespace vp::media

@@ -1,0 +1,75 @@
+// Human skeleton model — COCO 17-keypoint convention, the same layout
+// the paper's 2D pose detector produces ("it detects 17 keypoints",
+// §4.1.1).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "json/value.hpp"
+#include "media/image.hpp"
+
+namespace vp::media {
+
+enum Keypoint : int {
+  kNose = 0,
+  kLeftEye, kRightEye,
+  kLeftEar, kRightEar,
+  kLeftShoulder, kRightShoulder,
+  kLeftElbow, kRightElbow,
+  kLeftWrist, kRightWrist,
+  kLeftHip, kRightHip,
+  kLeftKnee, kRightKnee,
+  kLeftAnkle, kRightAnkle,
+  kNumKeypoints  // 17
+};
+
+const char* KeypointName(int k);
+
+/// Skeleton edges used for rendering and sanity checks.
+const std::vector<std::pair<int, int>>& SkeletonBones();
+
+/// Unique saturated render color per joint (the pose detector
+/// recognizes joints by color signature — see DESIGN.md §2 on the CNN
+/// substitution).
+Rgb KeypointColor(int k);
+
+struct Point2 {
+  double x = 0;
+  double y = 0;
+};
+
+/// A 2D body pose in *body space*: a unit square with (0.5, 0) at the
+/// top of the head and y growing downward; the renderer maps body
+/// space into the image.
+struct Pose {
+  std::array<Point2, kNumKeypoints> points{};
+  std::array<bool, kNumKeypoints> visible{};
+
+  Pose();
+
+  Point2& operator[](int k) { return points[static_cast<size_t>(k)]; }
+  const Point2& operator[](int k) const {
+    return points[static_cast<size_t>(k)];
+  }
+
+  /// Midpoint of the hips — the normalization origin used by the
+  /// activity classifier (§4.1.2).
+  Point2 HipCenter() const;
+
+  /// Shoulder-to-hip distance (scale normalizer).
+  double TorsoLength() const;
+
+  /// The canonical upright standing pose.
+  static Pose Standing();
+
+  /// Serialize to JSON: {"points": [[x,y],...], "visible": [...]}.
+  json::Value ToJson() const;
+  static Result<Pose> FromJson(const json::Value& v);
+};
+
+/// Linear interpolation between poses (per keypoint).
+Pose Lerp(const Pose& a, const Pose& b, double t);
+
+}  // namespace vp::media

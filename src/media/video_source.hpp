@@ -1,0 +1,54 @@
+// Synthetic camera.
+//
+// Deterministically generates the video feed a phone camera would
+// capture of a person following a MotionScript. Each frame carries
+// ground-truth annotations (activity label, cumulative reps, true
+// pose in pixel space) used only by accuracy evaluations.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "media/frame.hpp"
+#include "media/motion.hpp"
+#include "media/renderer.hpp"
+
+namespace vp::media {
+
+class SyntheticVideoSource {
+ public:
+  SyntheticVideoSource(MotionScript script, double fps,
+                       SceneOptions scene = {}, uint64_t seed = 7);
+
+  double fps() const { return fps_; }
+  const SceneOptions& scene() const { return scene_; }
+  const MotionScript& script() const { return script_; }
+
+  /// Number of frames the script covers at this fps.
+  uint64_t frame_count() const;
+
+  /// Generate frame `seq` (deterministic in seq). The frame's id is 0
+  /// until registered with a FrameStore.
+  Frame CaptureFrame(uint64_t seq) const;
+
+  /// Capture timestamp of frame `seq`.
+  TimePoint CaptureTime(uint64_t seq) const {
+    return TimePoint::FromMicros(
+        static_cast<int64_t>(static_cast<double>(seq) * 1e6 / fps_));
+  }
+
+ private:
+  MotionScript script_;
+  double fps_;
+  SceneOptions scene_;
+  uint64_t seed_;
+};
+
+/// The default fitness-session script used by the examples and
+/// benchmarks: idle → squats → jumping jacks → lunges → idle.
+MotionScript DefaultWorkoutScript();
+
+/// Gesture-session script: idle → wave → idle → clap → idle.
+MotionScript DefaultGestureScript();
+
+}  // namespace vp::media

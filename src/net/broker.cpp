@@ -1,0 +1,62 @@
+#include "net/broker.hpp"
+
+namespace vp::net {
+
+BrokerFabric::BrokerFabric(sim::Cluster* cluster, std::string broker_device,
+                           Duration forward_cost)
+    : cluster_(cluster),
+      broker_device_(std::move(broker_device)),
+      forward_cost_(forward_cost) {}
+
+Status BrokerFabric::Bind(const Address& address,
+                          std::function<void(Message)> handler) {
+  if (cluster_->FindDevice(address.device) == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "unknown device '" + address.device + "'");
+  }
+  if (bindings_.count(address) != 0) {
+    return Status(StatusCode::kAlreadyExists,
+                  "address " + address.ToString() + " already bound");
+  }
+  bindings_[address] = std::move(handler);
+  return Status::Ok();
+}
+
+void BrokerFabric::Unbind(const Address& address) { bindings_.erase(address); }
+
+Status BrokerFabric::Push(const std::string& from_device, const Address& to,
+                          Message m) {
+  sim::Device* broker = cluster_->FindDevice(broker_device_);
+  if (broker == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "unknown broker device '" + broker_device_ + "'");
+  }
+  if (cluster_->FindDevice(from_device) == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "unknown device '" + from_device + "'");
+  }
+  const size_t size = m.ByteSize();
+  // Hop 1: sender → broker.
+  cluster_->network().Send(
+      from_device, broker_device_, size,
+      [this, broker, to, size, m = std::move(m)]() mutable {
+        // Broker processing on its module lane.
+        broker->module_lane().Run(
+            forward_cost_, [this, to, size, m = std::move(m)]() mutable {
+              // Hop 2: broker → receiver.
+              cluster_->network().Send(
+                  broker_device_, to.device, size,
+                  [this, to, m = std::move(m)]() mutable {
+                    auto it = bindings_.find(to);
+                    if (it == bindings_.end()) {
+                      ++dropped_;
+                      return;
+                    }
+                    it->second(std::move(m));
+                  });
+            });
+      });
+  return Status::Ok();
+}
+
+}  // namespace vp::net

@@ -1,0 +1,68 @@
+#include "net/endpoint.hpp"
+
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace vp::net {
+
+std::string Endpoint::ToString() const {
+  return Format("%s#%s://%s:%u",
+                mode == EndpointMode::kBind ? "bind" : "connect",
+                scheme == EndpointScheme::kTcp ? "tcp" : "inproc",
+                host.c_str(), static_cast<unsigned>(port));
+}
+
+std::string Address::ToString() const {
+  return Format("%s:%u", device.c_str(), static_cast<unsigned>(port));
+}
+
+Result<Endpoint> ParseEndpoint(const std::string& text) {
+  Endpoint ep;
+
+  const size_t hash = text.find('#');
+  if (hash == std::string::npos) {
+    return ParseError("endpoint '" + text + "': missing '#' mode separator");
+  }
+  const std::string mode = text.substr(0, hash);
+  if (mode == "bind") {
+    ep.mode = EndpointMode::kBind;
+  } else if (mode == "connect") {
+    ep.mode = EndpointMode::kConnect;
+  } else {
+    return ParseError("endpoint '" + text + "': unknown mode '" + mode + "'");
+  }
+
+  std::string rest = text.substr(hash + 1);
+  const std::string tcp = "tcp://";
+  const std::string inproc = "inproc://";
+  if (StartsWith(rest, tcp)) {
+    ep.scheme = EndpointScheme::kTcp;
+    rest = rest.substr(tcp.size());
+  } else if (StartsWith(rest, inproc)) {
+    ep.scheme = EndpointScheme::kInproc;
+    rest = rest.substr(inproc.size());
+  } else {
+    return ParseError("endpoint '" + text + "': unknown scheme");
+  }
+
+  const size_t colon = rest.rfind(':');
+  if (colon == std::string::npos) {
+    return ParseError("endpoint '" + text + "': missing port");
+  }
+  ep.host = rest.substr(0, colon);
+  if (ep.host.empty()) {
+    return ParseError("endpoint '" + text + "': empty host");
+  }
+  const std::string port_text = rest.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  if (end != port_text.c_str() + port_text.size() || port <= 0 ||
+      port > 65535) {
+    return ParseError("endpoint '" + text + "': bad port '" + port_text + "'");
+  }
+  ep.port = static_cast<uint16_t>(port);
+  return ep;
+}
+
+}  // namespace vp::net

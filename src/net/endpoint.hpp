@@ -1,0 +1,45 @@
+// Endpoint URIs.
+//
+// The paper's configuration files (Listing 1) use ZeroMQ-style
+// endpoint strings such as:
+//     "bind#tcp://*:5861"
+//     "connect#tcp://desktop:5861"
+// We parse the same syntax. `*` as host means "this device".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace vp::net {
+
+enum class EndpointMode { kBind, kConnect };
+enum class EndpointScheme { kTcp, kInproc };
+
+struct Endpoint {
+  EndpointMode mode = EndpointMode::kBind;
+  EndpointScheme scheme = EndpointScheme::kTcp;
+  std::string host;  // "*" for wildcard/self
+  uint16_t port = 0;
+
+  bool wildcard_host() const { return host == "*"; }
+  std::string ToString() const;
+};
+
+/// Parse "<mode>#<scheme>://<host>:<port>".
+Result<Endpoint> ParseEndpoint(const std::string& text);
+
+/// A resolved network address: device name + port.
+struct Address {
+  std::string device;
+  uint16_t port = 0;
+
+  bool operator==(const Address&) const = default;
+  bool operator<(const Address& o) const {
+    return device != o.device ? device < o.device : port < o.port;
+  }
+  std::string ToString() const;
+};
+
+}  // namespace vp::net

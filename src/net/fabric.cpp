@@ -1,0 +1,130 @@
+#include "net/fabric.hpp"
+
+#include "common/log.hpp"
+
+namespace vp::net {
+
+Status Fabric::CheckDevice(const std::string& device) const {
+  if (cluster_->FindDevice(device) == nullptr) {
+    return Status(StatusCode::kNotFound, "unknown device '" + device + "'");
+  }
+  return Status::Ok();
+}
+
+Status Fabric::Bind(const Address& address, MessageHandler handler) {
+  VP_RETURN_IF_ERROR(CheckDevice(address.device));
+  if (bindings_.count(address) != 0) {
+    return Status(StatusCode::kAlreadyExists,
+                  "address " + address.ToString() + " already bound");
+  }
+  bindings_[address] = std::move(handler);
+  return Status::Ok();
+}
+
+void Fabric::Unbind(const Address& address) { bindings_.erase(address); }
+
+Status Fabric::Push(const std::string& from_device, const Address& to,
+                    Message m) {
+  VP_RETURN_IF_ERROR(CheckDevice(from_device));
+  VP_RETURN_IF_ERROR(CheckDevice(to.device));
+  const size_t size = m.ByteSize();
+  cluster_->network().Send(
+      from_device, to.device, size,
+      [this, to, m = std::move(m)]() mutable {
+        auto it = bindings_.find(to);
+        if (it == bindings_.end()) {
+          ++dropped_;
+          VP_DEBUG("fabric") << "dropping message for unbound "
+                             << to.ToString();
+          return;
+        }
+        it->second(std::move(m), nullptr);
+      });
+  return Status::Ok();
+}
+
+Status Fabric::Request(const std::string& from_device, const Address& to,
+                       Message m, ResponseHandler on_reply) {
+  VP_RETURN_IF_ERROR(CheckDevice(from_device));
+  VP_RETURN_IF_ERROR(CheckDevice(to.device));
+  const size_t size = m.ByteSize();
+  cluster_->network().Send(
+      from_device, to.device, size,
+      [this, from_device, to, m = std::move(m),
+       on_reply = std::move(on_reply)]() mutable {
+        auto it = bindings_.find(to);
+        if (it == bindings_.end()) {
+          ++dropped_;
+          on_reply(Unavailable("no server bound at " + to.ToString()));
+          return;
+        }
+        // The responder routes the reply back over the network with
+        // the reply's own byte size.
+        Responder respond = [this, from_device, to,
+                             on_reply](Message reply) mutable {
+          cluster_->network().Send(
+              to.device, from_device, reply.ByteSize(),
+              [on_reply, reply = std::move(reply)]() mutable {
+                on_reply(std::move(reply));
+              });
+        };
+        it->second(std::move(m), std::move(respond));
+      });
+  return Status::Ok();
+}
+
+uint64_t Fabric::Subscribe(const std::string& topic,
+                           const std::string& device,
+                           std::function<void(Message)> handler) {
+  const uint64_t token = next_token_++;
+  topics_[topic].push_back(Subscriber{token, device, std::move(handler)});
+  return token;
+}
+
+void Fabric::Unsubscribe(uint64_t token) {
+  for (auto& [topic, subscribers] : topics_) {
+    for (auto it = subscribers.begin(); it != subscribers.end(); ++it) {
+      if (it->token == token) {
+        subscribers.erase(it);
+        return;
+      }
+    }
+  }
+}
+
+Status Fabric::Publish(const std::string& from_device,
+                       const std::string& topic, const Message& m) {
+  VP_RETURN_IF_ERROR(CheckDevice(from_device));
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return Status::Ok();
+  const size_t size = m.ByteSize();
+  for (const Subscriber& subscriber : it->second) {
+    const uint64_t token = subscriber.token;
+    Message copy = m;
+    cluster_->network().Send(
+        from_device, subscriber.device, size,
+        [this, topic, token, copy = std::move(copy)]() mutable {
+          // Re-resolve: the subscriber may have gone away in flight.
+          auto topic_it = topics_.find(topic);
+          if (topic_it == topics_.end()) {
+            ++dropped_;
+            return;
+          }
+          for (const Subscriber& live : topic_it->second) {
+            if (live.token == token) {
+              live.handler(std::move(copy));
+              return;
+            }
+          }
+          ++dropped_;
+        });
+  }
+  return Status::Ok();
+}
+
+size_t Fabric::subscriber_count(const std::string& topic) const {
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? 0 : it->second.size();
+}
+
+}  // namespace vp::net

@@ -1,0 +1,102 @@
+// Brokerless message fabric — our ZeroMQ stand-in.
+//
+// The fabric provides two of the patterns the paper relies on:
+//   * PUSH (one-way, fire-and-forget)  — module → module edges
+//   * REQ/REP (request/response)       — remote service API calls
+//
+// It is brokerless: a message travels exactly one network hop from the
+// sender's device to the receiver's device (§3.2 — the paper rejects
+// Kafka/RabbitMQ-style brokers for their extra hop; broker.hpp
+// implements that alternative for the ablation benchmark).
+//
+// The fabric charges only *network* time. CPU costs of
+// encoding/decoding frames are charged by the runtime on device lanes,
+// so the two resources contend realistically and independently.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+#include "net/endpoint.hpp"
+#include "net/message.hpp"
+#include "sim/cluster.hpp"
+
+namespace vp::net {
+
+/// Callback used by REQ/REP servers to answer a request.
+using Responder = std::function<void(Message reply)>;
+
+/// Handler installed at a bound port. `respond` is non-null only for
+/// REQ messages (the sender awaits a reply).
+using MessageHandler = std::function<void(Message message, Responder respond)>;
+
+/// Callback invoked with the reply (or an error) of a Request().
+using ResponseHandler = std::function<void(Result<Message> reply)>;
+
+class Fabric {
+ public:
+  explicit Fabric(sim::Cluster* cluster) : cluster_(cluster) {}
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Bind a handler at device:port. Errors if the port is taken or the
+  /// device is unknown.
+  Status Bind(const Address& address, MessageHandler handler);
+
+  /// Remove a binding; in-flight messages to it are dropped on arrival.
+  void Unbind(const Address& address);
+
+  bool IsBound(const Address& address) const {
+    return bindings_.count(address) != 0;
+  }
+
+  /// PUSH: one-way message from a device to a bound address. Delivery
+  /// time is charged on the network; undeliverable messages are
+  /// counted and dropped (like a PUSH socket with no peer).
+  Status Push(const std::string& from_device, const Address& to, Message m);
+
+  /// REQ/REP: send a request and receive a reply through `on_reply`.
+  /// The reply travels the reverse network path with its own size.
+  Status Request(const std::string& from_device, const Address& to, Message m,
+                 ResponseHandler on_reply);
+
+  /// PUB/SUB: register interest in a topic. The handler runs on
+  /// `device` (delivery is charged on the network from the publisher).
+  /// Returns a token for Unsubscribe.
+  uint64_t Subscribe(const std::string& topic, const std::string& device,
+                     std::function<void(Message)> handler);
+  void Unsubscribe(uint64_t token);
+
+  /// Deliver a copy of `m` to every current subscriber of `topic`.
+  /// Publishing to a topic with no subscribers is a silent no-op
+  /// (standard PUB semantics).
+  Status Publish(const std::string& from_device, const std::string& topic,
+                 const Message& m);
+
+  size_t subscriber_count(const std::string& topic) const;
+
+  uint64_t dropped_messages() const { return dropped_; }
+  const sim::NetworkStats& network_stats() const {
+    return cluster_->network().stats();
+  }
+
+ private:
+  Status CheckDevice(const std::string& device) const;
+
+  struct Subscriber {
+    uint64_t token;
+    std::string device;
+    std::function<void(Message)> handler;
+  };
+
+  sim::Cluster* cluster_;
+  std::map<Address, MessageHandler> bindings_;
+  std::map<std::string, std::vector<Subscriber>> topics_;
+  uint64_t next_token_ = 1;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace vp::net

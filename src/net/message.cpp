@@ -1,0 +1,71 @@
+#include "net/message.hpp"
+
+#include "json/parse.hpp"
+#include "json/write.hpp"
+
+namespace vp::net {
+
+namespace {
+constexpr uint32_t kMagic = 0x56504D31;  // "VPM1"
+}
+
+size_t Message::ByteSize() const {
+  size_t size = 4;                       // magic
+  size += 4 + type_.size();              // type
+  size += 4 + sender_.size();            // sender
+  size += 8;                             // seq
+  size += 4 + json::Write(payload_).size();
+  size += 4;                             // part count
+  for (const auto& p : parts_) size += 4 + p.size();
+  return size;
+}
+
+Bytes Message::Encode() const {
+  ByteWriter w;
+  w.WriteU32(kMagic);
+  w.WriteString(type_);
+  w.WriteString(sender_);
+  w.WriteU64(seq_);
+  w.WriteString(json::Write(payload_));
+  w.WriteU32(static_cast<uint32_t>(parts_.size()));
+  for (const auto& p : parts_) w.WriteBytes(p);
+  return w.Take();
+}
+
+Result<Message> Message::Decode(std::span<const uint8_t> data) {
+  ByteReader r(data);
+  auto magic = r.ReadU32();
+  if (!magic.ok()) return magic.error();
+  if (*magic != kMagic) return ParseError("bad message magic");
+
+  Message m;
+  auto type = r.ReadString();
+  if (!type.ok()) return type.error();
+  m.type_ = std::move(*type);
+
+  auto sender = r.ReadString();
+  if (!sender.ok()) return sender.error();
+  m.sender_ = std::move(*sender);
+
+  auto seq = r.ReadU64();
+  if (!seq.ok()) return seq.error();
+  m.seq_ = *seq;
+
+  auto payload_text = r.ReadString();
+  if (!payload_text.ok()) return payload_text.error();
+  auto payload = json::Parse(*payload_text);
+  if (!payload.ok()) return payload.error();
+  m.payload_ = std::move(*payload);
+
+  auto count = r.ReadU32();
+  if (!count.ok()) return count.error();
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto part = r.ReadBytes();
+    if (!part.ok()) return part.error();
+    m.parts_.push_back(std::move(*part));
+  }
+  if (!r.AtEnd()) return ParseError("trailing bytes after message");
+  return m;
+}
+
+}  // namespace vp::net

@@ -1,0 +1,62 @@
+// Wire messages.
+//
+// A Message is what flows between modules and services: a small typed
+// header, a JSON payload, and zero or more binary parts (encoded video
+// frames travel as binary parts so they are sized honestly on the
+// simulated network). Messages have a real binary encoding —
+// round-tripped in tests and used to compute on-wire size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "json/value.hpp"
+
+namespace vp::net {
+
+class Message {
+ public:
+  Message() = default;
+  explicit Message(std::string type) : type_(std::move(type)) {}
+  Message(std::string type, json::Value payload)
+      : type_(std::move(type)), payload_(std::move(payload)) {}
+
+  const std::string& type() const { return type_; }
+  void set_type(std::string t) { type_ = std::move(t); }
+
+  /// Logical sender, e.g. "fitness/pose_detection_module".
+  const std::string& sender() const { return sender_; }
+  void set_sender(std::string s) { sender_ = std::move(s); }
+
+  /// Monotone per-stream sequence number (frame index).
+  uint64_t seq() const { return seq_; }
+  void set_seq(uint64_t s) { seq_ = s; }
+
+  const json::Value& payload() const { return payload_; }
+  json::Value& payload() { return payload_; }
+  void set_payload(json::Value v) { payload_ = std::move(v); }
+
+  const std::vector<Bytes>& parts() const { return parts_; }
+  std::vector<Bytes>& mutable_parts() { return parts_; }
+  void AddPart(Bytes part) { parts_.push_back(std::move(part)); }
+  void ClearParts() { parts_.clear(); }
+
+  /// Exact size of Encode()'s output, without encoding.
+  size_t ByteSize() const;
+
+  /// Binary wire format (little-endian, length-prefixed).
+  Bytes Encode() const;
+  static Result<Message> Decode(std::span<const uint8_t> data);
+
+ private:
+  std::string type_;
+  std::string sender_;
+  uint64_t seq_ = 0;
+  json::Value payload_;
+  std::vector<Bytes> parts_;
+};
+
+}  // namespace vp::net

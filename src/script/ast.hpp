@@ -1,0 +1,117 @@
+// vpscript abstract syntax tree.
+//
+// Plain struct hierarchy with unique_ptr ownership. The interpreter
+// walks this tree directly; no bytecode stage (module scripts are tiny
+// — the paper's modules are "lightweight application code").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vp::script {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+// ---------------------------------------------------------------- Expr
+
+enum class ExprKind {
+  kNumber, kString, kBool, kNull, kUndefined,
+  kIdentifier,
+  kArrayLiteral, kObjectLiteral,
+  kUnary,        // op operand      (-x, !x, typeof x)
+  kUpdate,       // ++x, x++, --x, x--
+  kBinary,       // left op right
+  kLogical,      // && || (short-circuit)
+  kConditional,  // cond ? a : b
+  kAssign,       // target op= value
+  kCall,         // callee(args)
+  kMember,       // object.name
+  kIndex,        // object[index]
+  kFunction,     // function (params) { body }
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  // Literals
+  double number = 0;
+  std::string string_value;  // string literal / identifier / member name
+  bool bool_value = false;
+
+  // Composite
+  std::vector<ExprPtr> elements;  // array elements / call args
+  std::vector<std::pair<std::string, ExprPtr>> properties;  // object literal
+
+  std::string op;  // operator spelling for unary/binary/assign/update
+  bool prefix = false;  // for kUpdate
+  ExprPtr a, b, c;      // children (operands / callee / object / index)
+
+  // kFunction
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+  std::string function_name;  // optional (named function expressions)
+};
+
+// ---------------------------------------------------------------- Stmt
+
+enum class StmtKind {
+  kExpr,
+  kVarDecl,   // var/let/const name = init
+  kFunction,  // function name(params) { body }
+  kReturn,
+  kIf,
+  kWhile,
+  kDoWhile,
+  kFor,
+  kForIn,     // for (var k in obj)
+  kBlock,
+  kBreak,
+  kContinue,
+  kTry,       // try { body } catch (name) { else_branch }
+  kThrow,
+  kSwitch,    // switch (expr) { cases }
+};
+
+struct SwitchCase {
+  ExprPtr test;  // nullptr = default
+  std::vector<StmtPtr> body;
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  ExprPtr expr;  // kExpr / kReturn value / condition for if/while
+  std::string name;  // var name / function name / for-in variable
+  bool is_const = false;
+
+  // kIf
+  std::vector<StmtPtr> then_branch;
+  std::vector<StmtPtr> else_branch;
+
+  // kWhile / kFor / kForIn / kBlock / function body
+  std::vector<StmtPtr> body;
+
+  // kFor
+  StmtPtr init;
+  ExprPtr condition;
+  ExprPtr step;
+
+  // kFunction
+  std::vector<std::string> params;
+
+  // kSwitch
+  std::vector<SwitchCase> cases;
+};
+
+/// A parsed program: top-level statements.
+struct Program {
+  std::vector<StmtPtr> statements;
+};
+
+}  // namespace vp::script

@@ -1,0 +1,81 @@
+#include "script/context.hpp"
+
+#include <set>
+
+#include "script/convert.hpp"
+
+namespace vp::script {
+
+Context::Context(ContextOptions options) {
+  globals_ = std::make_shared<Environment>();
+  InstallStdlib(*globals_, options.random_seed);
+  interp_ = std::make_unique<Interpreter>(globals_, options.limits);
+}
+
+void Context::RegisterHostFunction(const std::string& name, HostFunction fn) {
+  globals_->Define(name, Value::MakeHostFunction(name, std::move(fn)));
+}
+
+void Context::DefineGlobal(const std::string& name, Value v) {
+  globals_->Define(name, std::move(v));
+}
+
+Status Context::Load(const std::string& source) {
+  auto program = ParseProgram(source);
+  if (!program.ok()) return Status(program.error());
+  program_ = *program;
+  baseline_globals_ = globals_->LocalNames();
+  interp_->ResetBudget();
+  auto result = interp_->RunProgram(program_);
+  if (!result.ok()) return Status(result.error());
+  return Status::Ok();
+}
+
+json::Value Context::SnapshotState() const {
+  json::Value snapshot = json::Value::MakeObject();
+  std::set<std::string> baseline(baseline_globals_.begin(),
+                                 baseline_globals_.end());
+  for (const std::string& name : globals_->LocalNames()) {
+    if (baseline.count(name) != 0) continue;
+    const Value* value = globals_->Find(name);
+    if (value == nullptr || value->is_function()) continue;
+    auto serialized = ScriptToJson(*value);
+    if (!serialized.ok()) continue;  // skip non-serializable state
+    // Distinguish "undefined" (skip) from an explicit null.
+    if (value->is_undefined()) continue;
+    snapshot[name] = std::move(*serialized);
+  }
+  return snapshot;
+}
+
+Status Context::RestoreState(const json::Value& snapshot) {
+  if (!snapshot.is_object()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "state snapshot must be an object");
+  }
+  for (const auto& [name, value] : snapshot.AsObject()) {
+    globals_->Define(name, JsonToScript(value));
+  }
+  return Status::Ok();
+}
+
+bool Context::HasFunction(const std::string& name) const {
+  Value* v = globals_->Find(name);
+  return v != nullptr && v->is_function();
+}
+
+Result<Value> Context::Call(const std::string& name, std::vector<Value> args) {
+  Value* fn = globals_->Find(name);
+  if (fn == nullptr || !fn->is_function()) {
+    return NotFound("no function '" + name + "' in module");
+  }
+  interp_->ResetBudget();
+  return interp_->Call(*fn, std::move(args));
+}
+
+Value Context::GetGlobal(const std::string& name) const {
+  Value* v = globals_->Find(name);
+  return v ? *v : Value::Undefined();
+}
+
+}  // namespace vp::script

@@ -1,0 +1,74 @@
+// Script contexts.
+//
+// A Context is the unit of isolation: one per module, mirroring the
+// paper's "separate Duktape contexts … spawned inside a single JVM to
+// provide isolation without compromising performance" (§3). Each
+// context has its own global scope, stdlib instance and step budget;
+// host functions (the Table-1 API) are registered by the module
+// runtime before the module source is loaded.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+#include "json/value.hpp"
+#include "script/interp.hpp"
+#include "script/parser.hpp"
+#include "script/value.hpp"
+
+namespace vp::script {
+
+struct ContextOptions {
+  InterpreterLimits limits;
+  /// Seed for this context's Math.random.
+  uint64_t random_seed = 1234;
+};
+
+class Context {
+ public:
+  explicit Context(ContextOptions options = {});
+
+  /// Expose a host function as a global, e.g. call_service.
+  void RegisterHostFunction(const std::string& name, HostFunction fn);
+
+  /// Define an arbitrary global value (configuration constants…).
+  void DefineGlobal(const std::string& name, Value v);
+
+  /// Parse + execute module source. Top-level code runs immediately;
+  /// function declarations become callable afterwards.
+  Status Load(const std::string& source);
+
+  bool HasFunction(const std::string& name) const;
+
+  /// Call a global function by name. Resets the step budget first, so
+  /// each event gets the full budget (FaaS-style per-invocation cap).
+  Result<Value> Call(const std::string& name, std::vector<Value> args);
+
+  /// Read a global (undefined if absent).
+  Value GetGlobal(const std::string& name) const;
+
+  /// Snapshot the module-defined, JSON-serializable globals — the
+  /// variables the module source created on top of the baseline
+  /// environment (stdlib + host functions are excluded automatically,
+  /// functions and other non-serializable values are skipped).
+  /// Restoring a snapshot into a freshly-Loaded context of the same
+  /// source resumes the module's state — the basis of live module
+  /// migration between devices.
+  json::Value SnapshotState() const;
+
+  /// Overwrite globals from a snapshot produced by SnapshotState().
+  Status RestoreState(const json::Value& snapshot);
+
+  Interpreter& interpreter() { return *interp_; }
+
+ private:
+  std::shared_ptr<Environment> globals_;
+  std::unique_ptr<Interpreter> interp_;
+  std::shared_ptr<Program> program_;
+  /// Globals present before user code ran (stdlib + host functions) —
+  /// excluded from snapshots.
+  std::vector<std::string> baseline_globals_;
+};
+
+}  // namespace vp::script

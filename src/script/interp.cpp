@@ -1,0 +1,569 @@
+#include "script/interp.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace vp::script {
+
+Interpreter::Interpreter(std::shared_ptr<Environment> globals,
+                         InterpreterLimits limits)
+    : globals_(std::move(globals)), limits_(limits) {
+  print_ = [](const std::string& line) { VP_INFO("script") << line; };
+}
+
+void Interpreter::Print(const std::string& line) {
+  if (print_) print_(line);
+}
+
+Status Interpreter::Charge(int line) {
+  if (++steps_used_ > limits_.max_steps) {
+    return Status(StatusCode::kResourceExhausted,
+                  Format("script:%d: step budget exceeded (%llu steps)", line,
+                         static_cast<unsigned long long>(limits_.max_steps)));
+  }
+  return Status::Ok();
+}
+
+Error Interpreter::Raise(int line, const std::string& what) const {
+  return ScriptError(Format("script:%d: %s", line, what.c_str()));
+}
+
+Result<Value> Interpreter::RunProgram(
+    const std::shared_ptr<Program>& program) {
+  current_program_ = program;
+  // Hoist function declarations.
+  for (const StmtPtr& stmt : program->statements) {
+    if (stmt->kind == StmtKind::kFunction) {
+      auto fn = std::make_shared<ScriptFunction>();
+      fn->name = stmt->name;
+      fn->params = stmt->params;
+      fn->body = &stmt->body;
+      fn->owner = program;
+      fn->closure = globals_;
+      globals_->Define(stmt->name, Value(std::move(fn)));
+    }
+  }
+  Value last;
+  for (const StmtPtr& stmt : program->statements) {
+    if (stmt->kind == StmtKind::kFunction) continue;  // already hoisted
+    auto r = ExecStmt(*stmt, globals_);
+    if (!r.ok()) return r.error();
+    if (r->flow == Flow::kReturn) return r->value;
+    if (r->flow != Flow::kNormal) {
+      return Raise(stmt->line, "break/continue outside a loop");
+    }
+    last = r->value;
+  }
+  return last;
+}
+
+Result<Value> Interpreter::Call(const Value& fn, std::vector<Value> args) {
+  if (fn.type() == ValueType::kHostFunction) {
+    return fn.AsHostFunction()->fn(args, *this);
+  }
+  if (fn.type() != ValueType::kFunction) {
+    return ScriptError("attempt to call a " +
+                       std::string(ValueTypeName(fn.type())));
+  }
+  if (call_depth_ >= limits_.max_call_depth) {
+    return ScriptError(Format("call depth limit (%d) exceeded",
+                              limits_.max_call_depth));
+  }
+  const auto& def = fn.AsFunction();
+  auto env = std::make_shared<Environment>(def->closure);
+  // Named function expressions can refer to themselves by name.
+  if (!def->name.empty() && env->Find(def->name) == nullptr) {
+    env->Define(def->name, fn);
+  }
+  for (size_t i = 0; i < def->params.size(); ++i) {
+    env->Define(def->params[i],
+                i < args.size() ? std::move(args[i]) : Value::Undefined());
+  }
+  ++call_depth_;
+  auto r = ExecBlock(*def->body, env);
+  --call_depth_;
+  if (!r.ok()) return r.error();
+  if (r->flow == Flow::kReturn) return r->value;
+  return Value::Undefined();
+}
+
+Result<Interpreter::ExecResult> Interpreter::ExecBlock(
+    const std::vector<StmtPtr>& stmts,
+    const std::shared_ptr<Environment>& env) {
+  // Hoist function declarations within the block.
+  for (const StmtPtr& stmt : stmts) {
+    if (stmt->kind == StmtKind::kFunction) {
+      auto fn = std::make_shared<ScriptFunction>();
+      fn->name = stmt->name;
+      fn->params = stmt->params;
+      fn->body = &stmt->body;
+      fn->owner = current_program_;
+      fn->closure = env;
+      env->Define(stmt->name, Value(std::move(fn)));
+    }
+  }
+  for (const StmtPtr& stmt : stmts) {
+    if (stmt->kind == StmtKind::kFunction) continue;
+    auto r = ExecStmt(*stmt, env);
+    if (!r.ok()) return r;
+    if (r->flow != Flow::kNormal) return r;
+  }
+  return ExecResult{};
+}
+
+Result<Interpreter::ExecResult> Interpreter::ExecStmt(
+    const Stmt& stmt, const std::shared_ptr<Environment>& env) {
+  VP_RETURN_IF_ERROR_R(Charge(stmt.line));
+  switch (stmt.kind) {
+    case StmtKind::kExpr: {
+      auto v = Eval(*stmt.expr, env);
+      if (!v.ok()) return v.error();
+      return ExecResult{Flow::kNormal, std::move(*v)};
+    }
+    case StmtKind::kVarDecl: {
+      Value init;
+      if (stmt.expr) {
+        auto v = Eval(*stmt.expr, env);
+        if (!v.ok()) return v.error();
+        init = std::move(*v);
+      }
+      env->Define(stmt.name, std::move(init), stmt.is_const);
+      return ExecResult{};
+    }
+    case StmtKind::kFunction: {
+      // Non-hoisted path (e.g. function declared inside `if`).
+      auto fn = std::make_shared<ScriptFunction>();
+      fn->name = stmt.name;
+      fn->params = stmt.params;
+      fn->body = &stmt.body;
+      fn->owner = current_program_;
+      fn->closure = env;
+      env->Define(stmt.name, Value(std::move(fn)));
+      return ExecResult{};
+    }
+    case StmtKind::kReturn: {
+      Value v;
+      if (stmt.expr) {
+        auto r = Eval(*stmt.expr, env);
+        if (!r.ok()) return r.error();
+        v = std::move(*r);
+      }
+      return ExecResult{Flow::kReturn, std::move(v)};
+    }
+    case StmtKind::kIf: {
+      auto cond = Eval(*stmt.expr, env);
+      if (!cond.ok()) return cond.error();
+      auto scope = std::make_shared<Environment>(env);
+      if (cond->Truthy()) return ExecBlock(stmt.then_branch, scope);
+      return ExecBlock(stmt.else_branch, scope);
+    }
+    case StmtKind::kWhile: {
+      while (true) {
+        VP_RETURN_IF_ERROR_R(Charge(stmt.line));
+        auto cond = Eval(*stmt.expr, env);
+        if (!cond.ok()) return cond.error();
+        if (!cond->Truthy()) break;
+        auto scope = std::make_shared<Environment>(env);
+        auto r = ExecBlock(stmt.body, scope);
+        if (!r.ok()) return r;
+        if (r->flow == Flow::kReturn) return r;
+        if (r->flow == Flow::kBreak) break;
+      }
+      return ExecResult{};
+    }
+    case StmtKind::kFor: {
+      auto loop_env = std::make_shared<Environment>(env);
+      if (stmt.init) {
+        auto r = ExecStmt(*stmt.init, loop_env);
+        if (!r.ok()) return r;
+      }
+      while (true) {
+        VP_RETURN_IF_ERROR_R(Charge(stmt.line));
+        if (stmt.condition) {
+          auto cond = Eval(*stmt.condition, loop_env);
+          if (!cond.ok()) return cond.error();
+          if (!cond->Truthy()) break;
+        }
+        auto scope = std::make_shared<Environment>(loop_env);
+        auto r = ExecBlock(stmt.body, scope);
+        if (!r.ok()) return r;
+        if (r->flow == Flow::kReturn) return r;
+        if (r->flow == Flow::kBreak) break;
+        if (stmt.step) {
+          auto s = Eval(*stmt.step, loop_env);
+          if (!s.ok()) return s.error();
+        }
+      }
+      return ExecResult{};
+    }
+    case StmtKind::kForIn: {
+      auto obj = Eval(*stmt.expr, env);
+      if (!obj.ok()) return obj.error();
+      std::vector<std::string> keys;
+      if (obj->is_object()) {
+        for (const auto& [k, v] : obj->AsObject()->items()) keys.push_back(k);
+      } else if (obj->is_array()) {
+        for (size_t i = 0; i < obj->AsArray()->size(); ++i) {
+          keys.push_back(Format("%zu", i));
+        }
+      } else {
+        return Raise(stmt.line, "for-in over a non-object");
+      }
+      for (const auto& key : keys) {
+        VP_RETURN_IF_ERROR_R(Charge(stmt.line));
+        auto scope = std::make_shared<Environment>(env);
+        scope->Define(stmt.name, Value(key));
+        auto r = ExecBlock(stmt.body, scope);
+        if (!r.ok()) return r;
+        if (r->flow == Flow::kReturn) return r;
+        if (r->flow == Flow::kBreak) break;
+      }
+      return ExecResult{};
+    }
+    case StmtKind::kBlock: {
+      auto scope = std::make_shared<Environment>(env);
+      return ExecBlock(stmt.body, scope);
+    }
+    case StmtKind::kDoWhile: {
+      while (true) {
+        VP_RETURN_IF_ERROR_R(Charge(stmt.line));
+        auto scope = std::make_shared<Environment>(env);
+        auto r = ExecBlock(stmt.body, scope);
+        if (!r.ok()) return r;
+        if (r->flow == Flow::kReturn) return r;
+        if (r->flow == Flow::kBreak) break;
+        auto cond = Eval(*stmt.expr, env);
+        if (!cond.ok()) return cond.error();
+        if (!cond->Truthy()) break;
+      }
+      return ExecResult{};
+    }
+    case StmtKind::kTry: {
+      auto scope = std::make_shared<Environment>(env);
+      auto r = ExecBlock(stmt.body, scope);
+      if (r.ok()) return r;
+      // Budget/depth exhaustion is not catchable — a runaway module
+      // must not catch its own kill signal.
+      if (r.error().code() == StatusCode::kResourceExhausted) {
+        return r;
+      }
+      auto catch_scope = std::make_shared<Environment>(env);
+      auto error_object = std::make_shared<ScriptObject>();
+      error_object->Set("message", Value(r.error().message()));
+      error_object->Set("code",
+                        Value(std::string(StatusCodeName(r.error().code()))));
+      catch_scope->Define(stmt.name, Value(std::move(error_object)));
+      return ExecBlock(stmt.else_branch, catch_scope);
+    }
+    case StmtKind::kThrow: {
+      auto value = Eval(*stmt.expr, env);
+      if (!value.ok()) return value.error();
+      return Raise(stmt.line, "uncaught: " + value->ToDisplayString());
+    }
+    case StmtKind::kSwitch: {
+      auto discriminant = Eval(*stmt.expr, env);
+      if (!discriminant.ok()) return discriminant.error();
+      auto scope = std::make_shared<Environment>(env);
+      // Find the matching case (strict equality), else default.
+      size_t start = stmt.cases.size();
+      size_t default_index = stmt.cases.size();
+      for (size_t i = 0; i < stmt.cases.size(); ++i) {
+        if (!stmt.cases[i].test) {
+          default_index = i;
+          continue;
+        }
+        auto test = Eval(*stmt.cases[i].test, scope);
+        if (!test.ok()) return test.error();
+        if (test->StrictEquals(*discriminant)) {
+          start = i;
+          break;
+        }
+      }
+      if (start == stmt.cases.size()) start = default_index;
+      // Fall-through execution until break/return.
+      for (size_t i = start; i < stmt.cases.size(); ++i) {
+        auto r = ExecBlock(stmt.cases[i].body, scope);
+        if (!r.ok()) return r;
+        if (r->flow == Flow::kReturn) return r;
+        if (r->flow == Flow::kBreak) return ExecResult{};
+        if (r->flow == Flow::kContinue) return r;  // belongs to a loop
+      }
+      return ExecResult{};
+    }
+    case StmtKind::kBreak:
+      return ExecResult{Flow::kBreak, Value()};
+    case StmtKind::kContinue:
+      return ExecResult{Flow::kContinue, Value()};
+  }
+  return Raise(stmt.line, "unhandled statement");
+}
+
+Value Interpreter::MakeClosure(const Expr& fn_expr,
+                               const std::shared_ptr<Environment>& env) {
+  auto fn = std::make_shared<ScriptFunction>();
+  fn->name = fn_expr.function_name;
+  fn->params = fn_expr.params;
+  fn->body = &fn_expr.body;
+  fn->owner = current_program_;
+  fn->closure = env;
+  return Value(std::move(fn));
+}
+
+Result<Value> Interpreter::Eval(const Expr& expr,
+                                const std::shared_ptr<Environment>& env) {
+  VP_RETURN_IF_ERROR_R(Charge(expr.line));
+  switch (expr.kind) {
+    case ExprKind::kNumber: return Value(expr.number);
+    case ExprKind::kString: return Value(expr.string_value);
+    case ExprKind::kBool: return Value(expr.bool_value);
+    case ExprKind::kNull: return Value(nullptr);
+    case ExprKind::kUndefined: return Value::Undefined();
+    case ExprKind::kIdentifier: {
+      Value* v = env->Find(expr.string_value);
+      if (v == nullptr) {
+        return Raise(expr.line, "'" + expr.string_value + "' is not defined");
+      }
+      return *v;
+    }
+    case ExprKind::kArrayLiteral: {
+      auto arr = std::make_shared<ScriptArray>();
+      arr->reserve(expr.elements.size());
+      for (const ExprPtr& el : expr.elements) {
+        auto v = Eval(*el, env);
+        if (!v.ok()) return v;
+        arr->push_back(std::move(*v));
+      }
+      return Value(std::move(arr));
+    }
+    case ExprKind::kObjectLiteral: {
+      auto obj = std::make_shared<ScriptObject>();
+      for (const auto& [key, value_expr] : expr.properties) {
+        auto v = Eval(*value_expr, env);
+        if (!v.ok()) return v;
+        obj->Set(key, std::move(*v));
+      }
+      return Value(std::move(obj));
+    }
+    case ExprKind::kUnary: {
+      auto operand = Eval(*expr.a, env);
+      if (!operand.ok()) return operand;
+      if (expr.op == "-") return Value(-operand->ToNumber());
+      if (expr.op == "+") return Value(operand->ToNumber());
+      if (expr.op == "!") return Value(!operand->Truthy());
+      if (expr.op == "typeof") {
+        // JS quirks preserved: typeof null == "object", arrays are
+        // "object".
+        switch (operand->type()) {
+          case ValueType::kArray:
+          case ValueType::kNull:
+            return Value("object");
+          default:
+            return Value(std::string(ValueTypeName(operand->type())));
+        }
+      }
+      return Raise(expr.line, "unknown unary operator " + expr.op);
+    }
+    case ExprKind::kUpdate: {
+      auto old_value = Eval(*expr.a, env);
+      if (!old_value.ok()) return old_value;
+      const double old_num = old_value->ToNumber();
+      const double new_num = expr.op == "++" ? old_num + 1 : old_num - 1;
+      auto assigned = Assign(*expr.a, Value(new_num), env, expr.line);
+      if (!assigned.ok()) return assigned;
+      return Value(expr.prefix ? new_num : old_num);
+    }
+    case ExprKind::kBinary: {
+      auto a = Eval(*expr.a, env);
+      if (!a.ok()) return a;
+      auto b = Eval(*expr.b, env);
+      if (!b.ok()) return b;
+      return EvalBinary(expr.op, *a, *b, expr.line);
+    }
+    case ExprKind::kLogical: {
+      auto a = Eval(*expr.a, env);
+      if (!a.ok()) return a;
+      if (expr.op == "&&") {
+        if (!a->Truthy()) return a;
+        return Eval(*expr.b, env);
+      }
+      // ||
+      if (a->Truthy()) return a;
+      return Eval(*expr.b, env);
+    }
+    case ExprKind::kConditional: {
+      auto cond = Eval(*expr.a, env);
+      if (!cond.ok()) return cond;
+      return Eval(cond->Truthy() ? *expr.b : *expr.c, env);
+    }
+    case ExprKind::kAssign: {
+      auto value = Eval(*expr.b, env);
+      if (!value.ok()) return value;
+      if (expr.op != "=") {
+        // Compound: read old, apply op, write.
+        auto old_value = Eval(*expr.a, env);
+        if (!old_value.ok()) return old_value;
+        const std::string binop = expr.op.substr(0, 1);  // "+=" → "+"
+        auto combined = EvalBinary(binop, *old_value, *value, expr.line);
+        if (!combined.ok()) return combined;
+        value = std::move(combined);
+      }
+      auto r = Assign(*expr.a, *value, env, expr.line);
+      if (!r.ok()) return r;
+      return value;
+    }
+    case ExprKind::kMember: {
+      auto obj = Eval(*expr.a, env);
+      if (!obj.ok()) return obj;
+      if (obj->is_nullish()) {
+        return Raise(expr.line, "cannot read property '" + expr.string_value +
+                                    "' of " +
+                                    std::string(ValueTypeName(obj->type())));
+      }
+      return GetProperty(*obj, expr.string_value, *this);
+    }
+    case ExprKind::kIndex: {
+      auto obj = Eval(*expr.a, env);
+      if (!obj.ok()) return obj;
+      auto index = Eval(*expr.b, env);
+      if (!index.ok()) return index;
+      if (obj->is_array()) {
+        const double d = index->ToNumber();
+        if (std::isnan(d)) return Raise(expr.line, "array index is NaN");
+        const auto i = static_cast<int64_t>(d);
+        const auto& arr = *obj->AsArray();
+        if (i < 0 || static_cast<size_t>(i) >= arr.size()) {
+          return Value::Undefined();
+        }
+        return arr[static_cast<size_t>(i)];
+      }
+      if (obj->is_object()) {
+        const std::string key = index->ToDisplayString();
+        const Value* v = obj->AsObject()->Find(key);
+        return v ? *v : Value::Undefined();
+      }
+      if (obj->is_string()) {
+        const auto i = static_cast<int64_t>(index->ToNumber());
+        const std::string& s = obj->AsString();
+        if (i < 0 || static_cast<size_t>(i) >= s.size()) {
+          return Value::Undefined();
+        }
+        return Value(std::string(1, s[static_cast<size_t>(i)]));
+      }
+      return Raise(expr.line, "cannot index a " +
+                                  std::string(ValueTypeName(obj->type())));
+    }
+    case ExprKind::kCall:
+      return EvalCall(expr, env);
+    case ExprKind::kFunction:
+      return MakeClosure(expr, env);
+  }
+  return Raise(expr.line, "unhandled expression");
+}
+
+Result<Value> Interpreter::EvalCall(const Expr& expr,
+                                    const std::shared_ptr<Environment>& env) {
+  auto callee = Eval(*expr.a, env);
+  if (!callee.ok()) return callee;
+  std::vector<Value> args;
+  args.reserve(expr.elements.size());
+  for (const ExprPtr& arg : expr.elements) {
+    auto v = Eval(*arg, env);
+    if (!v.ok()) return v;
+    args.push_back(std::move(*v));
+  }
+  auto result = Call(*callee, std::move(args));
+  if (!result.ok()) {
+    // Annotate with the call site line once (keeps traces short).
+    const std::string& msg = result.error().message();
+    if (msg.find("script:") == std::string::npos) {
+      return Raise(expr.line, msg);
+    }
+  }
+  return result;
+}
+
+Result<Value> Interpreter::EvalBinary(const std::string& op, const Value& a,
+                                      const Value& b, int line) {
+  if (op == "+") {
+    if (a.is_string() || b.is_string()) {
+      return Value(a.ToDisplayString() + b.ToDisplayString());
+    }
+    return Value(a.ToNumber() + b.ToNumber());
+  }
+  if (op == "-") return Value(a.ToNumber() - b.ToNumber());
+  if (op == "*") return Value(a.ToNumber() * b.ToNumber());
+  if (op == "/") return Value(a.ToNumber() / b.ToNumber());
+  if (op == "%") return Value(std::fmod(a.ToNumber(), b.ToNumber()));
+  if (op == "==") return Value(a.LooseEquals(b));
+  if (op == "!=") return Value(!a.LooseEquals(b));
+  if (op == "===") return Value(a.StrictEquals(b));
+  if (op == "!==") return Value(!a.StrictEquals(b));
+  if (op == "<" || op == "<=" || op == ">" || op == ">=") {
+    if (a.is_string() && b.is_string()) {
+      const int cmp = a.AsString().compare(b.AsString());
+      if (op == "<") return Value(cmp < 0);
+      if (op == "<=") return Value(cmp <= 0);
+      if (op == ">") return Value(cmp > 0);
+      return Value(cmp >= 0);
+    }
+    const double x = a.ToNumber();
+    const double y = b.ToNumber();
+    if (op == "<") return Value(x < y);
+    if (op == "<=") return Value(x <= y);
+    if (op == ">") return Value(x > y);
+    return Value(x >= y);
+  }
+  return Raise(line, "unknown binary operator " + op);
+}
+
+Result<Value> Interpreter::Assign(const Expr& target, Value value,
+                                  const std::shared_ptr<Environment>& env,
+                                  int line) {
+  switch (target.kind) {
+    case ExprKind::kIdentifier: {
+      Status s = env->Assign(target.string_value, value);
+      if (!s.ok()) return Raise(line, s.message());
+      return value;
+    }
+    case ExprKind::kMember: {
+      auto obj = Eval(*target.a, env);
+      if (!obj.ok()) return obj;
+      if (!obj->is_object()) {
+        return Raise(line, "cannot set property '" + target.string_value +
+                               "' on a " +
+                               std::string(ValueTypeName(obj->type())));
+      }
+      obj->AsObject()->Set(target.string_value, value);
+      return value;
+    }
+    case ExprKind::kIndex: {
+      auto obj = Eval(*target.a, env);
+      if (!obj.ok()) return obj;
+      auto index = Eval(*target.b, env);
+      if (!index.ok()) return index;
+      if (obj->is_array()) {
+        const double d = index->ToNumber();
+        if (std::isnan(d) || d < 0) {
+          return Raise(line, "bad array index");
+        }
+        auto& arr = *obj->AsArray();
+        const auto i = static_cast<size_t>(d);
+        if (i >= arr.size()) arr.resize(i + 1);
+        arr[i] = value;
+        return value;
+      }
+      if (obj->is_object()) {
+        obj->AsObject()->Set(index->ToDisplayString(), value);
+        return value;
+      }
+      return Raise(line, "cannot index-assign a " +
+                             std::string(ValueTypeName(obj->type())));
+    }
+    default:
+      return Raise(line, "invalid assignment target");
+  }
+}
+
+}  // namespace vp::script

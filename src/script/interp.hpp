@@ -1,0 +1,95 @@
+// vpscript tree-walking interpreter.
+//
+// Executes a parsed Program against an Environment chain. Guards:
+//   * step budget   — a runaway `while(true)` in module code cannot
+//                     stall the whole device runtime;
+//   * call depth    — unbounded recursion errors out cleanly.
+// Both limits mirror what a FaaS runtime enforces on untrusted
+// functions.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+#include "script/ast.hpp"
+#include "script/value.hpp"
+
+namespace vp::script {
+
+struct InterpreterLimits {
+  /// Maximum AST-node evaluations per entry (Run/Call).
+  uint64_t max_steps = 5'000'000;
+  int max_call_depth = 128;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(std::shared_ptr<Environment> globals,
+                       InterpreterLimits limits = {});
+
+  /// Execute a program's top-level statements. Function declarations
+  /// are hoisted into the global scope first.
+  Result<Value> RunProgram(const std::shared_ptr<Program>& program);
+
+  /// Call a function value with arguments.
+  Result<Value> Call(const Value& fn, std::vector<Value> args);
+
+  const std::shared_ptr<Environment>& globals() const { return globals_; }
+
+  /// Where console.log output goes (default: VP_INFO log).
+  void set_print_handler(std::function<void(const std::string&)> handler) {
+    print_ = std::move(handler);
+  }
+  void Print(const std::string& line);
+
+  uint64_t steps_used() const { return steps_used_; }
+  /// Reset the per-entry budget (Context does this before each event).
+  void ResetBudget() { steps_used_ = 0; }
+
+ private:
+  enum class Flow { kNormal, kReturn, kBreak, kContinue };
+  struct ExecResult {
+    Flow flow = Flow::kNormal;
+    Value value;
+  };
+
+  Result<ExecResult> ExecBlock(const std::vector<StmtPtr>& stmts,
+                               const std::shared_ptr<Environment>& env);
+  Result<ExecResult> ExecStmt(const Stmt& stmt,
+                              const std::shared_ptr<Environment>& env);
+  Result<Value> Eval(const Expr& expr,
+                     const std::shared_ptr<Environment>& env);
+  Result<Value> EvalCall(const Expr& expr,
+                         const std::shared_ptr<Environment>& env);
+  Result<Value> EvalBinary(const std::string& op, const Value& a,
+                           const Value& b, int line);
+  Result<Value> Assign(const Expr& target, Value value,
+                       const std::shared_ptr<Environment>& env, int line);
+
+  Status Charge(int line);
+  Error Raise(int line, const std::string& what) const;
+
+  Value MakeClosure(const Expr& fn_expr,
+                    const std::shared_ptr<Environment>& env);
+
+  std::shared_ptr<Environment> globals_;
+  InterpreterLimits limits_;
+  uint64_t steps_used_ = 0;
+  int call_depth_ = 0;
+  std::shared_ptr<Program> current_program_;  // keeps closures alive
+  std::function<void(const std::string&)> print_;
+};
+
+/// Property access on any value (string/array builtins, object
+/// members). Returns undefined for unknown members, an error for
+/// property access on null/undefined.
+Result<Value> GetProperty(const Value& object, const std::string& name,
+                          Interpreter& interp);
+
+/// Install the standard library (console, Math, JSON, Object, Array,
+/// String/Number helpers) into a global environment. `seed` drives
+/// Math.random determinism.
+void InstallStdlib(Environment& globals, uint64_t seed = 1234);
+
+}  // namespace vp::script

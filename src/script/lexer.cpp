@@ -1,0 +1,322 @@
+#include "script/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "common/strings.hpp"
+
+namespace vp::script {
+
+const char* TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kNumber: return "number";
+    case TokenType::kString: return "string";
+    case TokenType::kIdentifier: return "identifier";
+    case TokenType::kVar: return "var";
+    case TokenType::kLet: return "let";
+    case TokenType::kConst: return "const";
+    case TokenType::kFunction: return "function";
+    case TokenType::kReturn: return "return";
+    case TokenType::kIf: return "if";
+    case TokenType::kElse: return "else";
+    case TokenType::kWhile: return "while";
+    case TokenType::kFor: return "for";
+    case TokenType::kBreak: return "break";
+    case TokenType::kContinue: return "continue";
+    case TokenType::kTrue: return "true";
+    case TokenType::kFalse: return "false";
+    case TokenType::kNull: return "null";
+    case TokenType::kUndefined: return "undefined";
+    case TokenType::kTypeof: return "typeof";
+    case TokenType::kIn: return "in";
+    case TokenType::kTry: return "try";
+    case TokenType::kCatch: return "catch";
+    case TokenType::kThrow: return "throw";
+    case TokenType::kSwitch: return "switch";
+    case TokenType::kCase: return "case";
+    case TokenType::kDefault: return "default";
+    case TokenType::kDo: return "do";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kLBrace: return "{";
+    case TokenType::kRBrace: return "}";
+    case TokenType::kLBracket: return "[";
+    case TokenType::kRBracket: return "]";
+    case TokenType::kComma: return ",";
+    case TokenType::kSemicolon: return ";";
+    case TokenType::kColon: return ":";
+    case TokenType::kDot: return ".";
+    case TokenType::kQuestion: return "?";
+    case TokenType::kAssign: return "=";
+    case TokenType::kPlusAssign: return "+=";
+    case TokenType::kMinusAssign: return "-=";
+    case TokenType::kStarAssign: return "*=";
+    case TokenType::kSlashAssign: return "/=";
+    case TokenType::kPercentAssign: return "%=";
+    case TokenType::kPlus: return "+";
+    case TokenType::kMinus: return "-";
+    case TokenType::kStar: return "*";
+    case TokenType::kSlash: return "/";
+    case TokenType::kPercent: return "%";
+    case TokenType::kEq: return "==";
+    case TokenType::kNe: return "!=";
+    case TokenType::kStrictEq: return "===";
+    case TokenType::kStrictNe: return "!==";
+    case TokenType::kLt: return "<";
+    case TokenType::kLe: return "<=";
+    case TokenType::kGt: return ">";
+    case TokenType::kGe: return ">=";
+    case TokenType::kAndAnd: return "&&";
+    case TokenType::kOrOr: return "||";
+    case TokenType::kNot: return "!";
+    case TokenType::kPlusPlus: return "++";
+    case TokenType::kMinusMinus: return "--";
+    case TokenType::kEof: return "<eof>";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, TokenType, std::less<>>& Keywords() {
+  static const std::map<std::string, TokenType, std::less<>> kw = {
+      {"var", TokenType::kVar},           {"let", TokenType::kLet},
+      {"const", TokenType::kConst},       {"function", TokenType::kFunction},
+      {"return", TokenType::kReturn},     {"if", TokenType::kIf},
+      {"else", TokenType::kElse},         {"while", TokenType::kWhile},
+      {"for", TokenType::kFor},           {"break", TokenType::kBreak},
+      {"continue", TokenType::kContinue}, {"true", TokenType::kTrue},
+      {"false", TokenType::kFalse},       {"null", TokenType::kNull},
+      {"undefined", TokenType::kUndefined},
+      {"typeof", TokenType::kTypeof},     {"in", TokenType::kIn},
+      {"try", TokenType::kTry},           {"catch", TokenType::kCatch},
+      {"throw", TokenType::kThrow},       {"switch", TokenType::kSwitch},
+      {"case", TokenType::kCase},         {"default", TokenType::kDefault},
+      {"do", TokenType::kDo},
+  };
+  return kw;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      if (!SkipTrivia()) return Fail("unterminated block comment");
+      if (pos_ >= src_.size()) break;
+      auto tok = Next();
+      if (!tok.ok()) return tok.error();
+      out.push_back(std::move(*tok));
+    }
+    out.push_back(Make(TokenType::kEof));
+    return out;
+  }
+
+ private:
+  Token Make(TokenType type) {
+    Token t;
+    t.type = type;
+    t.line = line_;
+    t.column = col_;
+    return t;
+  }
+
+  Error Fail(const std::string& what) const {
+    return ParseError(Format("script:%d:%d: %s", line_, col_, what.c_str()));
+  }
+
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Advance() {
+    if (Peek() == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  bool SkipTrivia() {
+    while (pos_ < src_.size()) {
+      const char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        Advance();
+      } else if (c == '/' && Peek(1) == '/') {
+        while (pos_ < src_.size() && Peek() != '\n') Advance();
+      } else if (c == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (pos_ < src_.size() && !(Peek() == '*' && Peek(1) == '/')) {
+          Advance();
+        }
+        if (pos_ >= src_.size()) return false;
+        Advance();
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return true;
+  }
+
+  Result<Token> Next() {
+    const char c = Peek();
+    if (std::isdigit(static_cast<unsigned char>(c))) return Number();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      return IdentifierOrKeyword();
+    }
+    if (c == '"' || c == '\'') return StringLiteral();
+    return Operator();
+  }
+
+  Result<Token> Number() {
+    Token t = Make(TokenType::kNumber);
+    const size_t start = pos_;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      Advance();
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      Advance();
+      if (Peek() == '+' || Peek() == '-') Advance();
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("malformed exponent");
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+    }
+    const std::string text(src_.substr(start, pos_ - start));
+    t.number = std::strtod(text.c_str(), nullptr);
+    t.text = text;
+    return t;
+  }
+
+  Result<Token> IdentifierOrKeyword() {
+    Token t = Make(TokenType::kIdentifier);
+    const size_t start = pos_;
+    while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_' ||
+           Peek() == '$') {
+      Advance();
+    }
+    t.text = std::string(src_.substr(start, pos_ - start));
+    auto it = Keywords().find(t.text);
+    if (it != Keywords().end()) t.type = it->second;
+    return t;
+  }
+
+  Result<Token> StringLiteral() {
+    Token t = Make(TokenType::kString);
+    const char quote = Peek();
+    Advance();
+    std::string out;
+    while (pos_ < src_.size() && Peek() != quote) {
+      char c = Peek();
+      if (c == '\n') return Fail("newline in string literal");
+      if (c == '\\') {
+        Advance();
+        const char e = Peek();
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case '\\': out += '\\'; break;
+          case '\'': out += '\''; break;
+          case '"': out += '"'; break;
+          case '0': out += '\0'; break;
+          default: return Fail(Format("unknown escape '\\%c'", e));
+        }
+        Advance();
+        continue;
+      }
+      out += c;
+      Advance();
+    }
+    if (pos_ >= src_.size()) return Fail("unterminated string literal");
+    Advance();  // closing quote
+    t.text = std::move(out);
+    return t;
+  }
+
+  Result<Token> Operator() {
+    const char c = Peek();
+    const char c1 = Peek(1);
+    const char c2 = Peek(2);
+    auto take = [&](TokenType type, int n) -> Token {
+      Token t = Make(type);
+      for (int i = 0; i < n; ++i) Advance();
+      return t;
+    };
+    switch (c) {
+      case '(': return take(TokenType::kLParen, 1);
+      case ')': return take(TokenType::kRParen, 1);
+      case '{': return take(TokenType::kLBrace, 1);
+      case '}': return take(TokenType::kRBrace, 1);
+      case '[': return take(TokenType::kLBracket, 1);
+      case ']': return take(TokenType::kRBracket, 1);
+      case ',': return take(TokenType::kComma, 1);
+      case ';': return take(TokenType::kSemicolon, 1);
+      case ':': return take(TokenType::kColon, 1);
+      case '.': return take(TokenType::kDot, 1);
+      case '?': return take(TokenType::kQuestion, 1);
+      case '+':
+        if (c1 == '+') return take(TokenType::kPlusPlus, 2);
+        if (c1 == '=') return take(TokenType::kPlusAssign, 2);
+        return take(TokenType::kPlus, 1);
+      case '-':
+        if (c1 == '-') return take(TokenType::kMinusMinus, 2);
+        if (c1 == '=') return take(TokenType::kMinusAssign, 2);
+        return take(TokenType::kMinus, 1);
+      case '*':
+        if (c1 == '=') return take(TokenType::kStarAssign, 2);
+        return take(TokenType::kStar, 1);
+      case '/':
+        if (c1 == '=') return take(TokenType::kSlashAssign, 2);
+        return take(TokenType::kSlash, 1);
+      case '%':
+        if (c1 == '=') return take(TokenType::kPercentAssign, 2);
+        return take(TokenType::kPercent, 1);
+      case '=':
+        if (c1 == '=' && c2 == '=') return take(TokenType::kStrictEq, 3);
+        if (c1 == '=') return take(TokenType::kEq, 2);
+        return take(TokenType::kAssign, 1);
+      case '!':
+        if (c1 == '=' && c2 == '=') return take(TokenType::kStrictNe, 3);
+        if (c1 == '=') return take(TokenType::kNe, 2);
+        return take(TokenType::kNot, 1);
+      case '<':
+        if (c1 == '=') return take(TokenType::kLe, 2);
+        return take(TokenType::kLt, 1);
+      case '>':
+        if (c1 == '=') return take(TokenType::kGe, 2);
+        return take(TokenType::kGt, 1);
+      case '&':
+        if (c1 == '&') return take(TokenType::kAndAnd, 2);
+        break;
+      case '|':
+        if (c1 == '|') return take(TokenType::kOrOr, 2);
+        break;
+      default:
+        break;
+    }
+    return Fail(Format("unexpected character '%c'", c));
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace vp::script

@@ -1,0 +1,708 @@
+#include "script/parser.hpp"
+
+#include <cassert>
+
+#include "common/strings.hpp"
+#include "script/lexer.hpp"
+
+namespace vp::script {
+namespace {
+
+/// Binary operator precedence (higher binds tighter).
+int Precedence(TokenType t) {
+  switch (t) {
+    case TokenType::kOrOr: return 1;
+    case TokenType::kAndAnd: return 2;
+    case TokenType::kEq:
+    case TokenType::kNe:
+    case TokenType::kStrictEq:
+    case TokenType::kStrictNe: return 3;
+    case TokenType::kLt:
+    case TokenType::kLe:
+    case TokenType::kGt:
+    case TokenType::kGe: return 4;
+    case TokenType::kPlus:
+    case TokenType::kMinus: return 5;
+    case TokenType::kStar:
+    case TokenType::kSlash:
+    case TokenType::kPercent: return 6;
+    default: return 0;
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::shared_ptr<Program>> Run() {
+    auto program = std::make_shared<Program>();
+    while (!Check(TokenType::kEof)) {
+      auto stmt = ParseStatement();
+      if (!stmt.ok()) return stmt.error();
+      program->statements.push_back(std::move(*stmt));
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenType t) const { return Peek().type == t; }
+  bool Match(TokenType t) {
+    if (Check(t)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Error Fail(const std::string& what) const {
+    const Token& t = Peek();
+    return ParseError(Format("script:%d:%d: %s (got '%s')", t.line, t.column,
+                             what.c_str(), TokenTypeName(t.type)));
+  }
+
+  Status Expect(TokenType t, const char* context) {
+    if (!Match(t)) {
+      return Status(StatusCode::kParseError,
+                    Fail(Format("expected '%s' %s", TokenTypeName(t), context))
+                        .message());
+    }
+    return Status::Ok();
+  }
+
+  // ------------------------------------------------------- statements
+
+  Result<StmtPtr> ParseStatement() {
+    switch (Peek().type) {
+      case TokenType::kVar:
+      case TokenType::kLet:
+      case TokenType::kConst: return ParseVarDecl();
+      case TokenType::kFunction: return ParseFunctionDecl();
+      case TokenType::kReturn: return ParseReturn();
+      case TokenType::kIf: return ParseIf();
+      case TokenType::kWhile: return ParseWhile();
+      case TokenType::kDo: return ParseDoWhile();
+      case TokenType::kFor: return ParseFor();
+      case TokenType::kTry: return ParseTry();
+      case TokenType::kThrow: return ParseThrow();
+      case TokenType::kSwitch: return ParseSwitch();
+      case TokenType::kLBrace: return ParseBlockStatement();
+      case TokenType::kBreak: {
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = StmtKind::kBreak;
+        stmt->line = Advance().line;
+        Match(TokenType::kSemicolon);
+        return stmt;
+      }
+      case TokenType::kContinue: {
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = StmtKind::kContinue;
+        stmt->line = Advance().line;
+        Match(TokenType::kSemicolon);
+        return stmt;
+      }
+      case TokenType::kSemicolon: {
+        Advance();
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = StmtKind::kBlock;  // empty statement
+        return stmt;
+      }
+      default: return ParseExprStatement();
+    }
+  }
+
+  Result<StmtPtr> ParseVarDecl() {
+    const Token& kw = Advance();  // var/let/const
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kVarDecl;
+    stmt->line = kw.line;
+    stmt->is_const = kw.type == TokenType::kConst;
+    if (!Check(TokenType::kIdentifier)) return Fail("expected variable name");
+    stmt->name = Advance().text;
+    if (Match(TokenType::kAssign)) {
+      auto init = ParseExpression();
+      if (!init.ok()) return init.error();
+      stmt->expr = std::move(*init);
+    } else if (stmt->is_const) {
+      return Fail("const declaration requires an initializer");
+    }
+    Match(TokenType::kSemicolon);
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseFunctionDecl() {
+    const Token& kw = Advance();  // function
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kFunction;
+    stmt->line = kw.line;
+    if (!Check(TokenType::kIdentifier)) return Fail("expected function name");
+    stmt->name = Advance().text;
+    auto params = ParseParamList();
+    if (!params.ok()) return params.error();
+    stmt->params = std::move(*params);
+    auto body = ParseBlock();
+    if (!body.ok()) return body.error();
+    stmt->body = std::move(*body);
+    return stmt;
+  }
+
+  Result<std::vector<std::string>> ParseParamList() {
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kLParen, "before parameters"));
+    std::vector<std::string> params;
+    if (!Check(TokenType::kRParen)) {
+      while (true) {
+        if (!Check(TokenType::kIdentifier)) {
+          return Fail("expected parameter name");
+        }
+        params.push_back(Advance().text);
+        if (!Match(TokenType::kComma)) break;
+      }
+    }
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "after parameters"));
+    return params;
+  }
+
+  Result<std::vector<StmtPtr>> ParseBlock() {
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kLBrace, "to open block"));
+    std::vector<StmtPtr> body;
+    while (!Check(TokenType::kRBrace) && !Check(TokenType::kEof)) {
+      auto stmt = ParseStatement();
+      if (!stmt.ok()) return stmt.error();
+      body.push_back(std::move(*stmt));
+    }
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kRBrace, "to close block"));
+    return body;
+  }
+
+  Result<StmtPtr> ParseBlockStatement() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kBlock;
+    stmt->line = Peek().line;
+    auto body = ParseBlock();
+    if (!body.ok()) return body.error();
+    stmt->body = std::move(*body);
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseReturn() {
+    const Token& kw = Advance();
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kReturn;
+    stmt->line = kw.line;
+    if (!Check(TokenType::kSemicolon) && !Check(TokenType::kRBrace)) {
+      auto value = ParseExpression();
+      if (!value.ok()) return value.error();
+      stmt->expr = std::move(*value);
+    }
+    Match(TokenType::kSemicolon);
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseIf() {
+    const Token& kw = Advance();
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kIf;
+    stmt->line = kw.line;
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kLParen, "after 'if'"));
+    auto cond = ParseExpression();
+    if (!cond.ok()) return cond.error();
+    stmt->expr = std::move(*cond);
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "after condition"));
+    auto then_branch = ParseBranch();
+    if (!then_branch.ok()) return then_branch.error();
+    stmt->then_branch = std::move(*then_branch);
+    if (Match(TokenType::kElse)) {
+      auto else_branch = ParseBranch();
+      if (!else_branch.ok()) return else_branch.error();
+      stmt->else_branch = std::move(*else_branch);
+    }
+    return stmt;
+  }
+
+  /// A branch is either a block or a single statement.
+  Result<std::vector<StmtPtr>> ParseBranch() {
+    if (Check(TokenType::kLBrace)) return ParseBlock();
+    std::vector<StmtPtr> body;
+    auto stmt = ParseStatement();
+    if (!stmt.ok()) return stmt.error();
+    body.push_back(std::move(*stmt));
+    return body;
+  }
+
+  Result<StmtPtr> ParseWhile() {
+    const Token& kw = Advance();
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kWhile;
+    stmt->line = kw.line;
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kLParen, "after 'while'"));
+    auto cond = ParseExpression();
+    if (!cond.ok()) return cond.error();
+    stmt->expr = std::move(*cond);
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "after condition"));
+    auto body = ParseBranch();
+    if (!body.ok()) return body.error();
+    stmt->body = std::move(*body);
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseFor() {
+    const Token& kw = Advance();
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kLParen, "after 'for'"));
+
+    // for (var k in obj) — lookahead for the in-form.
+    if ((Check(TokenType::kVar) || Check(TokenType::kLet)) &&
+        Peek(1).type == TokenType::kIdentifier &&
+        Peek(2).type == TokenType::kIn) {
+      Advance();  // var/let
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kForIn;
+      stmt->line = kw.line;
+      stmt->name = Advance().text;
+      Advance();  // in
+      auto obj = ParseExpression();
+      if (!obj.ok()) return obj.error();
+      stmt->expr = std::move(*obj);
+      VP_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "after for-in"));
+      auto body = ParseBranch();
+      if (!body.ok()) return body.error();
+      stmt->body = std::move(*body);
+      return stmt;
+    }
+
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kFor;
+    stmt->line = kw.line;
+    // init
+    if (!Check(TokenType::kSemicolon)) {
+      auto init = Check(TokenType::kVar) || Check(TokenType::kLet)
+                      ? ParseVarDecl()
+                      : ParseExprStatement();
+      if (!init.ok()) return init.error();
+      stmt->init = std::move(*init);
+    } else {
+      Advance();
+    }
+    // condition
+    if (!Check(TokenType::kSemicolon)) {
+      auto cond = ParseExpression();
+      if (!cond.ok()) return cond.error();
+      stmt->condition = std::move(*cond);
+    }
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kSemicolon, "after for condition"));
+    // step
+    if (!Check(TokenType::kRParen)) {
+      auto step = ParseExpression();
+      if (!step.ok()) return step.error();
+      stmt->step = std::move(*step);
+    }
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "after for clauses"));
+    auto body = ParseBranch();
+    if (!body.ok()) return body.error();
+    stmt->body = std::move(*body);
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseDoWhile() {
+    const Token& kw = Advance();  // do
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kDoWhile;
+    stmt->line = kw.line;
+    auto body = ParseBranch();
+    if (!body.ok()) return body.error();
+    stmt->body = std::move(*body);
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kWhile, "after do body"));
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kLParen, "after 'while'"));
+    auto cond = ParseExpression();
+    if (!cond.ok()) return cond.error();
+    stmt->expr = std::move(*cond);
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "after condition"));
+    Match(TokenType::kSemicolon);
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseTry() {
+    const Token& kw = Advance();  // try
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kTry;
+    stmt->line = kw.line;
+    auto body = ParseBlock();
+    if (!body.ok()) return body.error();
+    stmt->body = std::move(*body);
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kCatch, "after try block"));
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kLParen, "after 'catch'"));
+    if (!Check(TokenType::kIdentifier)) {
+      return Fail("expected catch parameter name");
+    }
+    stmt->name = Advance().text;
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "after catch parameter"));
+    auto handler = ParseBlock();
+    if (!handler.ok()) return handler.error();
+    stmt->else_branch = std::move(*handler);  // catch body
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseThrow() {
+    const Token& kw = Advance();  // throw
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kThrow;
+    stmt->line = kw.line;
+    auto value = ParseExpression();
+    if (!value.ok()) return value.error();
+    stmt->expr = std::move(*value);
+    Match(TokenType::kSemicolon);
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseSwitch() {
+    const Token& kw = Advance();  // switch
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kSwitch;
+    stmt->line = kw.line;
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kLParen, "after 'switch'"));
+    auto discriminant = ParseExpression();
+    if (!discriminant.ok()) return discriminant.error();
+    stmt->expr = std::move(*discriminant);
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "after discriminant"));
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kLBrace, "to open switch"));
+    bool saw_default = false;
+    while (!Check(TokenType::kRBrace) && !Check(TokenType::kEof)) {
+      SwitchCase switch_case;
+      if (Match(TokenType::kCase)) {
+        auto test = ParseExpression();
+        if (!test.ok()) return test.error();
+        switch_case.test = std::move(*test);
+      } else if (Match(TokenType::kDefault)) {
+        if (saw_default) return Fail("duplicate default clause");
+        saw_default = true;
+      } else {
+        return Fail("expected 'case' or 'default'");
+      }
+      VP_RETURN_IF_ERROR_R(Expect(TokenType::kColon, "after case label"));
+      while (!Check(TokenType::kCase) && !Check(TokenType::kDefault) &&
+             !Check(TokenType::kRBrace) && !Check(TokenType::kEof)) {
+        auto body_stmt = ParseStatement();
+        if (!body_stmt.ok()) return body_stmt.error();
+        switch_case.body.push_back(std::move(*body_stmt));
+      }
+      stmt->cases.push_back(std::move(switch_case));
+    }
+    VP_RETURN_IF_ERROR_R(Expect(TokenType::kRBrace, "to close switch"));
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseExprStatement() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kExpr;
+    stmt->line = Peek().line;
+    auto expr = ParseExpression();
+    if (!expr.ok()) return expr.error();
+    stmt->expr = std::move(*expr);
+    Match(TokenType::kSemicolon);
+    return stmt;
+  }
+
+  // ------------------------------------------------------ expressions
+
+  Result<ExprPtr> ParseExpression() { return ParseAssignment(); }
+
+  Result<ExprPtr> ParseAssignment() {
+    auto left = ParseConditional();
+    if (!left.ok()) return left;
+    TokenType t = Peek().type;
+    if (t == TokenType::kAssign || t == TokenType::kPlusAssign ||
+        t == TokenType::kMinusAssign || t == TokenType::kStarAssign ||
+        t == TokenType::kSlashAssign || t == TokenType::kPercentAssign) {
+      const Token op = Advance();
+      const ExprKind k = (*left)->kind;
+      if (k != ExprKind::kIdentifier && k != ExprKind::kMember &&
+          k != ExprKind::kIndex) {
+        return Fail("invalid assignment target");
+      }
+      auto value = ParseAssignment();
+      if (!value.ok()) return value;
+      auto expr = std::make_unique<Expr>();
+      expr->kind = ExprKind::kAssign;
+      expr->line = op.line;
+      expr->op = TokenTypeName(op.type);
+      expr->a = std::move(*left);
+      expr->b = std::move(*value);
+      return expr;
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseConditional() {
+    auto cond = ParseBinary(1);
+    if (!cond.ok()) return cond;
+    if (Match(TokenType::kQuestion)) {
+      auto then_e = ParseAssignment();
+      if (!then_e.ok()) return then_e;
+      VP_RETURN_IF_ERROR_R(Expect(TokenType::kColon, "in conditional"));
+      auto else_e = ParseAssignment();
+      if (!else_e.ok()) return else_e;
+      auto expr = std::make_unique<Expr>();
+      expr->kind = ExprKind::kConditional;
+      expr->line = (*cond)->line;
+      expr->a = std::move(*cond);
+      expr->b = std::move(*then_e);
+      expr->c = std::move(*else_e);
+      return expr;
+    }
+    return cond;
+  }
+
+  Result<ExprPtr> ParseBinary(int min_prec) {
+    auto left = ParseUnary();
+    if (!left.ok()) return left;
+    while (true) {
+      const TokenType t = Peek().type;
+      const int prec = Precedence(t);
+      if (prec < min_prec || prec == 0) return left;
+      const Token op = Advance();
+      auto right = ParseBinary(prec + 1);
+      if (!right.ok()) return right;
+      auto expr = std::make_unique<Expr>();
+      expr->kind = (t == TokenType::kAndAnd || t == TokenType::kOrOr)
+                       ? ExprKind::kLogical
+                       : ExprKind::kBinary;
+      expr->line = op.line;
+      expr->op = TokenTypeName(t);
+      expr->a = std::move(*left);
+      expr->b = std::move(*right);
+      left = Result<ExprPtr>(std::move(expr));
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    const TokenType t = Peek().type;
+    if (t == TokenType::kMinus || t == TokenType::kNot ||
+        t == TokenType::kPlus || t == TokenType::kTypeof) {
+      const Token op = Advance();
+      auto operand = ParseUnary();
+      if (!operand.ok()) return operand;
+      auto expr = std::make_unique<Expr>();
+      expr->kind = ExprKind::kUnary;
+      expr->line = op.line;
+      expr->op = TokenTypeName(op.type);
+      expr->a = std::move(*operand);
+      return expr;
+    }
+    if (t == TokenType::kPlusPlus || t == TokenType::kMinusMinus) {
+      const Token op = Advance();
+      auto operand = ParseUnary();
+      if (!operand.ok()) return operand;
+      auto expr = std::make_unique<Expr>();
+      expr->kind = ExprKind::kUpdate;
+      expr->line = op.line;
+      expr->op = TokenTypeName(op.type);
+      expr->prefix = true;
+      expr->a = std::move(*operand);
+      return expr;
+    }
+    return ParsePostfix();
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    auto expr = ParseCallOrMember();
+    if (!expr.ok()) return expr;
+    const TokenType t = Peek().type;
+    if (t == TokenType::kPlusPlus || t == TokenType::kMinusMinus) {
+      const Token op = Advance();
+      auto update = std::make_unique<Expr>();
+      update->kind = ExprKind::kUpdate;
+      update->line = op.line;
+      update->op = TokenTypeName(op.type);
+      update->prefix = false;
+      update->a = std::move(*expr);
+      return Result<ExprPtr>(std::move(update));
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> ParseCallOrMember() {
+    auto expr = ParsePrimary();
+    if (!expr.ok()) return expr;
+    while (true) {
+      if (Match(TokenType::kDot)) {
+        if (!Check(TokenType::kIdentifier) &&
+            Precedence(Peek().type) == 0 && Peek().type != TokenType::kIn) {
+          return Fail("expected member name after '.'");
+        }
+        // Allow keywords as member names (e.g. msg.in) — use the text.
+        const Token& name = Advance();
+        auto member = std::make_unique<Expr>();
+        member->kind = ExprKind::kMember;
+        member->line = name.line;
+        member->string_value =
+            name.text.empty() ? TokenTypeName(name.type) : name.text;
+        member->a = std::move(*expr);
+        expr = Result<ExprPtr>(std::move(member));
+      } else if (Match(TokenType::kLBracket)) {
+        auto index = ParseExpression();
+        if (!index.ok()) return index;
+        VP_RETURN_IF_ERROR_R(Expect(TokenType::kRBracket, "after index"));
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kIndex;
+        node->line = (*expr)->line;
+        node->a = std::move(*expr);
+        node->b = std::move(*index);
+        expr = Result<ExprPtr>(std::move(node));
+      } else if (Check(TokenType::kLParen)) {
+        Advance();
+        auto call = std::make_unique<Expr>();
+        call->kind = ExprKind::kCall;
+        call->line = (*expr)->line;
+        call->a = std::move(*expr);
+        if (!Check(TokenType::kRParen)) {
+          while (true) {
+            auto arg = ParseAssignment();
+            if (!arg.ok()) return arg;
+            call->elements.push_back(std::move(*arg));
+            if (!Match(TokenType::kComma)) break;
+          }
+        }
+        VP_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "after arguments"));
+        expr = Result<ExprPtr>(std::move(call));
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kNumber: {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kNumber;
+        e->line = t.line;
+        e->number = t.number;
+        return e;
+      }
+      case TokenType::kString: {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kString;
+        e->line = t.line;
+        e->string_value = t.text;
+        return e;
+      }
+      case TokenType::kTrue:
+      case TokenType::kFalse: {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kBool;
+        e->line = t.line;
+        e->bool_value = t.type == TokenType::kTrue;
+        return e;
+      }
+      case TokenType::kNull: {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kNull;
+        e->line = t.line;
+        return e;
+      }
+      case TokenType::kUndefined: {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kUndefined;
+        e->line = t.line;
+        return e;
+      }
+      case TokenType::kIdentifier: {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kIdentifier;
+        e->line = t.line;
+        e->string_value = t.text;
+        return e;
+      }
+      case TokenType::kLParen: {
+        Advance();
+        auto inner = ParseExpression();
+        if (!inner.ok()) return inner;
+        VP_RETURN_IF_ERROR_R(Expect(TokenType::kRParen, "after expression"));
+        return inner;
+      }
+      case TokenType::kLBracket: {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kArrayLiteral;
+        e->line = t.line;
+        if (!Check(TokenType::kRBracket)) {
+          while (true) {
+            auto item = ParseAssignment();
+            if (!item.ok()) return item;
+            e->elements.push_back(std::move(*item));
+            if (!Match(TokenType::kComma)) break;
+            if (Check(TokenType::kRBracket)) break;  // trailing comma
+          }
+        }
+        VP_RETURN_IF_ERROR_R(Expect(TokenType::kRBracket, "after array"));
+        return Result<ExprPtr>(std::move(e));
+      }
+      case TokenType::kLBrace: {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kObjectLiteral;
+        e->line = t.line;
+        if (!Check(TokenType::kRBrace)) {
+          while (true) {
+            std::string key;
+            if (Check(TokenType::kIdentifier) || Check(TokenType::kString)) {
+              key = Advance().text;
+            } else if (Check(TokenType::kNumber)) {
+              key = Advance().text;
+            } else {
+              return Fail("expected property name");
+            }
+            VP_RETURN_IF_ERROR_R(
+                Expect(TokenType::kColon, "after property name"));
+            auto value = ParseAssignment();
+            if (!value.ok()) return value;
+            e->properties.emplace_back(std::move(key), std::move(*value));
+            if (!Match(TokenType::kComma)) break;
+            if (Check(TokenType::kRBrace)) break;  // trailing comma
+          }
+        }
+        VP_RETURN_IF_ERROR_R(Expect(TokenType::kRBrace, "after object"));
+        return Result<ExprPtr>(std::move(e));
+      }
+      case TokenType::kFunction: {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kFunction;
+        e->line = t.line;
+        if (Check(TokenType::kIdentifier)) e->function_name = Advance().text;
+        auto params = ParseParamList();
+        if (!params.ok()) return params.error();
+        e->params = std::move(*params);
+        auto body = ParseBlock();
+        if (!body.ok()) return body.error();
+        e->body = std::move(*body);
+        return Result<ExprPtr>(std::move(e));
+      }
+      default:
+        return Fail("expected an expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<Program>> ParseProgram(std::string_view source) {
+  auto tokens = Tokenize(source);
+  if (!tokens.ok()) return tokens.error();
+  return Parser(std::move(*tokens)).Run();
+}
+
+}  // namespace vp::script

@@ -1,0 +1,14 @@
+// vpscript recursive-descent parser.
+#pragma once
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "script/ast.hpp"
+
+namespace vp::script {
+
+/// Parse a complete program. Errors carry line/column positions.
+Result<std::shared_ptr<Program>> ParseProgram(std::string_view source);
+
+}  // namespace vp::script

@@ -1,0 +1,253 @@
+#include "script/value.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vp::script {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kUndefined: return "undefined";
+    case ValueType::kNull: return "null";
+    case ValueType::kBool: return "boolean";
+    case ValueType::kNumber: return "number";
+    case ValueType::kString: return "string";
+    case ValueType::kObject: return "object";
+    case ValueType::kArray: return "array";
+    case ValueType::kFunction: return "function";
+    case ValueType::kHostFunction: return "function";
+  }
+  return "?";
+}
+
+Value* ScriptObject::Find(const std::string& key) {
+  for (auto& [k, v] : items_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value* ScriptObject::Find(const std::string& key) const {
+  for (const auto& [k, v] : items_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void ScriptObject::Set(const std::string& key, Value v) {
+  if (Value* existing = Find(key)) {
+    *existing = std::move(v);
+    return;
+  }
+  items_.emplace_back(key, std::move(v));
+}
+
+bool ScriptObject::Erase(const std::string& key) {
+  for (auto it = items_.begin(); it != items_.end(); ++it) {
+    if (it->first == key) {
+      items_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Value Value::MakeHostFunction(std::string name, HostFunction fn) {
+  auto hf = std::make_shared<HostFunctionValue>();
+  hf->name = std::move(name);
+  hf->fn = std::move(fn);
+  return Value(std::move(hf));
+}
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0: return ValueType::kUndefined;
+    case 1: return ValueType::kNull;
+    case 2: return ValueType::kBool;
+    case 3: return ValueType::kNumber;
+    case 4: return ValueType::kString;
+    case 5: return ValueType::kObject;
+    case 6: return ValueType::kArray;
+    case 7: return ValueType::kFunction;
+    default: return ValueType::kHostFunction;
+  }
+}
+
+bool Value::Truthy() const {
+  switch (type()) {
+    case ValueType::kUndefined:
+    case ValueType::kNull:
+      return false;
+    case ValueType::kBool:
+      return AsBool();
+    case ValueType::kNumber: {
+      const double d = AsNumber();
+      return d != 0.0 && !std::isnan(d);
+    }
+    case ValueType::kString:
+      return !AsString().empty();
+    default:
+      return true;
+  }
+}
+
+namespace {
+std::string NumberToString(double d) {
+  if (std::isnan(d)) return "NaN";
+  if (std::isinf(d)) return d > 0 ? "Infinity" : "-Infinity";
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%g", d);
+  return buf;
+}
+}  // namespace
+
+std::string Value::ToDisplayString() const {
+  switch (type()) {
+    case ValueType::kUndefined: return "undefined";
+    case ValueType::kNull: return "null";
+    case ValueType::kBool: return AsBool() ? "true" : "false";
+    case ValueType::kNumber: return NumberToString(AsNumber());
+    case ValueType::kString: return AsString();
+    case ValueType::kObject: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [k, v] : AsObject()->items()) {
+        if (!first) out += ", ";
+        first = false;
+        out += k + ": " + (v.is_string() ? "\"" + v.AsString() + "\""
+                                         : v.ToDisplayString());
+      }
+      return out + "}";
+    }
+    case ValueType::kArray: {
+      std::string out = "[";
+      bool first = true;
+      for (const auto& v : *AsArray()) {
+        if (!first) out += ", ";
+        first = false;
+        out += v.is_string() ? "\"" + v.AsString() + "\""
+                             : v.ToDisplayString();
+      }
+      return out + "]";
+    }
+    case ValueType::kFunction:
+      return "function " + AsFunction()->name + "() { … }";
+    case ValueType::kHostFunction:
+      return "function " + AsHostFunction()->name + "() { [native] }";
+  }
+  return "?";
+}
+
+double Value::ToNumber() const {
+  switch (type()) {
+    case ValueType::kUndefined: return std::nan("");
+    case ValueType::kNull: return 0.0;
+    case ValueType::kBool: return AsBool() ? 1.0 : 0.0;
+    case ValueType::kNumber: return AsNumber();
+    case ValueType::kString: {
+      const std::string& s = AsString();
+      if (s.empty()) return 0.0;
+      char* end = nullptr;
+      const double v = std::strtod(s.c_str(), &end);
+      // Trailing whitespace is tolerated; other junk → NaN.
+      while (end && *end == ' ') ++end;
+      if (end != s.c_str() + s.size()) return std::nan("");
+      return v;
+    }
+    default:
+      return std::nan("");
+  }
+}
+
+bool Value::StrictEquals(const Value& o) const {
+  if (type() != o.type()) return false;
+  switch (type()) {
+    case ValueType::kUndefined:
+    case ValueType::kNull:
+      return true;
+    case ValueType::kBool:
+      return AsBool() == o.AsBool();
+    case ValueType::kNumber:
+      return AsNumber() == o.AsNumber();
+    case ValueType::kString:
+      return AsString() == o.AsString();
+    case ValueType::kObject:
+      return AsObject() == o.AsObject();
+    case ValueType::kArray:
+      return AsArray() == o.AsArray();
+    case ValueType::kFunction:
+      return AsFunction() == o.AsFunction();
+    case ValueType::kHostFunction:
+      return AsHostFunction() == o.AsHostFunction();
+  }
+  return false;
+}
+
+bool Value::LooseEquals(const Value& o) const {
+  if (type() == o.type()) return StrictEquals(o);
+  if (is_nullish() && o.is_nullish()) return true;
+  // number <-> string coercion
+  if ((is_number() && o.is_string()) || (is_string() && o.is_number())) {
+    return ToNumber() == o.ToNumber();
+  }
+  // bool coerces to number
+  if (is_bool()) return Value(ToNumber()).LooseEquals(o);
+  if (o.is_bool()) return LooseEquals(Value(o.ToNumber()));
+  return false;
+}
+
+void Environment::Define(const std::string& name, Value v, bool is_const) {
+  for (auto& [n, binding] : bindings_) {
+    if (n == name) {
+      binding.value = std::move(v);
+      binding.is_const = is_const;
+      return;
+    }
+  }
+  bindings_.emplace_back(name, Binding{std::move(v), is_const});
+}
+
+Value* Environment::Find(const std::string& name) {
+  for (auto& [n, binding] : bindings_) {
+    if (n == name) return &binding.value;
+  }
+  return parent_ ? parent_->Find(name) : nullptr;
+}
+
+Status Environment::Assign(const std::string& name, Value v) {
+  for (auto& [n, binding] : bindings_) {
+    if (n == name) {
+      if (binding.is_const) {
+        return Status(StatusCode::kScriptError,
+                      "assignment to const '" + name + "'");
+      }
+      binding.value = std::move(v);
+      return Status::Ok();
+    }
+  }
+  if (parent_) return parent_->Assign(name, std::move(v));
+  return Status(StatusCode::kScriptError,
+                "assignment to undeclared variable '" + name + "'");
+}
+
+std::vector<std::string> Environment::LocalNames() const {
+  std::vector<std::string> names;
+  names.reserve(bindings_.size());
+  for (const auto& [name, binding] : bindings_) names.push_back(name);
+  return names;
+}
+
+bool Environment::IsConst(const std::string& name) const {
+  for (const auto& [n, binding] : bindings_) {
+    if (n == name) return binding.is_const;
+  }
+  return parent_ ? parent_->IsConst(name) : false;
+}
+
+}  // namespace vp::script

@@ -1,0 +1,176 @@
+// vpscript runtime values.
+//
+// Values have JavaScript-like semantics: numbers are doubles, objects
+// and arrays are reference types (shared), functions are first-class
+// closures. Host functions let the VideoPipe runtime expose the
+// paper's Table-1 API (call_service / call_module / …) to module code.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vp::script {
+
+class Value;
+class Interpreter;
+struct Program;
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Insertion-ordered property map (for-in iterates in insertion order).
+class ScriptObject {
+ public:
+  Value* Find(const std::string& key);
+  const Value* Find(const std::string& key) const;
+  void Set(const std::string& key, Value v);
+  bool Erase(const std::string& key);
+  size_t size() const { return items_.size(); }
+  const std::vector<std::pair<std::string, Value>>& items() const {
+    return items_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, Value>> items_;
+};
+
+using ScriptArray = std::vector<Value>;
+
+/// A script-defined function (closure).
+struct ScriptFunction {
+  std::string name;  // may be empty
+  std::vector<std::string> params;
+  /// Non-owning view of the body; `owner` keeps the AST alive.
+  const std::vector<StmtPtr>* body = nullptr;
+  std::shared_ptr<Program> owner;
+  std::shared_ptr<class Environment> closure;
+};
+
+/// A C++ function exposed to scripts.
+using HostFunction =
+    std::function<Result<Value>(std::vector<Value>& args, Interpreter& interp)>;
+
+struct HostFunctionValue {
+  std::string name;
+  HostFunction fn;
+};
+
+enum class ValueType {
+  kUndefined, kNull, kBool, kNumber, kString, kObject, kArray,
+  kFunction, kHostFunction,
+};
+
+const char* ValueTypeName(ValueType t);
+
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}  // undefined
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(int i) : data_(static_cast<double>(i)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(std::shared_ptr<ScriptObject> o) : data_(std::move(o)) {}
+  Value(std::shared_ptr<ScriptArray> a) : data_(std::move(a)) {}
+  Value(std::shared_ptr<ScriptFunction> f) : data_(std::move(f)) {}
+  Value(std::shared_ptr<HostFunctionValue> h) : data_(std::move(h)) {}
+
+  static Value Undefined() { return Value(); }
+  static Value MakeObject() {
+    return Value(std::make_shared<ScriptObject>());
+  }
+  static Value MakeArray() { return Value(std::make_shared<ScriptArray>()); }
+  static Value MakeHostFunction(std::string name, HostFunction fn);
+
+  ValueType type() const;
+  bool is_undefined() const { return type() == ValueType::kUndefined; }
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_nullish() const { return is_undefined() || is_null(); }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_number() const { return type() == ValueType::kNumber; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_object() const { return type() == ValueType::kObject; }
+  bool is_array() const { return type() == ValueType::kArray; }
+  bool is_function() const {
+    return type() == ValueType::kFunction ||
+           type() == ValueType::kHostFunction;
+  }
+
+  bool AsBool() const { return std::get<bool>(data_); }
+  double AsNumber() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  const std::shared_ptr<ScriptObject>& AsObject() const {
+    return std::get<std::shared_ptr<ScriptObject>>(data_);
+  }
+  const std::shared_ptr<ScriptArray>& AsArray() const {
+    return std::get<std::shared_ptr<ScriptArray>>(data_);
+  }
+  const std::shared_ptr<ScriptFunction>& AsFunction() const {
+    return std::get<std::shared_ptr<ScriptFunction>>(data_);
+  }
+  const std::shared_ptr<HostFunctionValue>& AsHostFunction() const {
+    return std::get<std::shared_ptr<HostFunctionValue>>(data_);
+  }
+
+  /// JS truthiness.
+  bool Truthy() const;
+
+  /// Abstract ToString (used by `+` concatenation and console.log).
+  std::string ToDisplayString() const;
+
+  /// ToNumber coercion: true→1, "12"→12, null→0, undefined→NaN, …
+  double ToNumber() const;
+
+  /// Strict equality (===). Objects/arrays compare by identity.
+  bool StrictEquals(const Value& o) const;
+
+  /// Loose equality (==): strict, plus null == undefined and
+  /// number/string cross-coercion.
+  bool LooseEquals(const Value& o) const;
+
+ private:
+  std::variant<std::monostate, std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<ScriptObject>, std::shared_ptr<ScriptArray>,
+               std::shared_ptr<ScriptFunction>,
+               std::shared_ptr<HostFunctionValue>>
+      data_;
+};
+
+/// Lexical scope chain.
+class Environment : public std::enable_shared_from_this<Environment> {
+ public:
+  explicit Environment(std::shared_ptr<Environment> parent = nullptr)
+      : parent_(std::move(parent)) {}
+
+  /// Define in this scope (shadows outer scopes).
+  void Define(const std::string& name, Value v, bool is_const = false);
+
+  /// Lookup through the chain; nullptr when unbound.
+  Value* Find(const std::string& name);
+
+  /// Assign to an existing binding; errors when unbound or const.
+  Status Assign(const std::string& name, Value v);
+
+  bool IsConst(const std::string& name) const;
+
+  /// Names bound directly in this scope (not the chain), in
+  /// definition order — used for module state snapshots.
+  std::vector<std::string> LocalNames() const;
+
+  const std::shared_ptr<Environment>& parent() const { return parent_; }
+
+ private:
+  struct Binding {
+    Value value;
+    bool is_const = false;
+  };
+  std::shared_ptr<Environment> parent_;
+  std::vector<std::pair<std::string, Binding>> bindings_;
+};
+
+}  // namespace vp::script

@@ -1,0 +1,55 @@
+#include "services/autoscaler.hpp"
+
+#include "common/log.hpp"
+
+namespace vp::services {
+
+Autoscaler::Autoscaler(sim::Cluster* cluster, ContainerRuntime* containers,
+                       ServiceRegistry* registry, AutoscalerOptions options)
+    : cluster_(cluster), containers_(containers), registry_(registry),
+      options_(options) {}
+
+void Autoscaler::Start() {
+  if (running_) return;
+  running_ = true;
+  cluster_->simulator().After(options_.check_interval, [this] { Check(); });
+}
+
+void Autoscaler::Watch(const std::string& device, const std::string& service) {
+  watched_.emplace_back(device, service);
+}
+
+void Autoscaler::Check() {
+  if (!running_) return;
+  const TimePoint now = cluster_->Now();
+  for (const auto& [device, service] : watched_) {
+    auto replicas = registry_->Replicas(device, service);
+    if (replicas.empty() ||
+        static_cast<int>(replicas.size()) >= options_.max_replicas_per_group) {
+      continue;
+    }
+    int total_backlog = 0;
+    for (ServiceInstance* replica : replicas) {
+      total_backlog += replica->backlog(now);
+    }
+    const double avg = static_cast<double>(total_backlog) /
+                       static_cast<double>(replicas.size());
+    if (avg > options_.backlog_high_water) {
+      auto instance = containers_->Launch(device, service);
+      if (instance.ok()) {
+        registry_->Add(std::move(*instance));
+        events_.push_back(ScaleEvent{now, device, service,
+                                     static_cast<int>(replicas.size()) + 1});
+        VP_INFO("autoscaler")
+            << "scaled " << service << " on " << device << " to "
+            << replicas.size() + 1 << " replicas (avg backlog " << avg << ")";
+      } else {
+        VP_WARN("autoscaler") << "scale-up of " << service << " on " << device
+                              << " failed: " << instance.error().ToString();
+      }
+    }
+  }
+  cluster_->simulator().After(options_.check_interval, [this] { Check(); });
+}
+
+}  // namespace vp::services

@@ -1,0 +1,58 @@
+// Service autoscaler — the paper's future-work item, implemented
+// (§7: "scale up services automatically based on workload"; §5.2.2:
+// "It also implies that we should scale the services at this point,
+// which is convenient in our design as the services are stateless").
+//
+// Periodically samples per-group backlog; when the average backlog per
+// replica exceeds the high-water mark, launches another replica of the
+// same service on the same device (if container cores remain).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "services/registry.hpp"
+
+namespace vp::services {
+
+struct AutoscalerOptions {
+  Duration check_interval = Duration::Millis(500);
+  /// Scale up when average backlog per replica exceeds this.
+  double backlog_high_water = 2.0;
+  int max_replicas_per_group = 4;
+};
+
+struct ScaleEvent {
+  TimePoint when;
+  std::string device;
+  std::string service;
+  int replicas_after = 0;
+};
+
+class Autoscaler {
+ public:
+  Autoscaler(sim::Cluster* cluster, ContainerRuntime* containers,
+             ServiceRegistry* registry, AutoscalerOptions options = {});
+
+  /// Begin periodic checks (schedules itself on the simulator).
+  void Start();
+  void Stop() { running_ = false; }
+
+  /// Watch a (device, service) group for scaling.
+  void Watch(const std::string& device, const std::string& service);
+
+  const std::vector<ScaleEvent>& events() const { return events_; }
+
+ private:
+  void Check();
+
+  sim::Cluster* cluster_;
+  ContainerRuntime* containers_;
+  ServiceRegistry* registry_;
+  AutoscalerOptions options_;
+  std::vector<std::pair<std::string, std::string>> watched_;
+  std::vector<ScaleEvent> events_;
+  bool running_ = false;
+};
+
+}  // namespace vp::services

@@ -1,0 +1,70 @@
+#include "services/container.hpp"
+
+#include <algorithm>
+
+namespace vp::services {
+
+void ServiceInstance::Invoke(ServiceRequest request,
+                             std::function<void(Result<json::Value>)> done) {
+  ++stats_.requests;
+  Duration cost = impl_->Cost(request);
+  if (cost_jitter_ > 0.0) {
+    const double factor =
+        std::max(0.5, 1.0 + jitter_rng_.NextGaussian(0.0, cost_jitter_));
+    cost = cost * factor;
+  }
+  stats_.busy += cost;
+  lane_->Run(cost, [this, request = std::move(request),
+                    done = std::move(done)]() mutable {
+    auto result = impl_->Handle(request);
+    if (!result.ok()) ++stats_.errors;
+    if (done) done(std::move(result));
+  });
+}
+
+Result<std::unique_ptr<ServiceInstance>> ContainerRuntime::LaunchImpl(
+    const std::string& device, const std::string& service, bool native) {
+  sim::Device* dev = cluster_->FindDevice(device);
+  if (dev == nullptr) return NotFound("unknown device '" + device + "'");
+
+  auto impl = catalog_->Create(service);
+  if (!impl.ok()) return impl.error();
+
+  sim::ExecutionLane* lane = nullptr;
+  if (native) {
+    native_lanes_.push_back(std::make_unique<sim::ExecutionLane>(
+        &cluster_->simulator(), device + "/native:" + service,
+        dev->spec().cpu_speed));
+    lane = native_lanes_.back().get();
+  } else {
+    if (!dev->spec().supports_containers) {
+      return FailedPrecondition("device '" + device +
+                                "' cannot run containers");
+    }
+    lane = dev->AllocateContainerLane("svc:" + service);
+    if (lane == nullptr) {
+      return ResourceExhausted("device '" + device +
+                               "' is out of container cores");
+    }
+  }
+
+  // Startup: occupy the new lane for the cold-start duration so early
+  // requests queue behind it.
+  lane->Run(native ? options_.native_startup : options_.startup, nullptr);
+
+  return std::make_unique<ServiceInstance>(
+      device, std::move(*impl), lane, native, options_.cost_jitter,
+      options_.jitter_seed + ++launch_counter_);
+}
+
+Result<std::unique_ptr<ServiceInstance>> ContainerRuntime::Launch(
+    const std::string& device, const std::string& service) {
+  return LaunchImpl(device, service, /*native=*/false);
+}
+
+Result<std::unique_ptr<ServiceInstance>> ContainerRuntime::LaunchNative(
+    const std::string& device, const std::string& service) {
+  return LaunchImpl(device, service, /*native=*/true);
+}
+
+}  // namespace vp::services

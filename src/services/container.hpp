@@ -1,0 +1,114 @@
+// Container runtime simulation.
+//
+// "we can only deploy the services on the devices that support
+//  containers as services will be running inside containers" (§2.2).
+//
+// A ServiceInstance is one running replica: a Service implementation
+// bound to a dedicated ExecutionLane on its device (containers run in
+// parallel with each other and with the module runtime). Launching a
+// container charges a startup delay; native services (camera, display
+// — the paper's blue boxes in Fig. 4) skip the container path and can
+// run on constrained devices.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "services/service.hpp"
+#include "sim/cluster.hpp"
+
+namespace vp::services {
+
+/// Resolves a "frame_id" in a request against the *serving* device's
+/// frame store. Provided by the core runtime (which owns the stores).
+using FrameResolver = std::function<Result<media::FramePtr>(
+    const std::string& device, media::FrameId id)>;
+
+struct ServiceInstanceStats {
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  Duration busy;
+};
+
+class ServiceInstance {
+ public:
+  ServiceInstance(std::string device, std::unique_ptr<Service> impl,
+                  sim::ExecutionLane* lane, bool native,
+                  double cost_jitter = 0.0, uint64_t jitter_seed = 1)
+      : device_(std::move(device)), impl_(std::move(impl)), lane_(lane),
+        native_(native), name_(impl_->name()), cost_jitter_(cost_jitter),
+        jitter_rng_(jitter_seed) {}
+
+  const std::string& device() const { return device_; }
+  const std::string& service_name() const { return name_; }
+  bool native() const { return native_; }
+  sim::ExecutionLane* lane() const { return lane_; }
+  const ServiceInstanceStats& stats() const { return stats_; }
+
+  /// Tasks admitted but not finished on this replica's lane.
+  int backlog(TimePoint now) const { return lane_->backlog(now); }
+
+  /// Asynchronously handle a request: the compute cost is charged on
+  /// this replica's lane; `done` fires at completion with the result.
+  void Invoke(ServiceRequest request,
+              std::function<void(Result<json::Value>)> done);
+
+ private:
+  std::string device_;
+  std::unique_ptr<Service> impl_;
+  sim::ExecutionLane* lane_;
+  bool native_;
+  std::string name_;
+  /// Multiplicative compute-time variance (σ of a clamped Gaussian) —
+  /// real devices do not execute a CNN in constant time.
+  double cost_jitter_;
+  Rng jitter_rng_;
+  ServiceInstanceStats stats_;
+};
+
+struct ContainerOptions {
+  /// Container cold-start delay (image already present on device).
+  Duration startup = Duration::Millis(350);
+  /// Native services start immediately.
+  Duration native_startup = Duration::Millis(5);
+  /// Service compute-time jitter (multiplicative σ; 0 = deterministic).
+  double cost_jitter = 0.0;
+  uint64_t jitter_seed = 1;
+};
+
+/// Launches replicas on cluster devices.
+class ContainerRuntime {
+ public:
+  ContainerRuntime(sim::Cluster* cluster, const ServiceCatalog* catalog,
+                   ContainerOptions options = {})
+      : cluster_(cluster), catalog_(catalog), options_(options) {}
+
+  /// Launch a containerized replica of `service` on `device`.
+  /// Fails on unknown device/service, non-container device, or core
+  /// exhaustion. The instance becomes usable after the startup delay
+  /// (callers may invoke earlier; work queues behind the startup).
+  Result<std::unique_ptr<ServiceInstance>> Launch(
+      const std::string& device, const std::string& service);
+
+  /// Launch a native (non-containerized) service — allowed on any
+  /// device; runs on a dedicated native lane.
+  Result<std::unique_ptr<ServiceInstance>> LaunchNative(
+      const std::string& device, const std::string& service);
+
+  const ContainerOptions& options() const { return options_; }
+
+ private:
+  Result<std::unique_ptr<ServiceInstance>> LaunchImpl(
+      const std::string& device, const std::string& service, bool native);
+
+  sim::Cluster* cluster_;
+  const ServiceCatalog* catalog_;
+  ContainerOptions options_;
+  uint64_t launch_counter_ = 0;
+  // Lanes for native services; kept alive for the cluster's lifetime.
+  std::vector<std::unique_ptr<sim::ExecutionLane>> native_lanes_;
+};
+
+}  // namespace vp::services

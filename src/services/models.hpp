@@ -1,0 +1,27 @@
+// Shared pretrained models for the builtin services.
+//
+// Stateless replicas must produce identical answers, so every replica
+// of a service shares one deterministic pretrained model (trained
+// once per process on the synthetic dataset with fixed seeds —
+// standing in for the paper's models trained on "all available
+// labelled data").
+#pragma once
+
+#include "cv/activity.hpp"
+#include "cv/classifier.hpp"
+
+namespace vp::services {
+
+/// Activity kNN trained on the 6 gesture/exercise classes (idle,
+/// squat, jumping_jack, lunge, wave, clap). Trained lazily, cached.
+const cv::ActivityClassifier& SharedActivityModel();
+
+/// Image classifier over scene thumbnails: "person_present" vs
+/// "empty_room".
+const cv::ImageClassifier& SharedImageClassifierModel();
+
+/// Withheld-test accuracy of the shared activity model (computed at
+/// training time; the paper reports > 90%).
+double SharedActivityModelTestAccuracy();
+
+}  // namespace vp::services

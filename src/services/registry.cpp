@@ -1,0 +1,62 @@
+#include "services/registry.hpp"
+
+#include <algorithm>
+
+namespace vp::services {
+
+void ServiceRegistry::Add(std::unique_ptr<ServiceInstance> instance) {
+  const Key key{instance->device(), instance->service_name()};
+  groups_[key].push_back(std::move(instance));
+}
+
+ServiceInstance* ServiceRegistry::Find(const std::string& device,
+                                       const std::string& service) {
+  auto it = groups_.find(Key{device, service});
+  if (it == groups_.end() || it->second.empty()) return nullptr;
+  const TimePoint now = cluster_->Now();
+  ServiceInstance* best = it->second.front().get();
+  for (const auto& candidate : it->second) {
+    if (candidate->backlog(now) < best->backlog(now)) {
+      best = candidate.get();
+    }
+  }
+  return best;
+}
+
+std::vector<ServiceInstance*> ServiceRegistry::Replicas(
+    const std::string& device, const std::string& service) {
+  std::vector<ServiceInstance*> out;
+  auto it = groups_.find(Key{device, service});
+  if (it == groups_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& instance : it->second) out.push_back(instance.get());
+  return out;
+}
+
+std::vector<std::string> ServiceRegistry::DevicesHosting(
+    const std::string& service) const {
+  std::vector<std::string> out;
+  for (const auto& [key, group] : groups_) {
+    if (key.second == service && !group.empty()) {
+      out.push_back(key.first);
+    }
+  }
+  return out;
+}
+
+size_t ServiceRegistry::total_instances() const {
+  size_t total = 0;
+  for (const auto& [key, group] : groups_) total += group.size();
+  return total;
+}
+
+uint64_t ServiceRegistry::RequestCount(const std::string& device,
+                                       const std::string& service) {
+  uint64_t total = 0;
+  for (ServiceInstance* instance : Replicas(device, service)) {
+    total += instance->stats().requests;
+  }
+  return total;
+}
+
+}  // namespace vp::services

@@ -1,0 +1,49 @@
+// Service registry: where replicas live and how callers find them.
+//
+// Keyed by (device, service). Lookup returns the least-loaded replica
+// in the group (power-of-all-choices — groups are tiny), which is what
+// gives stateless services their horizontal-scaling payoff (§2.2,
+// §5.2.2).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "services/container.hpp"
+
+namespace vp::services {
+
+class ServiceRegistry {
+ public:
+  explicit ServiceRegistry(sim::Cluster* cluster) : cluster_(cluster) {}
+
+  /// Take ownership of a launched replica.
+  void Add(std::unique_ptr<ServiceInstance> instance);
+
+  /// Least-backlog replica of `service` on `device`; nullptr if none.
+  ServiceInstance* Find(const std::string& device,
+                        const std::string& service);
+
+  /// All replicas of `service` on `device`.
+  std::vector<ServiceInstance*> Replicas(const std::string& device,
+                                         const std::string& service);
+
+  /// Devices hosting at least one replica of `service`.
+  std::vector<std::string> DevicesHosting(const std::string& service) const;
+
+  /// Total replicas across the cluster.
+  size_t total_instances() const;
+
+  /// Aggregate request count for one service group (tests/metrics).
+  uint64_t RequestCount(const std::string& device,
+                        const std::string& service);
+
+ private:
+  using Key = std::pair<std::string, std::string>;  // (device, service)
+  sim::Cluster* cluster_;
+  std::map<Key, std::vector<std::unique_ptr<ServiceInstance>>> groups_;
+};
+
+}  // namespace vp::services

@@ -1,0 +1,37 @@
+#include "services/service.hpp"
+
+namespace vp::services {
+
+Status ServiceCatalog::Register(const std::string& name,
+                                ServiceFactory factory) {
+  if (factories_.count(name) != 0) {
+    return Status(StatusCode::kAlreadyExists,
+                  "service '" + name + "' already registered");
+  }
+  factories_[name] = std::move(factory);
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<Service>> ServiceCatalog::Create(
+    const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return NotFound("service '" + name + "' not in catalog");
+  }
+  return it->second();
+}
+
+std::vector<std::string> ServiceCatalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+ServiceCatalog ServiceCatalog::WithBuiltins() {
+  ServiceCatalog catalog;
+  RegisterBuiltinServices(catalog);
+  return catalog;
+}
+
+}  // namespace vp::services

@@ -1,0 +1,73 @@
+// Stateless services (paper §2.2).
+//
+// "The main video analytics are performed by stateless services
+//  accessible to modules. … These services all receive needed data as
+//  input so they do not require saving state. This allows the services
+//  to be shared among different applications and also allows for
+//  horizontal scaling."
+//
+// A Service is a pure request → response handler plus a compute-cost
+// model. Handlers MUST NOT keep per-caller state; anything evolving
+// (e.g. the rep counter's cluster state) travels inside the request
+// and response. Tests assert replica-count invariance of results.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/time.hpp"
+#include "json/value.hpp"
+#include "media/frame.hpp"
+
+namespace vp::services {
+
+struct ServiceRequest {
+  json::Value payload;
+  /// Frame resolved from the payload's "frame_id" against the serving
+  /// device's FrameStore (nullptr when the request carries no frame).
+  media::FramePtr frame;
+};
+
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Reference-device compute cost of handling `request`.
+  virtual Duration Cost(const ServiceRequest& request) const = 0;
+
+  /// Pure handler. Runs when the simulated compute completes.
+  virtual Result<json::Value> Handle(const ServiceRequest& request) = 0;
+};
+
+using ServiceFactory = std::function<std::unique_ptr<Service>()>;
+
+/// Catalog of installable service images ("services are preinstalled
+/// on some edge devices", §2.2). Name → factory.
+class ServiceCatalog {
+ public:
+  Status Register(const std::string& name, ServiceFactory factory);
+  Result<std::unique_ptr<Service>> Create(const std::string& name) const;
+  bool Contains(const std::string& name) const {
+    return factories_.count(name) != 0;
+  }
+  std::vector<std::string> names() const;
+
+  /// Catalog with every builtin VideoPipe service registered:
+  /// pose_detector, activity_classifier, rep_counter, object_detector,
+  /// face_detector, fall_detector, image_classifier, display.
+  static ServiceCatalog WithBuiltins();
+
+ private:
+  std::map<std::string, ServiceFactory> factories_;
+};
+
+/// Register the builtin services into an existing catalog.
+void RegisterBuiltinServices(ServiceCatalog& catalog);
+
+}  // namespace vp::services

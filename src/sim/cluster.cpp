@@ -1,0 +1,82 @@
+#include "sim/cluster.hpp"
+
+namespace vp::sim {
+
+Cluster::Cluster(uint64_t seed) {
+  network_ = std::make_unique<Network>(&sim_, seed);
+}
+
+Result<Device*> Cluster::AddDevice(DeviceSpec spec) {
+  if (devices_.count(spec.name) != 0) {
+    return AlreadyExists("device '" + spec.name + "' already exists");
+  }
+  const std::string name = spec.name;
+  auto device = std::make_unique<Device>(&sim_, std::move(spec));
+  Device* ptr = device.get();
+  devices_[name] = std::move(device);
+  order_.push_back(name);
+  return ptr;
+}
+
+Device* Cluster::FindDevice(const std::string& name) {
+  auto it = devices_.find(name);
+  return it == devices_.end() ? nullptr : it->second.get();
+}
+
+const Device* Cluster::FindDevice(const std::string& name) const {
+  auto it = devices_.find(name);
+  return it == devices_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Device*> Cluster::devices() {
+  std::vector<Device*> out;
+  out.reserve(order_.size());
+  for (const auto& name : order_) out.push_back(devices_[name].get());
+  return out;
+}
+
+std::vector<std::string> Cluster::device_names() const { return order_; }
+
+std::vector<Device*> Cluster::container_devices() {
+  std::vector<Device*> out;
+  for (Device* d : devices()) {
+    if (d->spec().supports_containers) out.push_back(d);
+  }
+  return out;
+}
+
+std::unique_ptr<Cluster> MakeHomeTestbed(uint64_t seed) {
+  auto cluster = std::make_unique<Cluster>(seed);
+
+  DeviceSpec phone;
+  phone.name = "phone";
+  phone.cpu_speed = 0.35;
+  phone.supports_containers = false;
+  phone.capabilities = {"camera"};
+  (void)cluster->AddDevice(phone);
+
+  DeviceSpec desktop;
+  desktop.name = "desktop";
+  desktop.cpu_speed = 1.0;
+  desktop.supports_containers = true;
+  desktop.container_cores = 6;
+  (void)cluster->AddDevice(desktop);
+
+  DeviceSpec tv;
+  tv.name = "tv";
+  tv.cpu_speed = 0.5;
+  tv.supports_containers = true;
+  tv.container_cores = 2;
+  tv.capabilities = {"display"};
+  (void)cluster->AddDevice(tv);
+
+  LinkSpec wifi;
+  wifi.latency = Duration::Millis(3.5);
+  wifi.bandwidth_bps = 80e6;
+  wifi.jitter = Duration::Millis(0.8);
+  cluster->network().set_default_link(wifi);
+
+  return cluster;
+}
+
+}  // namespace vp::sim

@@ -1,0 +1,53 @@
+// Cluster: the simulated home — a Simulator, a set of Devices and the
+// Network connecting them. Includes the canonical three-device testbed
+// from the paper's evaluation (§5.1): a 2018 flagship phone, a desktop
+// and a TV, connected over Wi-Fi.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/device.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace vp::sim {
+
+class Cluster {
+ public:
+  explicit Cluster(uint64_t seed = 42);
+
+  Simulator& simulator() { return sim_; }
+  Network& network() { return *network_; }
+  TimePoint Now() const { return sim_.Now(); }
+
+  /// Add a device; name must be unique.
+  Result<Device*> AddDevice(DeviceSpec spec);
+
+  Device* FindDevice(const std::string& name);
+  const Device* FindDevice(const std::string& name) const;
+
+  std::vector<Device*> devices();
+  std::vector<std::string> device_names() const;
+
+  /// Devices able to host containerized services.
+  std::vector<Device*> container_devices();
+
+ private:
+  Simulator sim_;
+  std::unique_ptr<Network> network_;
+  std::map<std::string, std::unique_ptr<Device>> devices_;
+  std::vector<std::string> order_;  // insertion order
+};
+
+/// The paper's §5.1 testbed:
+///  - "phone":   2018 flagship, no containers, camera capability
+///  - "desktop": reference speed 1.0, containers (6 cores)
+///  - "tv":      mid-range SoC, containers (2 cores), display capability
+/// All pairs connected by home Wi-Fi (3.5 ms, 80 Mbit/s, 0.8 ms jitter).
+std::unique_ptr<Cluster> MakeHomeTestbed(uint64_t seed = 42);
+
+}  // namespace vp::sim

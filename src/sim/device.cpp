@@ -1,0 +1,56 @@
+#include "sim/device.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.hpp"
+
+namespace vp::sim {
+
+TimePoint ExecutionLane::Run(Duration ref_cost, Task done) {
+  assert(speed_ > 0.0);
+  const Duration actual = ref_cost / speed_;
+  const TimePoint start = std::max(sim_->Now(), busy_until_);
+  const TimePoint end = start + actual;
+  busy_until_ = end;
+  busy_time_ += actual;
+  ++tasks_run_;
+  ++backlog_;
+  sim_->At(end, [this, done = std::move(done)]() mutable {
+    --backlog_;
+    if (done) done();
+  });
+  return end;
+}
+
+bool DeviceSpec::HasCapability(const std::string& cap) const {
+  return std::find(capabilities.begin(), capabilities.end(), cap) !=
+         capabilities.end();
+}
+
+Device::Device(Simulator* sim, DeviceSpec spec)
+    : sim_(sim), spec_(std::move(spec)) {
+  module_lane_ = std::make_unique<ExecutionLane>(
+      sim_, spec_.name + "/modules", spec_.cpu_speed);
+}
+
+ExecutionLane* Device::AllocateContainerLane(const std::string& label) {
+  if (!spec_.supports_containers) return nullptr;
+  if (active_lanes_ >= spec_.container_cores) return nullptr;
+  ++active_lanes_;
+  container_lanes_.push_back(std::make_unique<ExecutionLane>(
+      sim_, spec_.name + "/" + label, spec_.cpu_speed));
+  return container_lanes_.back().get();
+}
+
+void Device::ReleaseContainerLane(ExecutionLane* lane) {
+  for (const auto& owned : container_lanes_) {
+    if (owned.get() == lane) {
+      --active_lanes_;
+      return;
+    }
+  }
+  assert(false && "ReleaseContainerLane: unknown lane");
+}
+
+}  // namespace vp::sim

@@ -1,0 +1,108 @@
+// Device model.
+//
+// A Device is a simulated edge node (phone, desktop, TV, …). It owns
+// one or more ExecutionLanes. A lane is a serially-executing compute
+// resource: the module runtime of a device shares one lane (modules on
+// a device are cooperatively scheduled, as in the paper's single JVM),
+// while every container replica gets its own lane (containers run in
+// parallel with each other).
+//
+// Costs are expressed in *reference milliseconds* — the time the
+// operation takes on a device with speed 1.0 (the desktop). A device
+// with speed 0.35 (the phone) takes cost/0.35.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+
+namespace vp::sim {
+
+/// Serially-executing compute resource (a core / container cpu share).
+class ExecutionLane {
+ public:
+  ExecutionLane(Simulator* sim, std::string name, double speed)
+      : sim_(sim), name_(std::move(name)), speed_(speed) {}
+
+  /// Enqueue work costing `ref_cost` reference time; `done` runs when
+  /// the work completes. Returns the completion time.
+  TimePoint Run(Duration ref_cost, Task done);
+
+  /// Time at which the lane becomes free.
+  TimePoint busy_until() const { return busy_until_; }
+
+  /// Total busy time accumulated (for utilization reports).
+  Duration busy_time() const { return busy_time_; }
+
+  /// Work items executed.
+  uint64_t tasks_run() const { return tasks_run_; }
+
+  /// Queue length right now (tasks admitted but not yet finished).
+  int backlog(TimePoint now) const {
+    return busy_until_ > now ? backlog_ : 0;
+  }
+
+  const std::string& name() const { return name_; }
+  double speed() const { return speed_; }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  double speed_;
+  TimePoint busy_until_;
+  Duration busy_time_;
+  uint64_t tasks_run_ = 0;
+  int backlog_ = 0;
+};
+
+/// Static description of a device.
+struct DeviceSpec {
+  std::string name;
+  /// CPU speed relative to the reference desktop (1.0).
+  double cpu_speed = 1.0;
+  /// Whether the device can host containerized services (paper §2.2).
+  bool supports_containers = false;
+  /// Extra lanes available for containers (beyond the module lane).
+  int container_cores = 0;
+  /// Free-form tags, e.g. "camera", "display" — native capabilities.
+  std::vector<std::string> capabilities;
+
+  bool HasCapability(const std::string& cap) const;
+};
+
+class Device {
+ public:
+  Device(Simulator* sim, DeviceSpec spec);
+
+  const std::string& name() const { return spec_.name; }
+  const DeviceSpec& spec() const { return spec_; }
+  Simulator* simulator() const { return sim_; }
+
+  /// The shared lane on which all the device's modules execute.
+  ExecutionLane& module_lane() { return *module_lane_; }
+
+  /// Allocate a dedicated lane for a container replica. Fails (returns
+  /// nullptr) if the device does not support containers or is out of
+  /// cores.
+  ExecutionLane* AllocateContainerLane(const std::string& label);
+
+  /// Release a lane previously allocated. The lane object stays alive
+  /// until device teardown (in-flight events may still reference it);
+  /// only the capacity slot is returned.
+  void ReleaseContainerLane(ExecutionLane* lane);
+
+  int allocated_container_lanes() const { return active_lanes_; }
+
+ private:
+  Simulator* sim_;
+  DeviceSpec spec_;
+  std::unique_ptr<ExecutionLane> module_lane_;
+  std::vector<std::unique_ptr<ExecutionLane>> container_lanes_;
+  int active_lanes_ = 0;
+};
+
+}  // namespace vp::sim

@@ -1,0 +1,90 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace vp::sim {
+
+Network::Network(Simulator* sim, uint64_t seed) : sim_(sim), rng_(seed) {}
+
+void Network::SetLink(const std::string& a, const std::string& b,
+                      LinkSpec spec) {
+  links_[{a, b}] = LinkState{spec, TimePoint()};
+}
+
+void Network::SetSymmetricLink(const std::string& a, const std::string& b,
+                               LinkSpec spec) {
+  SetLink(a, b, spec);
+  SetLink(b, a, spec);
+}
+
+const LinkSpec& Network::SpecFor(const std::string& from,
+                                 const std::string& to) const {
+  auto it = links_.find({from, to});
+  return it == links_.end() ? default_link_ : it->second.spec;
+}
+
+Network::LinkState& Network::StateFor(const std::string& from,
+                                      const std::string& to) {
+  auto it = links_.find({from, to});
+  if (it == links_.end()) {
+    it = links_.emplace(std::make_pair(from, to),
+                        LinkState{default_link_, TimePoint()})
+             .first;
+  }
+  return it->second;
+}
+
+TimePoint Network::Send(const std::string& from, const std::string& to,
+                        size_t bytes, Task on_delivery) {
+  ++stats_.messages;
+  stats_.bytes += bytes;
+
+  if (from == to) {
+    const TimePoint at = sim_->Now() + loopback_delay_;
+    sim_->At(at, std::move(on_delivery));
+    return at;
+  }
+
+  LinkState& link = StateFor(from, to);
+  const LinkSpec& spec = link.spec;
+
+  // Serialization: FIFO per link transmitter.
+  const Duration tx_time =
+      Duration::Seconds(static_cast<double>(bytes) * 8.0 / spec.bandwidth_bps);
+  const TimePoint tx_start = std::max(sim_->Now(), link.tx_free);
+  TimePoint tx_end = tx_start + tx_time;
+  link.tx_free = tx_end;
+
+  // Propagation + jitter.
+  Duration lat = spec.latency;
+  if (spec.jitter > Duration::Zero()) {
+    const double j = rng_.NextGaussian(0.0, spec.jitter.millis());
+    lat += Duration::Millis(std::max(j, -lat.millis() * 0.9));
+  }
+
+  // Loss → retransmit after one RTT (simplified ARQ). Rounds are
+  // capped so a fully-dead link (loss = 1.0) degrades to a very late
+  // delivery instead of an unbounded loop.
+  constexpr int kMaxRetransmits = 16;
+  for (int round = 0;
+       round < kMaxRetransmits && spec.loss > 0.0 && rng_.NextBool(spec.loss);
+       ++round) {
+    ++stats_.retransmits;
+    tx_end = tx_end + spec.latency * 2.0 + tx_time;
+    link.tx_free = tx_end;
+  }
+
+  const TimePoint at = tx_end + lat;
+  sim_->At(at, std::move(on_delivery));
+  return at;
+}
+
+Duration Network::EstimateDelay(const std::string& from, const std::string& to,
+                                size_t bytes) const {
+  if (from == to) return loopback_delay_;
+  const LinkSpec& spec = SpecFor(from, to);
+  return spec.latency + Duration::Seconds(static_cast<double>(bytes) * 8.0 /
+                                          spec.bandwidth_bps);
+}
+
+}  // namespace vp::sim

@@ -1,0 +1,89 @@
+// Simulated home Wi-Fi network.
+//
+// Point-to-point links between devices with propagation latency,
+// serialization bandwidth and optional Gaussian jitter. Per-link FIFO:
+// a message starts serializing when the link's transmit queue frees
+// up, so big frames back-to-back queue behind each other exactly like
+// packets on a shared medium. Intra-device "loopback" delivery costs a
+// fixed small IPC delay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+
+namespace vp::sim {
+
+struct LinkSpec {
+  /// One-way propagation latency.
+  Duration latency = Duration::Millis(2.0);
+  /// Serialization bandwidth in bits per second.
+  double bandwidth_bps = 80e6;  // typical effective home Wi-Fi
+  /// Gaussian jitter stddev added to latency (truncated at 0).
+  Duration jitter = Duration::Millis(0.4);
+  /// Packet loss probability per message (messages are redelivered by
+  /// the transport after a retransmit timeout, modeled as +RTT).
+  double loss = 0.0;
+};
+
+struct NetworkStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t retransmits = 0;
+};
+
+class Network {
+ public:
+  Network(Simulator* sim, uint64_t seed);
+
+  /// Default link used for device pairs without an explicit entry.
+  void set_default_link(LinkSpec spec) { default_link_ = spec; }
+
+  /// Configure the (directed) link a → b. Call twice for symmetry or
+  /// use SetSymmetricLink.
+  void SetLink(const std::string& a, const std::string& b, LinkSpec spec);
+  void SetSymmetricLink(const std::string& a, const std::string& b,
+                        LinkSpec spec);
+
+  /// IPC delay for same-device delivery.
+  void set_loopback_delay(Duration d) { loopback_delay_ = d; }
+  Duration loopback_delay() const { return loopback_delay_; }
+
+  /// Deliver `bytes` from device `from` to device `to`; `on_delivery`
+  /// fires at the receiver when the last byte arrives. Returns the
+  /// delivery time.
+  TimePoint Send(const std::string& from, const std::string& to,
+                 size_t bytes, Task on_delivery);
+
+  /// Predicted one-way delay for a message of `bytes` on an idle link
+  /// (no queueing, no jitter) — used by placement heuristics.
+  Duration EstimateDelay(const std::string& from, const std::string& to,
+                         size_t bytes) const;
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+
+ private:
+  struct LinkState {
+    LinkSpec spec;
+    TimePoint tx_free;  // when the transmitter finishes current sends
+  };
+
+  const LinkSpec& SpecFor(const std::string& from,
+                          const std::string& to) const;
+  LinkState& StateFor(const std::string& from, const std::string& to);
+
+  Simulator* sim_;
+  Rng rng_;
+  LinkSpec default_link_;
+  Duration loopback_delay_ = Duration::Micros(150);
+  std::map<std::pair<std::string, std::string>, LinkState> links_;
+  NetworkStats stats_;
+};
+
+}  // namespace vp::sim

@@ -1,0 +1,81 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace vp::sim {
+
+Simulator::~Simulator() {
+  while (!queue_.empty()) {
+    delete queue_.top();
+    queue_.pop();
+  }
+}
+
+uint64_t Simulator::At(TimePoint when, Task task) {
+  if (when < now_) when = now_;
+  auto* ev = new Event{when, next_seq_++, next_id_++, std::move(task)};
+  queue_.push(ev);
+  by_id_[ev->id] = ev;
+  ++live_events_;
+  return ev->id;
+}
+
+bool Simulator::Cancel(uint64_t id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return false;
+  it->second->task = nullptr;  // tombstone; freed when popped
+  by_id_.erase(it);
+  --live_events_;
+  return true;
+}
+
+void Simulator::PopAndRun() {
+  Event* ev = queue_.top();
+  queue_.pop();
+  if (ev->task) {
+    now_ = ev->when;
+    by_id_.erase(ev->id);
+    --live_events_;
+    ++executed_;
+    Task task = std::move(ev->task);
+    delete ev;
+    task();
+  } else {
+    delete ev;  // cancelled
+  }
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    if (queue_.top()->task == nullptr) {
+      delete queue_.top();
+      queue_.pop();
+      continue;
+    }
+    PopAndRun();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::RunUntil(TimePoint until) {
+  while (!queue_.empty()) {
+    Event* top = queue_.top();
+    if (top->task == nullptr) {
+      delete top;
+      queue_.pop();
+      continue;
+    }
+    if (top->when > until) break;
+    PopAndRun();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::RunUntilIdle() {
+  while (Step()) {
+  }
+}
+
+}  // namespace vp::sim

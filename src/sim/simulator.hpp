@@ -1,0 +1,84 @@
+// Discrete-event simulation kernel.
+//
+// The entire VideoPipe runtime is driven by one Simulator: module
+// execution, service compute, network transfers and video-source ticks
+// are all events on a single virtual-time queue. Ties are broken by
+// insertion order, which makes every run bit-for-bit deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace vp::sim {
+
+using Task = std::function<void()>;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  TimePoint Now() const { return now_; }
+
+  /// Schedule `task` at absolute time `when` (clamped to Now()).
+  /// Returns an id usable with Cancel().
+  uint64_t At(TimePoint when, Task task);
+
+  /// Schedule `task` after `delay`.
+  uint64_t After(Duration delay, Task task) {
+    return At(now_ + delay, std::move(task));
+  }
+
+  /// Cancel a scheduled event. Returns false if it already ran or the
+  /// id is unknown. O(1): the entry is tombstoned, not removed.
+  bool Cancel(uint64_t id);
+
+  /// Run until the queue drains or `until` is reached (whichever comes
+  /// first). Events scheduled exactly at `until` are executed.
+  void RunUntil(TimePoint until);
+
+  /// Run until no events remain.
+  void RunUntilIdle();
+
+  /// Execute at most one event. Returns false if the queue is empty.
+  bool Step();
+
+  size_t pending_events() const { return live_events_; }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    uint64_t seq;
+    uint64_t id;
+    Task task;  // empty == cancelled
+  };
+  struct EventPtrLess {
+    bool operator()(const Event* a, const Event* b) const {
+      if (a->when != b->when) return a->when > b->when;  // min-heap
+      return a->seq > b->seq;
+    }
+  };
+
+  void PopAndRun();
+
+  TimePoint now_;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  size_t live_events_ = 0;
+  uint64_t executed_ = 0;
+  // Events are heap-allocated nodes so Cancel() can tombstone them
+  // without a scan; ownership stays with the priority queue.
+  std::priority_queue<Event*, std::vector<Event*>, EventPtrLess> queue_;
+  std::unordered_map<uint64_t, Event*> by_id_;  // live (uncancelled) events
+};
+
+}  // namespace vp::sim

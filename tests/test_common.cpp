@@ -1,0 +1,285 @@
+// Tests for the common kernel: errors, results, RNG, byte codec,
+// strings, virtual time.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/time.hpp"
+
+namespace vp {
+namespace {
+
+// ---------------------------------------------------------------- Error
+
+TEST(Error, StatusCodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kScriptError), "SCRIPT_ERROR");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "PARSE_ERROR");
+}
+
+TEST(Error, DefaultStatusIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(Error, StatusCarriesCodeAndMessage) {
+  Status status(StatusCode::kTimeout, "deadline exceeded");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kTimeout);
+  EXPECT_EQ(status.message(), "deadline exceeded");
+  EXPECT_EQ(status.ToString(), "TIMEOUT: deadline exceeded");
+}
+
+TEST(Error, ResultHoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+  EXPECT_EQ(r.code(), StatusCode::kOk);
+}
+
+TEST(Error, ResultHoldsError) {
+  Result<int> r = NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+  EXPECT_FALSE(r.status().ok());
+}
+
+TEST(Error, ResultTakeMovesValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).take();
+  EXPECT_EQ(s, "hello");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  VP_ASSIGN_OR_RETURN(int half, Half(x));
+  VP_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(Error, AssignOrReturnPropagates) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  auto bad = Quarter(6);  // 6/2=3 is odd
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------------ Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextIntCoversInclusiveRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all of 3..7 hit in 1000 draws
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0;
+  double sum2 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(5);
+  Rng child = parent.Fork();
+  // Child stream differs from where the parent continues.
+  EXPECT_NE(parent.NextU64(), child.NextU64());
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, original);  // overwhelmingly likely with this seed
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, BoolProbability) {
+  Rng rng(17);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.3)) ++heads;
+  }
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.02);
+}
+
+// ---------------------------------------------------------------- Bytes
+
+TEST(Bytes, RoundTripAllTypes) {
+  ByteWriter w;
+  w.WriteU8(0xAB);
+  w.WriteU16(0x1234);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0123456789ABCDEFULL);
+  w.WriteI64(-42);
+  w.WriteF64(3.14159);
+  w.WriteString("hello");
+  w.WriteBytes(Bytes{1, 2, 3});
+
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.ReadU8(), 0xAB);
+  EXPECT_EQ(*r.ReadU16(), 0x1234);
+  EXPECT_EQ(*r.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.ReadU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(*r.ReadI64(), -42);
+  EXPECT_DOUBLE_EQ(*r.ReadF64(), 3.14159);
+  EXPECT_EQ(*r.ReadString(), "hello");
+  EXPECT_EQ(*r.ReadBytes(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Bytes, ReadPastEndFails) {
+  ByteWriter w;
+  w.WriteU16(7);
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.ReadU16().ok());
+  EXPECT_FALSE(r.ReadU8().ok());
+  EXPECT_EQ(r.ReadU32().code(), StatusCode::kParseError);
+}
+
+TEST(Bytes, TruncatedStringFails) {
+  ByteWriter w;
+  w.WriteString("hello world");
+  Bytes data = w.Take();
+  data.resize(data.size() - 3);
+  ByteReader r(data);
+  EXPECT_FALSE(r.ReadString().ok());
+}
+
+TEST(Bytes, EmptyStringAndBlob) {
+  ByteWriter w;
+  w.WriteString("");
+  w.WriteBytes(Bytes{});
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.ReadString(), "");
+  EXPECT_TRUE(r.ReadBytes()->empty());
+}
+
+TEST(Bytes, Fnv1aDistinguishesContent) {
+  const Bytes a{1, 2, 3};
+  const Bytes b{1, 2, 4};
+  EXPECT_NE(Fnv1a(a), Fnv1a(b));
+  EXPECT_EQ(Fnv1a(a), Fnv1a(Bytes{1, 2, 3}));
+}
+
+TEST(Bytes, HexDumpTruncates) {
+  Bytes data(100, 0xFF);
+  const std::string dump = HexDump(data, 4);
+  EXPECT_EQ(dump, "ff ff ff ff …");
+}
+
+// -------------------------------------------------------------- Strings
+
+TEST(Strings, Split) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\nx"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("tcp://host", "tcp://"));
+  EXPECT_FALSE(StartsWith("tc", "tcp"));
+  EXPECT_TRUE(EndsWith("module.js", ".js"));
+  EXPECT_FALSE(EndsWith("js", ".js"));
+}
+
+TEST(Strings, JoinAndFormat) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Format("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(ToLower("MiXeD"), "mixed"); }
+
+// ----------------------------------------------------------------- Time
+
+TEST(Time, DurationArithmetic) {
+  const Duration d = Duration::Millis(1.5) + Duration::Micros(500);
+  EXPECT_EQ(d.micros(), 2000);
+  EXPECT_DOUBLE_EQ(d.millis(), 2.0);
+  EXPECT_DOUBLE_EQ((d * 2.0).millis(), 4.0);
+  EXPECT_DOUBLE_EQ((d / 2.0).millis(), 1.0);
+  EXPECT_LT(Duration::Zero(), d);
+}
+
+TEST(Time, TimePointArithmetic) {
+  const TimePoint t0 = TimePoint::FromMicros(1000);
+  const TimePoint t1 = t0 + Duration::Millis(2);
+  EXPECT_EQ((t1 - t0).micros(), 2000);
+  EXPECT_EQ((t1 - Duration::Millis(2)), t0);
+  EXPECT_GT(t1, t0);
+}
+
+TEST(Time, ToStringFormats) {
+  EXPECT_EQ(Duration::Millis(12.345).ToString(), "12.345ms");
+  EXPECT_EQ(Duration::Seconds(1.2).ToString(), "1.200s");
+}
+
+}  // namespace
+}  // namespace vp

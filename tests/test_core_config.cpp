@@ -1,0 +1,210 @@
+// Tests for pipeline configuration parsing + validation (the paper's
+// Listing-1 schema).
+#include <gtest/gtest.h>
+
+#include "apps/fitness.hpp"
+#include "core/config.hpp"
+
+namespace vp::core {
+namespace {
+
+ScriptResolver EmptyResolver() {
+  return [](const std::string& include) -> Result<std::string> {
+    return std::string("function event_received(msg) {} // " + include);
+  };
+}
+
+const char* kMinimalConfig = R"CFG({
+  "name": "mini",
+  "source": { "module": "src", "fps": 10, "width": 64, "height": 48 },
+  "modules": [
+    { "name": "src", "type": "source", "next_module": ["sink"] },
+    { "name": "sink", "code": "function event_received(m) {}",
+      "signal_source": true }
+  ]
+})CFG";
+
+TEST(Config, ParsesMinimalPipeline) {
+  auto spec = ParsePipelineConfigText(kMinimalConfig, EmptyResolver());
+  ASSERT_TRUE(spec.ok()) << spec.error().ToString();
+  EXPECT_EQ(spec->name, "mini");
+  EXPECT_DOUBLE_EQ(spec->source.fps, 10.0);
+  EXPECT_EQ(spec->source.width, 64);
+  EXPECT_EQ(spec->modules.size(), 2u);
+  EXPECT_EQ(spec->FindModule("src")->type, ModuleType::kSource);
+  EXPECT_TRUE(spec->FindModule("sink")->signal_source);
+  EXPECT_EQ(spec->FindModule("nope"), nullptr);
+}
+
+TEST(Config, ParsesThePaperStyleFitnessConfig) {
+  auto spec = apps::fitness::Spec();
+  ASSERT_TRUE(spec.ok()) << spec.error().ToString();
+  EXPECT_EQ(spec->name, "fitness");
+  EXPECT_EQ(spec->modules.size(), 5u);
+
+  const ModuleSpec* pose = spec->FindModule("pose_detection_module");
+  ASSERT_NE(pose, nullptr);
+  EXPECT_EQ(pose->services, (std::vector<std::string>{"pose_detector"}));
+  EXPECT_EQ(pose->endpoint.port, 5861);
+  EXPECT_EQ(pose->endpoint.mode, net::EndpointMode::kBind);
+  EXPECT_EQ(pose->next_modules,
+            (std::vector<std::string>{"activity_detector_module"}));
+  EXPECT_FALSE(pose->code.empty());
+  EXPECT_EQ(pose->include, "PoseDetectionModule.js");
+
+  // The Listing-1 fan-out: activity → {rep counter, display}.
+  const ModuleSpec* activity = spec->FindModule("activity_detector_module");
+  ASSERT_NE(activity, nullptr);
+  EXPECT_EQ(activity->next_modules,
+            (std::vector<std::string>{"rep_counter_module",
+                                      "display_module"}));
+}
+
+TEST(Config, ServiceScalarShorthand) {
+  auto spec = ParsePipelineConfigText(R"CFG({
+    "name": "p",
+    "modules": [
+      { "name": "src", "type": "source", "next_module": "sink" },
+      { "name": "sink", "code": "1;", "service": "display",
+        "signal_source": true }
+    ]
+  })CFG",
+                                      EmptyResolver());
+  ASSERT_TRUE(spec.ok()) << spec.error().ToString();
+  EXPECT_EQ(spec->FindModule("sink")->services,
+            (std::vector<std::string>{"display"}));
+  EXPECT_EQ(spec->FindModule("src")->next_modules,
+            (std::vector<std::string>{"sink"}));
+  // source.module defaulted from the unique source module.
+  EXPECT_EQ(spec->source.module, "src");
+}
+
+TEST(Config, ResolverFailureSurfaces) {
+  auto failing = [](const std::string& include) -> Result<std::string> {
+    return NotFound("no file " + include);
+  };
+  auto spec = ParsePipelineConfigText(R"CFG({
+    "name": "p",
+    "modules": [
+      { "name": "src", "type": "source", "next_module": ["m"] },
+      { "name": "m", "include": "Missing.js", "signal_source": true }
+    ]
+  })CFG",
+                                      failing);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.error().code(), StatusCode::kNotFound);
+}
+
+struct BadConfigCase {
+  const char* label;
+  const char* text;
+};
+
+class BadConfig : public ::testing::TestWithParam<BadConfigCase> {};
+
+TEST_P(BadConfig, IsRejected) {
+  auto spec = ParsePipelineConfigText(GetParam().text, EmptyResolver());
+  EXPECT_FALSE(spec.ok()) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Validation, BadConfig,
+    ::testing::Values(
+        BadConfigCase{"no modules", R"({"name":"p","modules":[]})"},
+        BadConfigCase{"duplicate names", R"({"name":"p","modules":[
+          {"name":"src","type":"source","next_module":["a"]},
+          {"name":"a","code":"1;","signal_source":true},
+          {"name":"a","code":"1;"}]})"},
+        BadConfigCase{"unknown edge target", R"({"name":"p","modules":[
+          {"name":"src","type":"source","next_module":["ghost"]},
+          {"name":"a","code":"1;","signal_source":true}]})"},
+        BadConfigCase{"self edge", R"({"name":"p","modules":[
+          {"name":"src","type":"source","next_module":["a"]},
+          {"name":"a","code":"1;","signal_source":true,
+           "next_module":["a"]}]})"},
+        BadConfigCase{"cycle", R"({"name":"p","modules":[
+          {"name":"src","type":"source","next_module":["a"]},
+          {"name":"a","code":"1;","next_module":["b"],"signal_source":true},
+          {"name":"b","code":"1;","next_module":["a"]}]})"},
+        BadConfigCase{"no source module", R"({"name":"p","modules":[
+          {"name":"a","code":"1;","signal_source":true}]})"},
+        BadConfigCase{"two source modules", R"({"name":"p","modules":[
+          {"name":"s1","type":"source","next_module":["a"]},
+          {"name":"s2","type":"source","next_module":["a"]},
+          {"name":"a","code":"1;","signal_source":true}]})"},
+        BadConfigCase{"no sink", R"({"name":"p","modules":[
+          {"name":"src","type":"source","next_module":["a"]},
+          {"name":"a","code":"1;"}]})"},
+        BadConfigCase{"sink unreachable", R"({"name":"p","modules":[
+          {"name":"src","type":"source","next_module":[]},
+          {"name":"a","code":"1;","signal_source":true}]})"},
+        BadConfigCase{"script module without code",
+                      R"({"name":"p","modules":[
+          {"name":"src","type":"source","next_module":["a"]},
+          {"name":"a","signal_source":true}]})"},
+        BadConfigCase{"bad endpoint", R"({"name":"p","modules":[
+          {"name":"src","type":"source","next_module":["a"]},
+          {"name":"a","code":"1;","signal_source":true,
+           "endpoint":"tcp-five"}]})"},
+        BadConfigCase{"duplicate ports", R"({"name":"p","modules":[
+          {"name":"src","type":"source","next_module":["a"],
+           "endpoint":"bind#tcp://*:7000"},
+          {"name":"a","code":"1;","signal_source":true,
+           "endpoint":"bind#tcp://*:7000"}]})"},
+        BadConfigCase{"negative fps", R"({"name":"p",
+          "source":{"fps":-5},
+          "modules":[
+          {"name":"src","type":"source","next_module":["a"]},
+          {"name":"a","code":"1;","signal_source":true}]})"},
+        BadConfigCase{"unknown module type", R"({"name":"p","modules":[
+          {"name":"src","type":"quantum","next_module":["a"]},
+          {"name":"a","code":"1;","signal_source":true}]})"},
+        BadConfigCase{"unnamed pipeline", R"({"modules":[
+          {"name":"src","type":"source","next_module":["a"]},
+          {"name":"a","code":"1;","signal_source":true}]})"},
+        BadConfigCase{"not json", "pipeline: fitness"}));
+
+TEST(Config, DiamondTopologyIsValid) {
+  // src → a → {b, c} → d : a DAG with a join, no cycles.
+  auto spec = ParsePipelineConfigText(R"CFG({
+    "name": "diamond",
+    "modules": [
+      {"name":"src","type":"source","next_module":["a"]},
+      {"name":"a","code":"1;","next_module":["b","c"]},
+      {"name":"b","code":"1;","next_module":["d"]},
+      {"name":"c","code":"1;","next_module":["d"]},
+      {"name":"d","code":"1;","signal_source":true}
+    ]
+  })CFG",
+                                      EmptyResolver());
+  EXPECT_TRUE(spec.ok()) << (spec.ok() ? "" : spec.error().ToString());
+}
+
+TEST(Config, MapResolverLooksUpSources) {
+  auto resolver = MapResolver({{"A.js", "var a = 1;"}});
+  auto found = resolver("A.js");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, "var a = 1;");
+  EXPECT_FALSE(resolver("B.js").ok());
+}
+
+TEST(Config, ValidateSpecDirectly) {
+  PipelineSpec spec;
+  spec.name = "built-programmatically";
+  spec.source.module = "cam";
+  ModuleSpec cam;
+  cam.name = "cam";
+  cam.type = ModuleType::kSource;
+  cam.next_modules = {"out"};
+  ModuleSpec out;
+  out.name = "out";
+  out.code = "function event_received(m) {}";
+  out.signal_source = true;
+  spec.modules = {cam, out};
+  EXPECT_TRUE(ValidatePipelineSpec(spec).ok());
+  spec.source.module = "out";
+  EXPECT_FALSE(ValidatePipelineSpec(spec).ok());
+}
+
+}  // namespace
+}  // namespace vp::core

@@ -1,0 +1,144 @@
+// Tests for the placement policies: VideoPipe co-location vs the
+// EdgeEye-style single-device baseline.
+#include <gtest/gtest.h>
+
+#include "apps/fitness.hpp"
+#include "core/placement.hpp"
+#include "sim/cluster.hpp"
+
+namespace vp::core {
+namespace {
+
+class PlacementTest : public ::testing::Test {
+ protected:
+  PlacementTest() : cluster_(sim::MakeHomeTestbed()) {
+    auto spec = apps::fitness::Spec();
+    EXPECT_TRUE(spec.ok());
+    spec_ = std::move(*spec);
+  }
+  std::unique_ptr<sim::Cluster> cluster_;
+  PipelineSpec spec_;
+};
+
+TEST_F(PlacementTest, CoLocateReproducesFig4) {
+  PlacementOptions options;
+  options.policy = PlacementPolicy::kCoLocate;
+  auto plan = PlanDeployment(spec_, *cluster_, options);
+  ASSERT_TRUE(plan.ok()) << plan.error().ToString();
+
+  // Fig. 4: streaming on the phone; pose/activity/rep on the desktop
+  // (co-located with their container services); display on the TV.
+  EXPECT_EQ(plan->module_device.at("video_streaming_module"), "phone");
+  EXPECT_EQ(plan->module_device.at("pose_detection_module"), "desktop");
+  EXPECT_EQ(plan->module_device.at("activity_detector_module"), "desktop");
+  EXPECT_EQ(plan->module_device.at("rep_counter_module"), "desktop");
+  EXPECT_EQ(plan->module_device.at("display_module"), "tv");
+
+  EXPECT_EQ(plan->service_device.at("pose_detector"), "desktop");
+  EXPECT_EQ(plan->service_device.at("activity_classifier"), "desktop");
+  EXPECT_EQ(plan->service_device.at("rep_counter"), "desktop");
+  EXPECT_EQ(plan->service_device.at("display"), "tv");
+  EXPECT_TRUE(plan->IsNative("display"));
+  EXPECT_FALSE(plan->IsNative("pose_detector"));
+}
+
+TEST_F(PlacementTest, BaselineReproducesFig5) {
+  PlacementOptions options;
+  options.policy = PlacementPolicy::kSingleDevice;
+  auto plan = PlanDeployment(spec_, *cluster_, options);
+  ASSERT_TRUE(plan.ok());
+
+  // Fig. 5: all modules on the phone; all services on the server.
+  for (const auto& [module, device] : plan->module_device) {
+    EXPECT_EQ(device, "phone") << module;
+  }
+  for (const auto& [service, device] : plan->service_device) {
+    EXPECT_EQ(device, "desktop") << service;
+  }
+  EXPECT_TRUE(plan->native_services.empty());
+}
+
+TEST_F(PlacementTest, ExplicitServerDeviceOverride) {
+  PlacementOptions options;
+  options.policy = PlacementPolicy::kSingleDevice;
+  options.server_device = "tv";
+  auto plan = PlanDeployment(spec_, *cluster_, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->service_device.at("pose_detector"), "tv");
+}
+
+TEST_F(PlacementTest, DevicePinsAreHonored) {
+  spec_.modules[2].device = "tv";  // activity_detector_module
+  ASSERT_EQ(spec_.modules[2].name, "activity_detector_module");
+  auto plan = PlanDeployment(spec_, *cluster_, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->module_device.at("activity_detector_module"), "tv");
+}
+
+TEST_F(PlacementTest, UnknownPinFails) {
+  spec_.modules[1].device = "submarine";
+  auto plan = PlanDeployment(spec_, *cluster_, {});
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.error().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PlacementTest, ServicelessModulesFollowPredecessors) {
+  // Insert a filter module (no services) after pose detection.
+  PipelineSpec spec = spec_;
+  ModuleSpec filter;
+  filter.name = "filter_module";
+  filter.code = "function event_received(m) {}";
+  filter.next_modules = {"activity_detector_module"};
+  spec.modules.push_back(filter);
+  for (ModuleSpec& m : spec.modules) {
+    if (m.name == "pose_detection_module") {
+      m.next_modules = {"filter_module"};
+    }
+  }
+  auto plan = PlanDeployment(spec, *cluster_, {});
+  ASSERT_TRUE(plan.ok()) << plan.error().ToString();
+  EXPECT_EQ(plan->module_device.at("filter_module"), "desktop");
+}
+
+TEST(Placement, FailsWithoutCameraDevice) {
+  sim::Cluster cluster;
+  sim::DeviceSpec server;
+  server.name = "server";
+  server.supports_containers = true;
+  server.container_cores = 4;
+  ASSERT_TRUE(cluster.AddDevice(server).ok());
+  auto spec = apps::fitness::Spec();
+  auto plan = PlanDeployment(*spec, cluster, {});
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.error().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Placement, FailsWithoutContainerDevice) {
+  sim::Cluster cluster;
+  sim::DeviceSpec phone;
+  phone.name = "phone";
+  phone.capabilities = {"camera", "display"};
+  ASSERT_TRUE(cluster.AddDevice(phone).ok());
+  auto spec = apps::fitness::Spec();
+  auto plan = PlanDeployment(*spec, cluster, {});
+  ASSERT_FALSE(plan.ok());
+}
+
+TEST(Placement, PolicyNamesForReports) {
+  EXPECT_STREQ(PlacementPolicyName(PlacementPolicy::kCoLocate),
+               "co-locate (VideoPipe)");
+  EXPECT_STREQ(PlacementPolicyName(PlacementPolicy::kSingleDevice),
+               "single-device (baseline)");
+}
+
+TEST_F(PlacementTest, PlanToStringMentionsEveryModule) {
+  auto plan = PlanDeployment(spec_, *cluster_, {});
+  ASSERT_TRUE(plan.ok());
+  const std::string text = plan->ToString();
+  for (const ModuleSpec& m : spec_.modules) {
+    EXPECT_NE(text.find(m.name), std::string::npos) << m.name;
+  }
+}
+
+}  // namespace
+}  // namespace vp::core

@@ -1,0 +1,127 @@
+// Accuracy experiments as tests — the paper's §4.1.2–4.1.3 claims:
+//   * activity recognition: "The test accuracy on a withheld test set
+//     was above 90%."
+//   * rep counter: "On our withheld test set, 83.3% accuracy is
+//     achieved."
+// These run the full honest path (motion model → renderer → pose
+// detector → classifier/counter) and are kept in their own binary
+// because they render thousands of frames.
+#include <gtest/gtest.h>
+
+#include "cv/dataset.hpp"
+#include "cv/features.hpp"
+#include "services/models.hpp"
+
+namespace vp::cv {
+namespace {
+
+TEST(ActivityAccuracy, WithheldTestSetAbove90Percent) {
+  DatasetOptions options;
+  options.samples_per_label = 14;
+  options.seed = 99;
+  auto windows = GenerateActivityDataset(options);
+  EXPECT_EQ(windows.size(), options.labels.size() *
+                                static_cast<size_t>(options.samples_per_label));
+  auto split = SplitTrainTest(std::move(windows), 0.25, 7);
+  EXPECT_GT(split.test.size(), 15u);
+  const ActivityClassifier classifier = TrainActivityClassifier(split.train);
+  const double accuracy = EvaluateActivityAccuracy(classifier, split.test);
+  RecordProperty("accuracy_percent", static_cast<int>(accuracy * 100));
+  EXPECT_GT(accuracy, 0.90) << "paper reports > 90%";
+}
+
+TEST(ActivityAccuracy, SharedServiceModelMeetsTheClaimToo) {
+  EXPECT_GT(services::SharedActivityModelTestAccuracy(), 0.90);
+}
+
+TEST(ActivityAccuracy, TrainingAccuracyIsHigh) {
+  DatasetOptions options;
+  options.samples_per_label = 8;
+  options.seed = 123;
+  auto windows = GenerateActivityDataset(options);
+  // k = 1: every training window's nearest neighbour is itself.
+  const ActivityClassifier classifier = TrainActivityClassifier(windows, 1);
+  EXPECT_GT(EvaluateActivityAccuracy(classifier, windows), 0.99);
+}
+
+TEST(RepCounterAccuracy, SquatClipAbove80Percent) {
+  media::MotionParams params;
+  params.period = 2.4;
+  auto result = EvaluateRepCounter("squat", 24.0, 15.0, params, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->true_reps, 10);
+  RecordProperty("counted", result->counted_reps);
+  EXPECT_GT(result->accuracy, 0.8)
+      << "counted " << result->counted_reps << " of " << result->true_reps;
+}
+
+TEST(RepCounterAccuracy, JumpingJackClipCountsMostReps) {
+  media::MotionParams params;
+  params.period = 1.6;
+  auto result = EvaluateRepCounter("jumping_jack", 16.0, 15.0, params, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->true_reps, 10);
+  EXPECT_GT(result->accuracy, 0.7);
+}
+
+TEST(RepCounterAccuracy, IdleClipCountsZero) {
+  auto result = EvaluateRepCounter("idle", 20.0, 15.0, {}, 7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->true_reps, 0);
+  EXPECT_EQ(result->counted_reps, 0);
+  EXPECT_DOUBLE_EQ(result->accuracy, 1.0);
+}
+
+TEST(RepCounterAccuracy, MeanAcrossExercisesNearPaperFigure) {
+  // The paper's 83.3% on its withheld set; our suite averages squats,
+  // lunges and jumping jacks over several seeds. We assert a band, not
+  // a point — the substrate differs (see EXPERIMENTS.md).
+  struct Case {
+    const char* exercise;
+    double period;
+  };
+  const Case cases[] = {{"squat", 2.4}, {"lunge", 2.8}, {"jumping_jack", 1.6}};
+  double total = 0;
+  int n = 0;
+  for (const Case& c : cases) {
+    for (uint64_t seed : {11ULL, 22ULL}) {
+      media::MotionParams params;
+      params.period = c.period;
+      auto result = EvaluateRepCounter(c.exercise, 20.0, 15.0, params, seed);
+      ASSERT_TRUE(result.ok());
+      total += result->accuracy;
+      ++n;
+    }
+  }
+  const double mean = total / n;
+  RecordProperty("mean_accuracy_percent", static_cast<int>(mean * 100));
+  EXPECT_GT(mean, 0.70);
+  EXPECT_LE(mean, 1.0);
+}
+
+TEST(Dataset, SplitIsDisjointAndComplete) {
+  DatasetOptions options;
+  options.samples_per_label = 4;
+  options.labels = {"idle", "squat"};
+  auto windows = GenerateActivityDataset(options);
+  const size_t total = windows.size();
+  auto split = SplitTrainTest(std::move(windows), 0.5, 3);
+  EXPECT_EQ(split.train.size() + split.test.size(), total);
+  EXPECT_EQ(split.test.size(), total / 2);
+}
+
+TEST(Dataset, WindowsHaveExpectedShape) {
+  DatasetOptions options;
+  options.samples_per_label = 2;
+  options.labels = {"wave"};
+  auto windows = GenerateActivityDataset(options);
+  ASSERT_EQ(windows.size(), 2u);
+  for (const auto& w : windows) {
+    EXPECT_EQ(w.label, "wave");
+    EXPECT_EQ(w.features.size(),
+              static_cast<size_t>(kActivityWindow) * 34u);
+  }
+}
+
+}  // namespace
+}  // namespace vp::cv

@@ -1,0 +1,216 @@
+// Tests for the JSON document model, parser and writer.
+#include <gtest/gtest.h>
+
+#include "json/parse.hpp"
+#include "json/value.hpp"
+#include "json/write.hpp"
+
+namespace vp::json {
+namespace {
+
+TEST(JsonValue, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(1.5).is_number());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value::MakeArray().is_array());
+  EXPECT_TRUE(Value::MakeObject().is_object());
+  EXPECT_EQ(Value(42).AsInt(), 42);
+  EXPECT_EQ(Value(size_t{7}).AsInt(), 7);
+}
+
+TEST(JsonValue, ObjectPreservesInsertionOrder) {
+  Value v = Value::MakeObject();
+  v["zebra"] = Value(1);
+  v["apple"] = Value(2);
+  v["mango"] = Value(3);
+  std::vector<std::string> keys;
+  for (const auto& [k, val] : v.AsObject()) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::string>{"zebra", "apple", "mango"}));
+}
+
+TEST(JsonValue, AutoVivifyObject) {
+  Value v;  // null
+  v["a"]["nested"] = Value(1);
+  EXPECT_TRUE(v.is_object());
+  EXPECT_EQ(v.Find("a")->Find("nested")->AsInt(), 1);
+}
+
+TEST(JsonValue, PushBackAutoVivifiesArray) {
+  Value v;
+  v.PushBack(Value(1));
+  v.PushBack(Value(2));
+  EXPECT_TRUE(v.is_array());
+  EXPECT_EQ(v[1].AsInt(), 2);
+}
+
+TEST(JsonValue, TolerantGetters) {
+  Value v = Value::MakeObject();
+  v["n"] = Value(3.5);
+  v["s"] = Value("str");
+  v["b"] = Value(true);
+  EXPECT_DOUBLE_EQ(v.GetDouble("n"), 3.5);
+  EXPECT_EQ(v.GetString("s"), "str");
+  EXPECT_TRUE(v.GetBool("b"));
+  EXPECT_EQ(v.GetInt("missing", -1), -1);
+  EXPECT_EQ(v.GetString("n", "fallback"), "fallback");  // wrong type
+}
+
+TEST(JsonValue, ObjectEraseAndContains) {
+  Value v = Value::MakeObject();
+  v["a"] = Value(1);
+  EXPECT_TRUE(v.AsObject().Contains("a"));
+  EXPECT_TRUE(v.AsObject().Erase("a"));
+  EXPECT_FALSE(v.AsObject().Erase("a"));
+  EXPECT_FALSE(v.AsObject().Contains("a"));
+}
+
+TEST(JsonValue, Equality) {
+  auto make = [] {
+    Value v = Value::MakeObject();
+    v["x"] = Value(1);
+    v["y"].PushBack(Value("a"));
+    return v;
+  };
+  EXPECT_EQ(make(), make());
+  Value other = make();
+  other["x"] = Value(2);
+  EXPECT_FALSE(make() == other);
+}
+
+// ---------------------------------------------------------------- Parse
+
+TEST(JsonParse, Literals) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_EQ(Parse("true")->AsBool(), true);
+  EXPECT_EQ(Parse("false")->AsBool(), false);
+  EXPECT_DOUBLE_EQ(Parse("3.25")->AsDouble(), 3.25);
+  EXPECT_DOUBLE_EQ(Parse("-1e3")->AsDouble(), -1000.0);
+  EXPECT_EQ(Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParse, NestedDocument) {
+  auto v = Parse(R"({"a": [1, {"b": "c"}], "d": null})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ((*v)["a"][1].GetString("b"), "c");
+  EXPECT_TRUE(v->Find("d")->is_null());
+}
+
+TEST(JsonParse, StringEscapes) {
+  auto v = Parse(R"("line1\nline2\t\"q\"\\A")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "line1\nline2\t\"q\"\\A");
+}
+
+TEST(JsonParse, UnicodeEscapeMultibyte) {
+  auto v = Parse(R"("é中")");  // é 中
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "\xC3\xA9\xE4\xB8\xAD");
+}
+
+TEST(JsonParse, CommentsAndTrailingCommas) {
+  auto v = Parse(R"(
+    // configuration for the fitness pipeline
+    {
+      "modules": [1, 2, 3,],  // trailing comma ok
+    }
+  )");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("modules")->AsArray().size(), 3u);
+}
+
+TEST(JsonParse, ErrorsCarryPosition) {
+  auto v = Parse("{\n  \"a\": nope\n}");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.error().message().find("json:2:"), std::string::npos);
+}
+
+TEST(JsonParse, RejectsTrailingGarbage) {
+  EXPECT_FALSE(Parse("{} extra").ok());
+}
+
+TEST(JsonParse, RejectsUnterminatedString) {
+  EXPECT_FALSE(Parse("\"abc").ok());
+}
+
+TEST(JsonParse, RejectsBadNumbers) {
+  EXPECT_FALSE(Parse("1.2.3").ok());
+  EXPECT_FALSE(Parse("--5").ok());
+}
+
+TEST(JsonParse, RejectsMissingColonAndCommas) {
+  EXPECT_FALSE(Parse(R"({"a" 1})").ok());
+  EXPECT_FALSE(Parse(R"([1 2])").ok());
+}
+
+TEST(JsonParse, DeepNesting) {
+  std::string text;
+  for (int i = 0; i < 100; ++i) text += "[";
+  text += "42";
+  for (int i = 0; i < 100; ++i) text += "]";
+  auto v = Parse(text);
+  ASSERT_TRUE(v.ok());
+}
+
+// ---------------------------------------------------------------- Write
+
+TEST(JsonWrite, CompactRoundTrip) {
+  const std::string text =
+      R"({"name":"fitness","fps":20,"modules":["a","b"],"ok":true,"x":null})";
+  auto v = Parse(text);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(Write(*v), text);
+}
+
+TEST(JsonWrite, NumbersPrintCleanly) {
+  EXPECT_EQ(Write(Value(42.0)), "42");
+  EXPECT_EQ(Write(Value(-3.0)), "-3");
+  EXPECT_EQ(Write(Value(1.5)), "1.5");
+}
+
+TEST(JsonWrite, EscapesControlCharacters) {
+  EXPECT_EQ(Write(Value(std::string("a\nb\x01"))), "\"a\\nb\\u0001\"");
+}
+
+TEST(JsonWrite, PrettyPrint) {
+  Value v = Value::MakeObject();
+  v["a"] = Value(1);
+  const std::string pretty = Write(v, 2);
+  EXPECT_EQ(pretty, "{\n  \"a\": 1\n}\n");
+}
+
+TEST(JsonWrite, ParseWriteFixedPoint) {
+  const char* docs[] = {
+      "{}", "[]", "[1,2,[3,{}]]",
+      R"({"deep":{"er":{"est":[true,false,null]}}})",
+  };
+  for (const char* doc : docs) {
+    auto v = Parse(doc);
+    ASSERT_TRUE(v.ok()) << doc;
+    auto v2 = Parse(Write(*v));
+    ASSERT_TRUE(v2.ok()) << doc;
+    EXPECT_EQ(*v, *v2) << doc;
+  }
+}
+
+// Parameterized round-trip over assorted documents.
+class JsonRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTrip, WriteParseIdentity) {
+  auto v = Parse(GetParam());
+  ASSERT_TRUE(v.ok());
+  auto again = Parse(Write(*v));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*v, *again);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Docs, JsonRoundTrip,
+    ::testing::Values(
+        "0", "-0.5", "1e10", "\"\"", "\"\\u0041snowman\"", "[[],[],{}]",
+        R"({"frame_id":17,"pose":{"keypoints":[{"x":1.5,"y":2.25}]}})",
+        R"([{"a":1},{"a":2},{"a":3}])",
+        R"({"nested":[1,[2,[3,[4,[5]]]]]})"));
+
+}  // namespace
+}  // namespace vp::json

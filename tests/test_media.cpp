@@ -1,0 +1,510 @@
+// Tests for the media substrate: images, skeleton/motion models, the
+// renderer, the codec, frame stores and the synthetic camera.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bytes.hpp"
+#include "media/codec.hpp"
+#include "media/frame_store.hpp"
+#include "media/motion.hpp"
+#include "media/renderer.hpp"
+#include "media/video_source.hpp"
+
+namespace vp::media {
+namespace {
+
+// ---------------------------------------------------------------- Image
+
+TEST(Image, ConstructionAndPixelAccess) {
+  Image image(8, 4, Rgb{1, 2, 3});
+  EXPECT_EQ(image.width(), 8);
+  EXPECT_EQ(image.height(), 4);
+  EXPECT_EQ(image.byte_size(), 8u * 4u * 3u);
+  EXPECT_EQ(image.At(0, 0), (Rgb{1, 2, 3}));
+  image.Set(7, 3, Rgb{9, 9, 9});
+  EXPECT_EQ(image.At(7, 3), (Rgb{9, 9, 9}));
+}
+
+TEST(Image, ClippedSetIgnoresOutOfBounds) {
+  Image image(4, 4);
+  image.SetClipped(-1, 0, Rgb{255, 0, 0});
+  image.SetClipped(0, 100, Rgb{255, 0, 0});
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      EXPECT_EQ(image.At(x, y), (Rgb{0, 0, 0}));
+    }
+  }
+}
+
+TEST(Image, DrawDiskCoversExpectedArea) {
+  Image image(21, 21);
+  image.DrawDisk(10, 10, 3.0, Rgb{255, 255, 255});
+  int lit = 0;
+  for (int y = 0; y < 21; ++y) {
+    for (int x = 0; x < 21; ++x) {
+      if (image.At(x, y).r == 255) ++lit;
+    }
+  }
+  EXPECT_NEAR(lit, M_PI * 9.0, 10.0);
+  EXPECT_EQ(image.At(10, 10).r, 255);
+  EXPECT_EQ(image.At(0, 0).r, 0);
+}
+
+TEST(Image, DrawLineConnectsEndpoints) {
+  Image image(20, 20);
+  image.DrawLine(2, 2, 17, 17, 1.5, Rgb{200, 0, 0});
+  EXPECT_GT(image.At(2, 2).r, 0);
+  EXPECT_GT(image.At(17, 17).r, 0);
+  EXPECT_GT(image.At(10, 10).r, 0);  // midpoint
+  EXPECT_EQ(image.At(2, 17).r, 0);   // off-diagonal untouched
+}
+
+TEST(Image, DownsampleAverages) {
+  Image image(4, 4, Rgb{100, 100, 100});
+  image.Set(0, 0, Rgb{200, 200, 200});
+  Image small = image.Downsample(2);
+  EXPECT_EQ(small.width(), 2);
+  EXPECT_EQ(small.height(), 2);
+  EXPECT_EQ(small.At(0, 0).r, 125);  // (200+100+100+100)/4
+  EXPECT_EQ(small.At(1, 1).r, 100);
+}
+
+TEST(Image, MeanAbsDiff) {
+  Image a(4, 4, Rgb{10, 10, 10});
+  Image b(4, 4, Rgb{14, 10, 10});
+  EXPECT_NEAR(a.MeanAbsDiff(b), 4.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(a.MeanAbsDiff(a), 0.0);
+  Image c(3, 3);
+  EXPECT_DOUBLE_EQ(a.MeanAbsDiff(c), 255.0);  // dimension mismatch
+}
+
+TEST(Image, ColorDistanceIsChebyshev) {
+  EXPECT_EQ(ColorDistance(Rgb{0, 0, 0}, Rgb{5, 10, 2}), 10);
+  EXPECT_EQ(ColorDistance(Rgb{255, 0, 0}, Rgb{0, 0, 0}), 255);
+}
+
+// ------------------------------------------------------------- Skeleton
+
+TEST(Skeleton, SeventeenKeypointsWithNamesAndColors) {
+  EXPECT_EQ(kNumKeypoints, 17);
+  std::set<std::string> names;
+  for (int k = 0; k < kNumKeypoints; ++k) {
+    names.insert(KeypointName(k));
+  }
+  EXPECT_EQ(names.size(), 17u);  // all distinct
+  // Palette colors must stay pairwise separable beyond the detector
+  // tolerance plus the codec quantization error.
+  for (int a = 0; a < kNumKeypoints; ++a) {
+    for (int b = a + 1; b < kNumKeypoints; ++b) {
+      EXPECT_GE(ColorDistance(KeypointColor(a), KeypointColor(b)), 55)
+          << KeypointName(a) << " vs " << KeypointName(b);
+    }
+  }
+}
+
+TEST(Skeleton, BonesReferenceValidJoints) {
+  for (const auto& [a, b] : SkeletonBones()) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, kNumKeypoints);
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, kNumKeypoints);
+    EXPECT_NE(a, b);
+  }
+  EXPECT_GE(SkeletonBones().size(), 14u);
+}
+
+TEST(Skeleton, StandingPoseGeometry) {
+  const Pose pose = Pose::Standing();
+  // Head above hips above ankles (y grows downward).
+  EXPECT_LT(pose[kNose].y, pose[kLeftHip].y);
+  EXPECT_LT(pose[kLeftHip].y, pose[kLeftAnkle].y);
+  // Left of body has smaller x than right.
+  EXPECT_LT(pose[kLeftShoulder].x, pose[kRightShoulder].x);
+  EXPECT_GT(pose.TorsoLength(), 0.1);
+  const Point2 hips = pose.HipCenter();
+  EXPECT_NEAR(hips.x, 0.5, 0.01);
+}
+
+TEST(Skeleton, PoseJsonRoundTrip) {
+  Pose pose = Pose::Standing();
+  pose.visible[kLeftEar] = false;
+  auto back = Pose::FromJson(pose.ToJson());
+  ASSERT_TRUE(back.ok());
+  for (int k = 0; k < kNumKeypoints; ++k) {
+    EXPECT_DOUBLE_EQ((*back)[k].x, pose[k].x);
+    EXPECT_DOUBLE_EQ((*back)[k].y, pose[k].y);
+    EXPECT_EQ(back->visible[static_cast<size_t>(k)],
+              pose.visible[static_cast<size_t>(k)]);
+  }
+}
+
+TEST(Skeleton, PoseFromJsonRejectsBadShapes) {
+  EXPECT_FALSE(Pose::FromJson(json::Value::MakeObject()).ok());
+  auto truncated = Pose::Standing().ToJson();
+  truncated["points"].AsArray().pop_back();
+  EXPECT_FALSE(Pose::FromJson(truncated).ok());
+}
+
+TEST(Skeleton, LerpInterpolates) {
+  Pose a = Pose::Standing();
+  Pose b = a;
+  b[kNose] = {0.7, 0.5};
+  const Pose mid = Lerp(a, b, 0.5);
+  EXPECT_NEAR(mid[kNose].x, (a[kNose].x + 0.7) / 2, 1e-12);
+  EXPECT_NEAR(mid[kNose].y, (a[kNose].y + 0.5) / 2, 1e-12);
+}
+
+// --------------------------------------------------------------- Motion
+
+TEST(Motion, FactoryKnowsAllAdvertisedLabels) {
+  for (const std::string& label : KnownMotionLabels()) {
+    auto motion = MakeMotion(label);
+    ASSERT_TRUE(motion.ok()) << label;
+    EXPECT_EQ((*motion)->label(), label);
+  }
+  EXPECT_FALSE(MakeMotion("moonwalk").ok());
+  MotionParams bad;
+  bad.period = 0;
+  EXPECT_FALSE(MakeMotion("squat", bad).ok());
+}
+
+class MotionBounds : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MotionBounds, PosesStayInBodySpace) {
+  auto motion = MakeMotion(GetParam());
+  ASSERT_TRUE(motion.ok());
+  for (double t = 0; t < 10.0; t += 0.05) {
+    const Pose pose = (*motion)->PoseAt(t);
+    for (const Point2& p : pose.points) {
+      EXPECT_GT(p.x, -0.3) << GetParam() << " t=" << t;
+      EXPECT_LT(p.x, 1.3) << GetParam() << " t=" << t;
+      EXPECT_GT(p.y, -0.3) << GetParam() << " t=" << t;
+      EXPECT_LT(p.y, 1.3) << GetParam() << " t=" << t;
+    }
+  }
+}
+
+TEST_P(MotionBounds, RepsAreMonotone) {
+  auto motion = MakeMotion(GetParam());
+  ASSERT_TRUE(motion.ok());
+  int last = 0;
+  for (double t = 0; t < 12.0; t += 0.1) {
+    const int reps = (*motion)->RepsCompleted(t);
+    EXPECT_GE(reps, last);
+    last = reps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMotions, MotionBounds,
+                         ::testing::Values("idle", "squat", "jumping_jack",
+                                           "lunge", "wave", "clap", "fall"));
+
+TEST(Motion, ExerciseRepsMatchPeriods) {
+  MotionParams params;
+  params.period = 2.0;
+  auto squat = MakeMotion("squat", params);
+  ASSERT_TRUE(squat.ok());
+  EXPECT_EQ((*squat)->RepsCompleted(9.9), 4);
+  EXPECT_EQ((*squat)->RepsCompleted(10.1), 5);
+  auto idle = MakeMotion("idle", params);
+  EXPECT_EQ((*idle)->RepsCompleted(100.0), 0);
+}
+
+TEST(Motion, SquatActuallySinks) {
+  MotionParams params;
+  params.period = 2.0;
+  auto squat = MakeMotion("squat", params);
+  const Pose top = (*squat)->PoseAt(0.0);
+  const Pose bottom = (*squat)->PoseAt(1.0);  // mid-cycle
+  EXPECT_GT(bottom[kLeftHip].y, top[kLeftHip].y + 0.08);
+}
+
+TEST(Motion, FallEndsHorizontal) {
+  MotionParams params;
+  params.period = 4.0;
+  auto fall = MakeMotion("fall", params);
+  const Pose upright = (*fall)->PoseAt(0.0);
+  const Pose lying = (*fall)->PoseAt(4.0);
+  const double upright_dy =
+      std::abs(upright[kNose].y - upright[kLeftAnkle].y);
+  const double lying_dy = std::abs(lying[kNose].y - lying[kLeftAnkle].y);
+  EXPECT_GT(upright_dy, 0.5);
+  EXPECT_LT(lying_dy, 0.25);
+}
+
+TEST(MotionScript, SegmentsAndLabels) {
+  auto script = MotionScript::Make({
+      {"idle", 2.0, {}},
+      {"squat", 4.0, {}},
+      {"clap", 1.0, {}},
+  });
+  ASSERT_TRUE(script.ok());
+  EXPECT_DOUBLE_EQ(script->total_duration(), 7.0);
+  EXPECT_EQ(script->LabelAt(1.0), "idle");
+  EXPECT_EQ(script->LabelAt(3.0), "squat");
+  EXPECT_EQ(script->LabelAt(6.5), "clap");
+  EXPECT_EQ(script->LabelAt(100.0), "clap");  // clamps to last segment
+}
+
+TEST(MotionScript, RepsAccumulateAcrossSegments) {
+  MotionParams fast;
+  fast.period = 1.0;
+  auto script = MotionScript::Make({
+      {"squat", 3.0, fast},  // 3 reps
+      {"idle", 1.0, {}},
+      {"jumping_jack", 2.0, fast},  // 2 reps
+  });
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->RepsUpTo(0.0), 0);
+  EXPECT_EQ(script->RepsUpTo(3.5), 3);
+  EXPECT_EQ(script->RepsUpTo(6.5), 5);
+}
+
+TEST(MotionScript, RejectsBadSegments) {
+  EXPECT_FALSE(MotionScript::Make({{"warp", 1.0, {}}}).ok());
+  EXPECT_FALSE(MotionScript::Make({{"idle", -1.0, {}}}).ok());
+}
+
+// -------------------------------------------------------------- Renderer
+
+TEST(Renderer, JointMarkersLandWhereTheTransformSays) {
+  SceneOptions scene;
+  const Pose pose = Pose::Standing();
+  const Image image = RenderScene(pose, scene, 1);
+  const Point2 nose = BodyToPixel(pose[kNose], scene);
+  const Rgb at_nose = image.At(static_cast<int>(std::lround(nose.x)),
+                               static_cast<int>(std::lround(nose.y)));
+  EXPECT_LT(ColorDistance(at_nose, KeypointColor(kNose)), 30);
+}
+
+TEST(Renderer, BackgroundIsQuietAndNoisy) {
+  SceneOptions scene;
+  Pose hidden;
+  hidden.visible.fill(false);
+  const Image image = RenderScene(hidden, scene, 2);
+  const Rgb corner = image.At(1, 1);
+  EXPECT_LT(ColorDistance(corner, scene.background), 15);
+  // Noise makes frames differ between seeds.
+  const Image other = RenderScene(hidden, scene, 3);
+  EXPECT_GT(image.MeanAbsDiff(other), 0.5);
+}
+
+TEST(Renderer, DeterministicPerSeed) {
+  SceneOptions scene;
+  const Pose pose = Pose::Standing();
+  const Image a = RenderScene(pose, scene, 7);
+  const Image b = RenderScene(pose, scene, 7);
+  EXPECT_DOUBLE_EQ(a.MeanAbsDiff(b), 0.0);
+}
+
+TEST(Renderer, PropsAreDrawn) {
+  SceneOptions scene;
+  scene.props.push_back(Prop{"lamp", 0.05, 0.05, 0.1, 0.2, Rgb{10, 90, 200}});
+  Pose hidden;
+  hidden.visible.fill(false);
+  const Image image = RenderScene(hidden, scene, 4);
+  const int cx = static_cast<int>(0.1 * scene.width);
+  const int cy = static_cast<int>(0.15 * scene.height);
+  EXPECT_LT(ColorDistance(image.At(cx, cy), Rgb{10, 90, 200}), 20);
+}
+
+TEST(Renderer, InvisibleJointsNotDrawn) {
+  SceneOptions scene;
+  Pose pose = Pose::Standing();
+  pose.visible[kNose] = false;
+  const Image image = RenderScene(pose, scene, 5);
+  const Point2 nose = BodyToPixel(pose[kNose], scene);
+  const Rgb at_nose =
+      image.At(static_cast<int>(nose.x), static_cast<int>(nose.y));
+  EXPECT_GT(ColorDistance(at_nose, KeypointColor(kNose)), 60);
+}
+
+// ----------------------------------------------------------------- Codec
+
+TEST(Codec, RoundTripWithinQuantizationBound) {
+  SceneOptions scene;
+  Frame frame;
+  frame.seq = 9;
+  frame.capture_time = TimePoint::FromMicros(123456);
+  frame.ground_truth["activity"] = json::Value("squat");
+  frame.image = RenderScene(Pose::Standing(), scene, 6);
+
+  const Bytes wire = EncodeFrame(frame);
+  auto decoded = DecodeFrame(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().ToString();
+  EXPECT_EQ(decoded->seq, 9u);
+  EXPECT_EQ(decoded->capture_time.micros(), 123456);
+  EXPECT_EQ(decoded->ground_truth.GetString("activity"), "squat");
+  EXPECT_EQ(decoded->image.width(), frame.image.width());
+  EXPECT_EQ(decoded->image.height(), frame.image.height());
+  // 16-level quantization: every channel within 8 of the original.
+  EXPECT_LE(frame.image.MeanAbsDiff(decoded->image), 8.0);
+  for (int y = 0; y < frame.image.height(); y += 7) {
+    for (int x = 0; x < frame.image.width(); x += 7) {
+      EXPECT_LE(ColorDistance(frame.image.At(x, y), decoded->image.At(x, y)),
+                8);
+    }
+  }
+}
+
+TEST(Codec, CompressesSyntheticScenes) {
+  SceneOptions scene;
+  Frame frame;
+  frame.image = RenderScene(Pose::Standing(), scene, 8);
+  const Bytes wire = EncodeFrame(frame);
+  EXPECT_LT(wire.size(), frame.image.byte_size() / 2);
+  EXPECT_GT(wire.size(), 100u);
+}
+
+TEST(Codec, RejectsGarbage) {
+  EXPECT_FALSE(DecodeFrame(Bytes{1, 2, 3}).ok());
+  Bytes wire = EncodeFrame(Frame{.image = Image(8, 8)});
+  wire[0] ^= 0xFF;
+  EXPECT_FALSE(DecodeFrame(wire).ok());
+  wire[0] ^= 0xFF;
+  wire.resize(wire.size() / 2);
+  EXPECT_FALSE(DecodeFrame(wire).ok());
+}
+
+TEST(Codec, CostModelsScaleWithSize) {
+  EXPECT_GT(EncodeCost(Image(640, 480)).millis(),
+            EncodeCost(Image(160, 120)).millis());
+  EXPECT_GT(DecodeCost(100000).millis(), DecodeCost(1000).millis());
+}
+
+// Parameterized: the round-trip bound holds across resolutions/noise.
+struct CodecCase {
+  int width;
+  int height;
+  double noise;
+};
+
+class CodecRoundTrip : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(CodecRoundTrip, BoundHolds) {
+  SceneOptions scene;
+  scene.width = GetParam().width;
+  scene.height = GetParam().height;
+  scene.noise_stddev = GetParam().noise;
+  Frame frame;
+  frame.image = RenderScene(Pose::Standing(), scene, 11);
+  auto decoded = DecodeFrame(EncodeFrame(frame));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_LE(frame.image.MeanAbsDiff(decoded->image), 8.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Resolutions, CodecRoundTrip,
+    ::testing::Values(CodecCase{64, 48, 0.0}, CodecCase{160, 120, 3.0},
+                      CodecCase{320, 240, 3.0}, CodecCase{320, 240, 10.0},
+                      CodecCase{640, 480, 3.0}, CodecCase{17, 13, 5.0}));
+
+// ------------------------------------------------------------ FrameStore
+
+TEST(FrameStore, PutGetRelease) {
+  FrameStore store(8);
+  Frame frame;
+  frame.seq = 5;
+  frame.image = Image(4, 4);
+  const FrameId id = store.Put(std::move(frame));
+  EXPECT_NE(id, kInvalidFrameId);
+  auto got = store.Get(id);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->seq, 5u);
+  EXPECT_EQ((*got)->id, id);
+  EXPECT_TRUE(store.Release(id));
+  EXPECT_FALSE(store.Release(id));
+  EXPECT_EQ(store.Get(id).code(), StatusCode::kNotFound);
+}
+
+TEST(FrameStore, IdsAreUnique) {
+  FrameStore store(100);
+  std::set<FrameId> ids;
+  for (int i = 0; i < 50; ++i) {
+    ids.insert(store.Put(Frame{.image = Image(2, 2)}));
+  }
+  EXPECT_EQ(ids.size(), 50u);
+}
+
+TEST(FrameStore, EvictsOldestAtCapacity) {
+  FrameStore store(3);
+  const FrameId first = store.Put(Frame{.image = Image(2, 2)});
+  store.Put(Frame{.image = Image(2, 2)});
+  store.Put(Frame{.image = Image(2, 2)});
+  const FrameId fourth = store.Put(Frame{.image = Image(2, 2)});
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.evictions(), 1u);
+  EXPECT_FALSE(store.Get(first).ok());
+  EXPECT_TRUE(store.Get(fourth).ok());
+}
+
+TEST(FrameStore, EncodedCache) {
+  FrameStore store(4);
+  const FrameId a = store.Put(Frame{.image = Image(2, 2)}, Bytes{1, 2, 3});
+  const FrameId b = store.Put(Frame{.image = Image(2, 2)});
+  ASSERT_NE(store.Encoded(a), nullptr);
+  EXPECT_EQ(*store.Encoded(a), (Bytes{1, 2, 3}));
+  EXPECT_EQ(store.Encoded(b), nullptr);
+  store.CacheEncoded(b, Bytes{9});
+  ASSERT_NE(store.Encoded(b), nullptr);
+  EXPECT_EQ(store.Encoded(b)->size(), 1u);
+  EXPECT_EQ(store.Encoded(999), nullptr);
+}
+
+TEST(FrameStore, ResidentBytesTracksPixels) {
+  FrameStore store(4);
+  store.Put(Frame{.image = Image(10, 10)});
+  store.Put(Frame{.image = Image(10, 10)});
+  EXPECT_EQ(store.resident_bytes(), 2u * 10u * 10u * 3u);
+}
+
+// ----------------------------------------------------------- VideoSource
+
+TEST(VideoSource, FrameCountAndTimestamps) {
+  SyntheticVideoSource source(DefaultWorkoutScript(), 10.0);
+  EXPECT_EQ(source.frame_count(),
+            static_cast<uint64_t>(DefaultWorkoutScript().total_duration() *
+                                  10.0));
+  EXPECT_EQ(source.CaptureTime(0).micros(), 0);
+  EXPECT_EQ(source.CaptureTime(10).millis(), 1000.0);
+}
+
+TEST(VideoSource, DeterministicPerSeed) {
+  SceneOptions scene;
+  SyntheticVideoSource a(DefaultWorkoutScript(), 10.0, scene, 5);
+  SyntheticVideoSource b(DefaultWorkoutScript(), 10.0, scene, 5);
+  const Frame fa = a.CaptureFrame(17);
+  const Frame fb = b.CaptureFrame(17);
+  EXPECT_DOUBLE_EQ(fa.image.MeanAbsDiff(fb.image), 0.0);
+}
+
+TEST(VideoSource, GroundTruthAnnotations) {
+  SyntheticVideoSource source(DefaultWorkoutScript(), 10.0);
+  // t = 8 s is inside the squat segment (starts at 3 s, 12 s long).
+  const Frame frame = source.CaptureFrame(80);
+  EXPECT_EQ(frame.ground_truth.GetString("activity"), "squat");
+  EXPECT_GT(frame.ground_truth.GetInt("reps"), 0);
+  const json::Value* pose_px = frame.ground_truth.Find("pose_px");
+  ASSERT_NE(pose_px, nullptr);
+  EXPECT_EQ(pose_px->AsArray().size(), 17u);
+}
+
+TEST(VideoSource, DefaultScriptsCoverTheApplications) {
+  const MotionScript workout = DefaultWorkoutScript();
+  EXPECT_GT(workout.total_duration(), 30.0);
+  EXPECT_GT(workout.RepsUpTo(workout.total_duration()), 10);
+  const MotionScript gestures = DefaultGestureScript();
+  bool has_wave = false;
+  bool has_clap = false;
+  for (const auto& seg : gestures.segments()) {
+    has_wave |= seg.label == "wave";
+    has_clap |= seg.label == "clap";
+  }
+  EXPECT_TRUE(has_wave);
+  EXPECT_TRUE(has_clap);
+}
+
+}  // namespace
+}  // namespace vp::media

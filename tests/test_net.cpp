@@ -1,0 +1,272 @@
+// Tests for the messaging layer: wire messages, endpoint URIs, the
+// brokerless fabric (PUSH + REQ/REP) and the brokered alternative.
+#include <gtest/gtest.h>
+
+#include "net/broker.hpp"
+#include "net/endpoint.hpp"
+#include "net/fabric.hpp"
+#include "net/message.hpp"
+#include "sim/cluster.hpp"
+
+namespace vp::net {
+namespace {
+
+// -------------------------------------------------------------- Message
+
+Message SampleMessage() {
+  json::Value payload = json::Value::MakeObject();
+  payload["frame_id"] = json::Value(17);
+  payload["labels"].PushBack(json::Value("squat"));
+  Message m("frame", std::move(payload));
+  m.set_sender("pose_detection_module");
+  m.set_seq(42);
+  m.AddPart(Bytes{1, 2, 3, 4, 5});
+  m.AddPart(Bytes{});
+  return m;
+}
+
+TEST(Message, EncodeDecodeRoundTrip) {
+  const Message original = SampleMessage();
+  const Bytes wire = original.Encode();
+  auto decoded = Message::Decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type(), "frame");
+  EXPECT_EQ(decoded->sender(), "pose_detection_module");
+  EXPECT_EQ(decoded->seq(), 42u);
+  EXPECT_EQ(decoded->payload().GetInt("frame_id"), 17);
+  ASSERT_EQ(decoded->parts().size(), 2u);
+  EXPECT_EQ(decoded->parts()[0], (Bytes{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(decoded->parts()[1].empty());
+}
+
+TEST(Message, ByteSizeMatchesEncoding) {
+  const Message m = SampleMessage();
+  EXPECT_EQ(m.ByteSize(), m.Encode().size());
+  Message empty;
+  EXPECT_EQ(empty.ByteSize(), empty.Encode().size());
+}
+
+TEST(Message, DecodeRejectsBadMagic) {
+  Bytes wire = SampleMessage().Encode();
+  wire[0] ^= 0xFF;
+  EXPECT_FALSE(Message::Decode(wire).ok());
+}
+
+TEST(Message, DecodeRejectsTruncation) {
+  const Bytes wire = SampleMessage().Encode();
+  for (size_t cut : {1UL, wire.size() / 2, wire.size() - 1}) {
+    auto truncated = Bytes(wire.begin(),
+                           wire.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_FALSE(Message::Decode(truncated).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(Message, DecodeRejectsTrailingBytes) {
+  Bytes wire = SampleMessage().Encode();
+  wire.push_back(0);
+  EXPECT_FALSE(Message::Decode(wire).ok());
+}
+
+// ------------------------------------------------------------- Endpoint
+
+TEST(Endpoint, ParsesPaperSyntax) {
+  auto ep = ParseEndpoint("bind#tcp://*:5861");
+  ASSERT_TRUE(ep.ok());
+  EXPECT_EQ(ep->mode, EndpointMode::kBind);
+  EXPECT_EQ(ep->scheme, EndpointScheme::kTcp);
+  EXPECT_TRUE(ep->wildcard_host());
+  EXPECT_EQ(ep->port, 5861);
+  EXPECT_EQ(ep->ToString(), "bind#tcp://*:5861");
+}
+
+TEST(Endpoint, ParsesConnectAndInproc) {
+  auto ep = ParseEndpoint("connect#inproc://desktop:99");
+  ASSERT_TRUE(ep.ok());
+  EXPECT_EQ(ep->mode, EndpointMode::kConnect);
+  EXPECT_EQ(ep->scheme, EndpointScheme::kInproc);
+  EXPECT_EQ(ep->host, "desktop");
+}
+
+TEST(Endpoint, RejectsMalformed) {
+  EXPECT_FALSE(ParseEndpoint("tcp://*:5861").ok());          // no mode
+  EXPECT_FALSE(ParseEndpoint("bind#udp://*:1").ok());        // bad scheme
+  EXPECT_FALSE(ParseEndpoint("bind#tcp://*:").ok());         // no port
+  EXPECT_FALSE(ParseEndpoint("bind#tcp://*:0").ok());        // port 0
+  EXPECT_FALSE(ParseEndpoint("bind#tcp://*:70000").ok());    // overflow
+  EXPECT_FALSE(ParseEndpoint("bind#tcp://:123").ok());       // empty host
+  EXPECT_FALSE(ParseEndpoint("listen#tcp://*:5861").ok());   // bad mode
+}
+
+// --------------------------------------------------------------- Fabric
+
+class FabricTest : public ::testing::Test {
+ protected:
+  FabricTest() : cluster_(sim::MakeHomeTestbed()), fabric_(cluster_.get()) {}
+  std::unique_ptr<sim::Cluster> cluster_;
+  Fabric fabric_;
+};
+
+TEST_F(FabricTest, PushDeliversAcrossDevices) {
+  std::string received_type;
+  uint64_t received_seq = 0;
+  ASSERT_TRUE(fabric_.Bind(Address{"desktop", 5861},
+                           [&](Message m, Responder) {
+                             received_type = m.type();
+                             received_seq = m.seq();
+                           })
+                  .ok());
+  Message m("frame");
+  m.set_seq(5);
+  ASSERT_TRUE(fabric_.Push("phone", Address{"desktop", 5861}, std::move(m))
+                  .ok());
+  cluster_->simulator().RunUntilIdle();
+  EXPECT_EQ(received_type, "frame");
+  EXPECT_EQ(received_seq, 5u);
+  // Delivery took Wi-Fi time, not zero.
+  EXPECT_GT(cluster_->Now().millis(), 2.0);
+}
+
+TEST_F(FabricTest, BindRejectsDuplicatesAndUnknownDevices) {
+  ASSERT_TRUE(fabric_.Bind(Address{"tv", 1}, [](Message, Responder) {}).ok());
+  EXPECT_EQ(fabric_.Bind(Address{"tv", 1}, [](Message, Responder) {}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(fabric_.Bind(Address{"toaster", 1}, [](Message, Responder) {})
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FabricTest, PushToUnboundIsDroppedAndCounted) {
+  ASSERT_TRUE(
+      fabric_.Push("phone", Address{"desktop", 9}, Message("x")).ok());
+  cluster_->simulator().RunUntilIdle();
+  EXPECT_EQ(fabric_.dropped_messages(), 1u);
+}
+
+TEST_F(FabricTest, UnbindStopsDelivery) {
+  int hits = 0;
+  ASSERT_TRUE(fabric_.Bind(Address{"tv", 2},
+                           [&](Message, Responder) { ++hits; })
+                  .ok());
+  ASSERT_TRUE(fabric_.Push("phone", Address{"tv", 2}, Message("a")).ok());
+  cluster_->simulator().RunUntilIdle();
+  fabric_.Unbind(Address{"tv", 2});
+  ASSERT_TRUE(fabric_.Push("phone", Address{"tv", 2}, Message("b")).ok());
+  cluster_->simulator().RunUntilIdle();
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(fabric_.dropped_messages(), 1u);
+}
+
+TEST_F(FabricTest, RequestReplyRoundTrip) {
+  ASSERT_TRUE(fabric_.Bind(Address{"desktop", 7000},
+                           [](Message m, Responder respond) {
+                             json::Value payload = json::Value::MakeObject();
+                             payload["echo"] = json::Value(m.type());
+                             respond(Message("reply", std::move(payload)));
+                           })
+                  .ok());
+  std::string echo;
+  double reply_time = 0;
+  ASSERT_TRUE(fabric_
+                  .Request("phone", Address{"desktop", 7000},
+                           Message("ping"),
+                           [&](Result<Message> reply) {
+                             ASSERT_TRUE(reply.ok());
+                             echo = reply->payload().GetString("echo");
+                             reply_time = cluster_->Now().millis();
+                           })
+                  .ok());
+  cluster_->simulator().RunUntilIdle();
+  EXPECT_EQ(echo, "ping");
+  // One full round trip over Wi-Fi: ≥ 2 × latency.
+  EXPECT_GT(reply_time, 6.0);
+}
+
+TEST_F(FabricTest, RequestToUnboundFailsGracefully) {
+  StatusCode code = StatusCode::kOk;
+  ASSERT_TRUE(fabric_
+                  .Request("phone", Address{"desktop", 404}, Message("ping"),
+                           [&](Result<Message> reply) {
+                             code = reply.code();
+                           })
+                  .ok());
+  cluster_->simulator().RunUntilIdle();
+  EXPECT_EQ(code, StatusCode::kUnavailable);
+}
+
+TEST_F(FabricTest, LargerMessagesTakeLonger) {
+  double small_time = 0;
+  double big_time = 0;
+  ASSERT_TRUE(fabric_.Bind(Address{"desktop", 1}, [](Message, Responder) {})
+                  .ok());
+  {
+    Message small("s");
+    fabric_.Push("phone", Address{"desktop", 1}, std::move(small));
+    cluster_->simulator().RunUntilIdle();
+    small_time = cluster_->Now().millis();
+  }
+  {
+    Message big("b");
+    big.AddPart(Bytes(500000, 0x7));
+    fabric_.Push("phone", Address{"desktop", 1}, std::move(big));
+    cluster_->simulator().RunUntilIdle();
+    big_time = cluster_->Now().millis() - small_time;
+  }
+  EXPECT_GT(big_time, small_time);
+  EXPECT_GT(big_time, 40.0);  // 500 KB at 80 Mbit/s = 50 ms serialization
+}
+
+// --------------------------------------------------------------- Broker
+
+TEST(Broker, DoubleHopCostsMoreThanBrokerless) {
+  // Same message, same endpoints; broker on the desktop relays
+  // phone → tv traffic. The paper's §3.2 argument, quantified.
+  auto cluster = sim::MakeHomeTestbed();
+  Fabric direct(cluster.get());
+  BrokerFabric brokered(cluster.get(), "desktop");
+
+  double direct_time = -1;
+  double brokered_time = -1;
+  ASSERT_TRUE(direct.Bind(Address{"tv", 1},
+                          [&](Message, Responder) {
+                            direct_time = cluster->Now().millis();
+                          })
+                  .ok());
+  ASSERT_TRUE(brokered.Bind(Address{"tv", 2},
+                            [&](Message) {
+                              brokered_time = cluster->Now().millis();
+                            })
+                  .ok());
+
+  Message m1("x");
+  m1.AddPart(Bytes(20000, 1));
+  Message m2("x");
+  m2.AddPart(Bytes(20000, 1));
+  const double start = cluster->Now().millis();
+  ASSERT_TRUE(direct.Push("phone", Address{"tv", 1}, std::move(m1)).ok());
+  ASSERT_TRUE(brokered.Push("phone", Address{"tv", 2}, std::move(m2)).ok());
+  cluster->simulator().RunUntilIdle();
+
+  ASSERT_GT(direct_time, start);
+  ASSERT_GT(brokered_time, start);
+  // Broker pays the second hop + forwarding: at least ~1.5× slower.
+  EXPECT_GT(brokered_time - start, (direct_time - start) * 1.5);
+}
+
+TEST(Broker, DropsForUnboundAddress) {
+  auto cluster = sim::MakeHomeTestbed();
+  BrokerFabric brokered(cluster.get(), "desktop");
+  ASSERT_TRUE(
+      brokered.Push("phone", Address{"tv", 9}, Message("x")).ok());
+  cluster->simulator().RunUntilIdle();
+  EXPECT_EQ(brokered.dropped_messages(), 1u);
+}
+
+TEST(Broker, RejectsUnknownBrokerDevice) {
+  auto cluster = sim::MakeHomeTestbed();
+  BrokerFabric brokered(cluster.get(), "mainframe");
+  EXPECT_EQ(brokered.Push("phone", Address{"tv", 1}, Message("x")).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace vp::net

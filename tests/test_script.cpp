@@ -1,0 +1,154 @@
+// Tests for the vpscript lexer and parser.
+#include <gtest/gtest.h>
+
+#include "script/lexer.hpp"
+#include "script/parser.hpp"
+
+namespace vp::script {
+namespace {
+
+std::vector<TokenType> Types(const std::string& src) {
+  auto tokens = Tokenize(src);
+  EXPECT_TRUE(tokens.ok()) << src;
+  std::vector<TokenType> out;
+  if (tokens.ok()) {
+    for (const Token& t : *tokens) out.push_back(t.type);
+  }
+  return out;
+}
+
+TEST(Lexer, BasicTokens) {
+  EXPECT_EQ(Types("var x = 1;"),
+            (std::vector<TokenType>{TokenType::kVar, TokenType::kIdentifier,
+                                    TokenType::kAssign, TokenType::kNumber,
+                                    TokenType::kSemicolon, TokenType::kEof}));
+}
+
+TEST(Lexer, NumbersWithFractionsAndExponents) {
+  auto tokens = Tokenize("1.5 2e3 4.25e-2 7");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 1.5);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 2000.0);
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 0.0425);
+  EXPECT_DOUBLE_EQ((*tokens)[3].number, 7.0);
+}
+
+TEST(Lexer, StringEscapes) {
+  auto tokens = Tokenize(R"('a\nb' "c\td")");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "a\nb");
+  EXPECT_EQ((*tokens)[1].text, "c\td");
+}
+
+TEST(Lexer, MultiCharOperators) {
+  EXPECT_EQ(Types("=== !== == != <= >= && || ++ -- +="),
+            (std::vector<TokenType>{
+                TokenType::kStrictEq, TokenType::kStrictNe, TokenType::kEq,
+                TokenType::kNe, TokenType::kLe, TokenType::kGe,
+                TokenType::kAndAnd, TokenType::kOrOr, TokenType::kPlusPlus,
+                TokenType::kMinusMinus, TokenType::kPlusAssign,
+                TokenType::kEof}));
+}
+
+TEST(Lexer, CommentsSkipped) {
+  EXPECT_EQ(Types("1 // line comment\n /* block\ncomment */ 2"),
+            (std::vector<TokenType>{TokenType::kNumber, TokenType::kNumber,
+                                    TokenType::kEof}));
+}
+
+TEST(Lexer, PositionsTracked) {
+  auto tokens = Tokenize("a\n  b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[1].column, 3);
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("'newline\n'").ok());
+  EXPECT_FALSE(Tokenize("@").ok());
+  EXPECT_FALSE(Tokenize("/* never closed").ok());
+  EXPECT_FALSE(Tokenize("1e").ok());
+}
+
+TEST(Lexer, KeywordsVsIdentifiers) {
+  auto tokens = Tokenize("function functional");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kFunction);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "functional");
+}
+
+// ---------------------------------------------------------------- Parser
+
+TEST(Parser, ParsesRepresentativeModule) {
+  const char* src = R"JS(
+    var state = { count: 0, history: [] };
+    function init() {
+      state.count = 0;
+    }
+    function event_received(msg) {
+      state.history.push(msg.pose);
+      if (state.history.length > 15) {
+        state.history.shift();
+      }
+      for (var i = 0; i < 3; i++) {
+        state.count += i;
+      }
+      var label = state.count > 2 ? "hot" : "cold";
+      call_module("next", { label: label });
+    }
+  )JS";
+  auto program = ParseProgram(src);
+  ASSERT_TRUE(program.ok()) << program.error().ToString();
+  EXPECT_EQ((*program)->statements.size(), 3u);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  auto program = ParseProgram("var x = 1;\nvar = 2;");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.error().message().find("script:2"), std::string::npos);
+}
+
+TEST(Parser, RejectsMalformed) {
+  EXPECT_FALSE(ParseProgram("if (x {}").ok());
+  EXPECT_FALSE(ParseProgram("function () {}").ok());  // decl needs a name
+  EXPECT_FALSE(ParseProgram("var 1x = 2;").ok());
+  EXPECT_FALSE(ParseProgram("return (;").ok());
+  EXPECT_FALSE(ParseProgram("a +").ok());
+  EXPECT_FALSE(ParseProgram("var o = { \"a\" 1 };").ok());  // missing ':'
+  EXPECT_FALSE(ParseProgram("1 = 2;").ok());  // invalid assignment target
+  EXPECT_FALSE(ParseProgram("const c;").ok());
+}
+
+TEST(Parser, FunctionExpressionsAllowed) {
+  EXPECT_TRUE(ParseProgram("var f = function (a, b) { return a + b; };").ok());
+  EXPECT_TRUE(ParseProgram("arr.map(function (x) { return x * 2; });").ok());
+}
+
+TEST(Parser, ForInForm) {
+  EXPECT_TRUE(ParseProgram("for (var k in obj) { total += obj[k]; }").ok());
+}
+
+TEST(Parser, ForWithEmptyClauses) {
+  EXPECT_TRUE(ParseProgram("for (;;) { break; }").ok());
+  EXPECT_TRUE(ParseProgram("for (i = 0; ; i++) { break; }").ok());
+}
+
+TEST(Parser, DanglingElseBindsToNearestIf) {
+  EXPECT_TRUE(
+      ParseProgram("if (a) if (b) x = 1; else x = 2;").ok());
+}
+
+TEST(Parser, TrailingCommasInLiterals) {
+  EXPECT_TRUE(ParseProgram("var a = [1, 2, 3,];").ok());
+  EXPECT_TRUE(ParseProgram("var o = { a: 1, b: 2, };").ok());
+}
+
+TEST(Parser, StringAndNumberPropertyKeys) {
+  EXPECT_TRUE(ParseProgram("var o = { \"with space\": 1, 42: 2 };").ok());
+}
+
+}  // namespace
+}  // namespace vp::script

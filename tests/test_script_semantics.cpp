@@ -1,0 +1,334 @@
+// Deep semantic tests for the vpscript interpreter: scoping, closures,
+// coercions, reference semantics — the behaviours module authors rely
+// on without thinking about them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "script/context.hpp"
+
+namespace vp::script {
+namespace {
+
+Result<Value> Eval(const std::string& body) {
+  Context context;
+  Status loaded = context.Load(body);
+  if (!loaded.ok()) return loaded.error();
+  return context.GetGlobal("result");
+}
+
+double Num(const std::string& body) {
+  auto v = Eval(body);
+  EXPECT_TRUE(v.ok() && v->is_number())
+      << body << (v.ok() ? "" : " → " + v.error().ToString());
+  return v.ok() && v->is_number() ? v->AsNumber() : -9999;
+}
+
+std::string Str(const std::string& body) {
+  auto v = Eval(body);
+  EXPECT_TRUE(v.ok() && v->is_string()) << body;
+  return v.ok() && v->is_string() ? v->AsString() : "<err>";
+}
+
+// -------------------------------------------------------------- scoping
+
+TEST(Scoping, BlocksShadowOuterVariables) {
+  EXPECT_DOUBLE_EQ(Num(R"(
+    var x = 1;
+    { var x = 2; }
+    var result = x;   // the block's x shadowed, outer unchanged
+  )"),
+                   1);
+}
+
+TEST(Scoping, LoopBodiesGetFreshScopes) {
+  EXPECT_DOUBLE_EQ(Num(R"(
+    var total = 0;
+    for (var i = 0; i < 3; i++) {
+      var local = i * 10;
+      total += local;
+    }
+    var result = total;
+  )"),
+                   30);
+}
+
+TEST(Scoping, AssignmentWritesThroughToOuterScope) {
+  EXPECT_DOUBLE_EQ(Num(R"(
+    var x = 1;
+    { x = 5; }          // no `var` → assignment, not shadowing
+    var result = x;
+  )"),
+                   5);
+}
+
+TEST(Scoping, FunctionParamsShadowGlobals) {
+  EXPECT_DOUBLE_EQ(Num(R"(
+    var x = 100;
+    function f(x) { x = x + 1; return x; }
+    var result = f(1) * 1000 + x;  // 2 * 1000 + 100
+  )"),
+                   2100);
+}
+
+TEST(Scoping, InnerFunctionsHoistWithinBlocks) {
+  EXPECT_DOUBLE_EQ(Num(R"(
+    function outer() {
+      return helper() + 1;
+      function helper() { return 41; }
+    }
+    var result = outer();
+  )"),
+                   42);
+}
+
+// ------------------------------------------------------------- closures
+
+TEST(Closures, CaptureByReferenceNotValue) {
+  EXPECT_DOUBLE_EQ(Num(R"(
+    var shared = 0;
+    function make() {
+      return function () { shared = shared + 1; return shared; };
+    }
+    var a = make();
+    var b = make();
+    a(); b(); a();
+    var result = shared;  // all three calls mutated the same binding
+  )"),
+                   3);
+}
+
+TEST(Closures, LoopVariableIsSharedAcrossIterations) {
+  // var (not let) semantics: all closures see the final value.
+  EXPECT_DOUBLE_EQ(Num(R"(
+    var fns = [];
+    for (var i = 0; i < 3; i++) {
+      fns.push(function () { return i; });
+    }
+    var result = fns[0]() + fns[1]() + fns[2]();  // 3 + 3 + 3
+  )"),
+                   9);
+}
+
+TEST(Closures, SurviveTheirDefiningCall) {
+  EXPECT_DOUBLE_EQ(Num(R"(
+    function adder(n) { return function (x) { return x + n; }; }
+    var add5 = adder(5);
+    var add7 = adder(7);
+    var result = add5(10) * 100 + add7(10);
+  )"),
+                   1517);
+}
+
+TEST(Closures, RecursiveFunctionExpressions) {
+  EXPECT_DOUBLE_EQ(Num(R"(
+    var fact = function f(n) { return n <= 1 ? 1 : n * f(n - 1); };
+    var result = fact(6);
+  )"),
+                   720);
+}
+
+// ---------------------------------------------------- reference types
+
+TEST(References, ObjectsAreSharedOnAssignment) {
+  EXPECT_DOUBLE_EQ(Num(R"(
+    var a = { n: 1 };
+    var b = a;
+    b.n = 7;
+    var result = a.n;
+  )"),
+                   7);
+}
+
+TEST(References, ArraysMutateThroughFunctionArguments) {
+  EXPECT_DOUBLE_EQ(Num(R"(
+    function push9(list) { list.push(9); }
+    var data = [1];
+    push9(data);
+    var result = data.length * 10 + data[1];
+  )"),
+                   29);
+}
+
+TEST(References, SliceMakesACopy) {
+  EXPECT_DOUBLE_EQ(Num(R"(
+    var a = [1, 2, 3];
+    var b = a.slice(0);
+    b[0] = 99;
+    var result = a[0];
+  )"),
+                   1);
+}
+
+TEST(References, NumbersAndStringsAreValues) {
+  EXPECT_EQ(Str(R"(
+    var a = "x";
+    var b = a;
+    b = b + "y";
+    var result = a;
+  )"),
+            "x");
+}
+
+// ------------------------------------------------------------ coercion
+
+TEST(Coercion, NaNPropagatesAndComparesFalse) {
+  EXPECT_DOUBLE_EQ(Num("var result = isNaN(0 / 0) ? 1 : 0;"), 1);
+  EXPECT_DOUBLE_EQ(Num("var result = (0 / 0 == 0 / 0) ? 1 : 0;"), 0);
+  EXPECT_DOUBLE_EQ(Num("var result = (0 / 0 < 1) ? 1 : 0;"), 0);
+}
+
+TEST(Coercion, StringToNumber) {
+  EXPECT_DOUBLE_EQ(Num("var result = '3' * '4';"), 12);
+  EXPECT_DOUBLE_EQ(Num("var result = '3' - 1;"), 2);
+  EXPECT_DOUBLE_EQ(Num("var result = isNaN('3x' * 1) ? 1 : 0;"), 1);
+  EXPECT_DOUBLE_EQ(Num("var result = Number('') ;"), 0);
+  EXPECT_DOUBLE_EQ(Num("var result = Number(null);"), 0);
+  EXPECT_DOUBLE_EQ(Num("var result = isNaN(Number(undefined)) ? 1 : 0;"), 1);
+}
+
+TEST(Coercion, TruthinessTable) {
+  EXPECT_EQ(Str(R"(
+    var values = [0, 1, "", "a", null, undefined, [], {}];
+    var bits = "";
+    for (var i = 0; i < values.length; i++) {
+      bits = bits + (values[i] ? "1" : "0");
+    }
+    var result = bits;
+  )"),
+            "01010011");  // [] and {} are truthy
+}
+
+TEST(Coercion, PlusFavorsStringsMinusFavorsNumbers) {
+  EXPECT_EQ(Str("var result = '1' + 2;"), "12");
+  EXPECT_DOUBLE_EQ(Num("var result = '5' - 2;"), 3);
+  EXPECT_EQ(Str("var result = 1 + 2 + '3';"), "33");
+  EXPECT_EQ(Str("var result = '1' + (2 + 3);"), "15");
+}
+
+TEST(Coercion, BooleansInArithmetic) {
+  EXPECT_DOUBLE_EQ(Num("var result = true + true;"), 2);
+  EXPECT_DOUBLE_EQ(Num("var result = false * 10 + true;"), 1);
+}
+
+// --------------------------------------------------------- corner cases
+
+TEST(Corners, EmptyFunctionReturnsUndefined) {
+  EXPECT_DOUBLE_EQ(Num(R"(
+    function nothing() {}
+    var result = nothing() == undefined ? 1 : 0;
+  )"),
+                   1);
+}
+
+TEST(Corners, ReturnWithoutValue) {
+  EXPECT_DOUBLE_EQ(Num(R"(
+    function bail(x) { if (x) return; return 5; }
+    var result = (bail(true) == undefined ? 10 : 0) + bail(false);
+  )"),
+                   15);
+}
+
+TEST(Corners, NestedTernariesAssociateRight) {
+  EXPECT_EQ(Str(R"(
+    function grade(n) {
+      return n > 90 ? "A" : n > 80 ? "B" : n > 70 ? "C" : "F";
+    }
+    var result = grade(95) + grade(85) + grade(75) + grade(10);
+  )"),
+            "ABCF");
+}
+
+TEST(Corners, ChainedAssignments) {
+  EXPECT_DOUBLE_EQ(Num("var a; var b; a = b = 5; var result = a + b;"), 10);
+}
+
+TEST(Corners, CommaLessObjectKeyVariants) {
+  EXPECT_DOUBLE_EQ(Num(R"(
+    var o = { "quoted key": 1, plain: 2, 3: 4 };
+    var result = o["quoted key"] + o.plain + o["3"];
+  )"),
+                   7);
+}
+
+TEST(Corners, DeleteViaObjectHelpers) {
+  EXPECT_DOUBLE_EQ(Num(R"(
+    var o = { a: 1, b: 2 };
+    var keys = Object.keys(o);
+    var result = keys.length;
+  )"),
+                   2);
+}
+
+TEST(Corners, WhileFalseNeverRuns) {
+  EXPECT_DOUBLE_EQ(Num("var n = 0; while (false) n = 1; var result = n;"), 0);
+}
+
+TEST(Corners, ForInOverArrayGivesStringIndices) {
+  EXPECT_EQ(Str(R"(
+    var out = "";
+    for (var k in ["a", "b"]) out = out + k;
+    var result = out;
+  )"),
+            "01");
+}
+
+TEST(Corners, StringIndexOutOfRangeIsUndefined) {
+  EXPECT_DOUBLE_EQ(Num("var result = 'ab'[5] == undefined ? 1 : 0;"), 1);
+}
+
+TEST(Corners, NegativeArrayIndexReadsUndefined) {
+  EXPECT_DOUBLE_EQ(Num("var a = [1]; var result = a[-1] == undefined ? 1 : 0;"),
+                   1);
+}
+
+TEST(Corners, ModuloWithDoubles) {
+  EXPECT_DOUBLE_EQ(Num("var result = 5.5 % 2;"), 1.5);
+  EXPECT_DOUBLE_EQ(Num("var result = -7 % 3;"), -1.0);  // fmod semantics
+}
+
+TEST(Corners, UpdateOperatorsOnMembers) {
+  EXPECT_DOUBLE_EQ(Num(R"(
+    var o = { n: 5 };
+    o.n++;
+    ++o.n;
+    var a = [10];
+    a[0]--;
+    var result = o.n * 100 + a[0];
+  )"),
+                   709);
+}
+
+TEST(Corners, LogicalOperatorsReturnOperands) {
+  EXPECT_EQ(Str("var result = null || 'fallback';"), "fallback");
+  EXPECT_EQ(Str("var result = 'first' || 'second';"), "first");
+  EXPECT_DOUBLE_EQ(Num("var result = (undefined && 5) == undefined ? 1 : 0;"),
+                   1);
+}
+
+TEST(Corners, DeeplyNestedDataStructures) {
+  EXPECT_DOUBLE_EQ(Num(R"(
+    var tree = { left: { left: { value: 1 }, right: { value: 2 } },
+                 right: { value: 3 } };
+    function total(node) {
+      if (node == undefined) return 0;
+      var own = node.value == undefined ? 0 : node.value;
+      return own + total(node.left) + total(node.right);
+    }
+    var result = total(tree);
+  )"),
+                   6);
+}
+
+TEST(Corners, JsonRoundTripInsideScript) {
+  EXPECT_DOUBLE_EQ(Num(R"(
+    var original = { poses: [[1, 2], [3, 4]], label: "squat" };
+    var copy = JSON.parse(JSON.stringify(original));
+    copy.poses[0][0] = 99;   // deep copy: original untouched
+    var result = original.poses[0][0];
+  )"),
+                   1);
+}
+
+}  // namespace
+}  // namespace vp::script

@@ -1,0 +1,228 @@
+// vp_run — the VideoPipe command-line runner.
+//
+// Deploys a pipeline configuration file onto the simulated home
+// testbed, drives a workload past the camera, and reports metrics —
+// the entry point a downstream user reaches for first.
+//
+//   vp_run --config pipeline.json [options]
+//   vp_run --app fitness|gesture|fall [options]
+//
+// Options:
+//   --config PATH      pipeline config (Listing-1 JSON). Module code
+//                      must be inline ("code": …) since there is no
+//                      include resolver on the command line.
+//   --app NAME         use a bundled application instead of --config
+//   --workload PATH    JSON workload: [{"motion":"squat","seconds":12,
+//                      "period":2.4}, …]  (default: app-appropriate)
+//   --policy NAME      colocate | baseline | latency  (default colocate)
+//   --fps N            override source fps
+//   --duration SEC     virtual seconds to run (default 30)
+//   --monitor          print the telemetry monitor report
+//   --trace PATH       write a chrome://tracing timeline of the run
+//   --seed N           workload/scene seed
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "apps/fall.hpp"
+#include "apps/fitness.hpp"
+#include "apps/gesture.hpp"
+#include "core/monitor.hpp"
+#include "core/orchestrator.hpp"
+#include "core/trace_export.hpp"
+#include "json/parse.hpp"
+#include "sim/cluster.hpp"
+
+using namespace vp;
+
+namespace {
+
+struct Options {
+  std::string config_path;
+  std::string app;
+  std::string workload_path;
+  std::string policy = "colocate";
+  std::string trace_path;
+  double fps = 0;
+  double duration = 30;
+  bool monitor = false;
+  uint64_t seed = 7;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--config PATH | --app fitness|gesture|fall) "
+               "[--workload PATH] [--policy colocate|baseline|latency] "
+               "[--fps N] [--duration SEC] [--monitor] [--seed N]\n",
+               argv0);
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return NotFound("cannot open " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--config" && next()) options.config_path = argv[i];
+    else if (arg == "--app" && next()) options.app = argv[i];
+    else if (arg == "--workload" && next()) options.workload_path = argv[i];
+    else if (arg == "--policy" && next()) options.policy = argv[i];
+    else if (arg == "--fps" && next()) options.fps = std::atof(argv[i]);
+    else if (arg == "--duration" && next()) options.duration = std::atof(argv[i]);
+    else if (arg == "--seed" && next()) options.seed = std::strtoull(argv[i], nullptr, 10);
+    else if (arg == "--trace" && next()) options.trace_path = argv[i];
+    else if (arg == "--monitor") options.monitor = true;
+    else return Usage(argv[0]);
+  }
+  if (options.config_path.empty() == options.app.empty()) {
+    return Usage(argv[0]);  // exactly one of --config / --app
+  }
+
+  auto cluster = sim::MakeHomeTestbed();
+  core::Orchestrator orchestrator(cluster.get());
+  apps::IoTHub hub;
+  apps::fall::AlertLog alerts;
+
+  // ---- resolve the pipeline spec + deploy args ----------------------
+  Result<core::PipelineSpec> spec = NotFound("unset");
+  core::Orchestrator::DeployArgs args;
+  args.seed = options.seed;
+  if (!options.config_path.empty()) {
+    auto text = ReadFile(options.config_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.error().ToString().c_str());
+      return 1;
+    }
+    spec = core::ParsePipelineConfigText(*text, core::MapResolver({}));
+    args.workload = media::DefaultWorkoutScript();
+  } else if (options.app == "fitness") {
+    spec = apps::fitness::Spec();
+    args.workload = apps::fitness::Workout();
+  } else if (options.app == "gesture") {
+    spec = apps::gesture::Spec();
+    args = apps::gesture::MakeDeployArgs(hub, &cluster->simulator());
+    args.seed = options.seed;
+  } else if (options.app == "fall") {
+    spec = apps::fall::Spec();
+    args = apps::fall::MakeDeployArgs(alerts, &cluster->simulator());
+    args.seed = options.seed;
+  } else {
+    std::fprintf(stderr, "unknown app '%s'\n", options.app.c_str());
+    return 1;
+  }
+  if (!spec.ok()) {
+    std::fprintf(stderr, "config: %s\n", spec.error().ToString().c_str());
+    return 1;
+  }
+
+  if (!options.workload_path.empty()) {
+    auto text = ReadFile(options.workload_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.error().ToString().c_str());
+      return 1;
+    }
+    auto doc = json::Parse(*text);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "workload: %s\n",
+                   doc.error().ToString().c_str());
+      return 1;
+    }
+    auto workload = media::MotionScript::FromJson(*doc);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "workload: %s\n",
+                   workload.error().ToString().c_str());
+      return 1;
+    }
+    args.workload = std::move(*workload);
+  }
+
+  if (options.policy == "colocate") {
+    args.placement.policy = core::PlacementPolicy::kCoLocate;
+  } else if (options.policy == "baseline") {
+    args.placement.policy = core::PlacementPolicy::kSingleDevice;
+  } else if (options.policy == "latency") {
+    args.placement.policy = core::PlacementPolicy::kLatencyAware;
+  } else {
+    std::fprintf(stderr, "unknown policy '%s'\n", options.policy.c_str());
+    return 1;
+  }
+  if (options.fps > 0) spec->source.fps = options.fps;
+  const core::PlacementPolicy chosen_policy = args.placement.policy;
+
+  // ---- deploy + run ----------------------------------------------------
+  auto deployment = orchestrator.Deploy(std::move(*spec), std::move(args));
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "deploy: %s\n",
+                 deployment.error().ToString().c_str());
+    return 1;
+  }
+  core::PipelineDeployment& pipeline = **deployment;
+  std::printf("pipeline  : %s\n", pipeline.spec().name.c_str());
+  std::printf("placement : %s\n", core::PlacementPolicyName(chosen_policy));
+  std::printf("plan      : %s\n\n", pipeline.plan().ToString().c_str());
+
+  core::PipelineMonitor monitor(&orchestrator, Duration::Millis(1000));
+  if (options.monitor) {
+    for (const auto& [service, device] : pipeline.plan().service_device) {
+      monitor.WatchService(device, service);
+    }
+    monitor.Start();
+  }
+
+  pipeline.Start();
+  orchestrator.RunFor(Duration::Seconds(options.duration));
+
+  const core::PipelineMetrics& metrics = pipeline.metrics();
+  std::printf("frames completed : %llu\n",
+              static_cast<unsigned long long>(metrics.frames_completed()));
+  std::printf("end-to-end fps   : %.2f\n", metrics.EndToEndFps());
+  const auto total = metrics.TotalLatency();
+  std::printf("latency (ms)     : mean %.1f  p50 %.1f  p95 %.1f  max %.1f\n",
+              total.mean_ms, total.p50_ms, total.p95_ms, total.max_ms);
+  std::printf("dropped at source: %llu\n",
+              static_cast<unsigned long long>(
+                  pipeline.camera().frames_dropped()));
+  std::printf("\nper-module handler latency:\n");
+  for (const core::ModuleSpec& m : pipeline.spec().modules) {
+    if (m.type != core::ModuleType::kScript) continue;
+    const auto lat = metrics.ModuleLatency(m.name);
+    std::printf("  %-28s mean %7.1f ms  p95 %7.1f ms  (%llu events)\n",
+                m.name.c_str(), lat.mean_ms, lat.p95_ms,
+                static_cast<unsigned long long>(lat.count));
+  }
+
+  if (options.monitor) {
+    monitor.Stop();
+    std::printf("\n%s", monitor.Report().c_str());
+  }
+  if (!options.trace_path.empty()) {
+    Status written = core::WriteChromeTrace(pipeline, options.trace_path);
+    if (written.ok()) {
+      std::printf("\ntimeline written to %s (open in chrome://tracing)\n",
+                  options.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace: %s\n", written.ToString().c_str());
+    }
+  }
+  if (!hub.log().empty()) {
+    std::printf("\nIoT commands: %zu\n", hub.log().size());
+  }
+  if (!alerts.alerts().empty()) {
+    std::printf("\nalerts: %zu\n", alerts.alerts().size());
+  }
+  return 0;
+}
