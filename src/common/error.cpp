@@ -20,6 +20,27 @@ const char* StatusCodeName(StatusCode code) {
   return "UNKNOWN";
 }
 
+StatusCode StatusCodeFromName(const std::string& name) {
+  static const std::pair<const char*, StatusCode> kCodes[] = {
+      {"OK", StatusCode::kOk},
+      {"INVALID_ARGUMENT", StatusCode::kInvalidArgument},
+      {"NOT_FOUND", StatusCode::kNotFound},
+      {"ALREADY_EXISTS", StatusCode::kAlreadyExists},
+      {"FAILED_PRECONDITION", StatusCode::kFailedPrecondition},
+      {"UNAVAILABLE", StatusCode::kUnavailable},
+      {"RESOURCE_EXHAUSTED", StatusCode::kResourceExhausted},
+      {"TIMEOUT", StatusCode::kTimeout},
+      {"INTERNAL", StatusCode::kInternal},
+      {"UNIMPLEMENTED", StatusCode::kUnimplemented},
+      {"PARSE_ERROR", StatusCode::kParseError},
+      {"SCRIPT_ERROR", StatusCode::kScriptError},
+  };
+  for (const auto& [text, code] : kCodes) {
+    if (name == text) return code;
+  }
+  return StatusCode::kInternal;
+}
+
 std::string Error::ToString() const {
   std::string out = StatusCodeName(code_);
   out += ": ";

@@ -34,6 +34,12 @@ enum class StatusCode {
 /// Human-readable name of a status code (stable, for logs and tests).
 const char* StatusCodeName(StatusCode code);
 
+/// Inverse of StatusCodeName — used to reconstruct a remote error's
+/// code from a wire reply (unknown names map to kInternal). Keeping
+/// codes faithful across the wire matters: only kUnavailable/kTimeout
+/// are retried by the fault-tolerant call path.
+StatusCode StatusCodeFromName(const std::string& name);
+
 /// An error: a code plus a context message.
 class Error {
  public:

@@ -19,7 +19,19 @@ void CameraDriver::Start() {
   MaybeEmit();
 }
 
-void CameraDriver::OnCredit() {
+void CameraDriver::OnCredit(uint64_t seq) {
+  if (options_.paced_by_credits &&
+      (outstanding_seq_ < 0 ||
+       seq != static_cast<uint64_t>(outstanding_seq_))) {
+    // Stale: this credit pays for a frame the watchdog already wrote
+    // off (it minted a replacement credit) or one that was abandoned
+    // and re-credited by the runtime. Honoring it would cancel the
+    // CURRENT frame's watchdog and mint a second credit — two frames
+    // in flight, breaking §2.3's single-slot invariant.
+    ++stale_credits_;
+    return;
+  }
+  outstanding_seq_ = -1;
   if (watchdog_event_ != 0) {
     sim_->Cancel(watchdog_event_);
     watchdog_event_ = 0;
@@ -85,11 +97,15 @@ void CameraDriver::CaptureAndEmit() {
     MaybeEmit();  // free-running: next sensor frame regardless
     return;
   }
+  outstanding_seq_ = static_cast<int64_t>(seq);
   // Arm the credit watchdog for this emission.
   if (options_.credit_timeout > Duration::Zero()) {
     watchdog_event_ = sim_->After(options_.credit_timeout, [this] {
       watchdog_event_ = 0;
       ++credit_timeouts_;
+      // The outstanding frame is written off: its credit, should it
+      // arrive after all, is stale from here on.
+      outstanding_seq_ = -1;
       if (credits_ < 1) ++credits_;
       MaybeEmit();
     });

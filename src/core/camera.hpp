@@ -52,12 +52,18 @@ class CameraDriver {
   void Start();
   void Stop() { running_ = false; }
 
-  /// Credit from the sink (§2.3): admits the next frame.
-  void OnCredit();
+  /// Credit from the sink (§2.3): admits the next frame. `seq` names
+  /// the frame the credit pays for; credits for frames the watchdog
+  /// already wrote off are stale and ignored, preserving the
+  /// single-frame-in-flight invariant (a stale credit must not mint a
+  /// second admission slot).
+  void OnCredit(uint64_t seq);
 
   uint64_t frames_emitted() const { return emitted_; }
   uint64_t frames_dropped() const { return dropped_; }
   uint64_t credit_timeouts() const { return credit_timeouts_; }
+  /// Late credits discarded because their frame was already resolved.
+  uint64_t stale_credits() const { return stale_credits_; }
   double fps() const { return source_.fps(); }
 
  private:
@@ -81,7 +87,11 @@ class CameraDriver {
   uint64_t emitted_ = 0;
   uint64_t dropped_ = 0;
   uint64_t credit_timeouts_ = 0;
+  uint64_t stale_credits_ = 0;
   uint64_t watchdog_event_ = 0;  // 0 = none armed
+  /// Seq of the frame currently holding the admission slot; -1 when no
+  /// frame is outstanding (slot free or watchdog wrote the frame off).
+  int64_t outstanding_seq_ = -1;
 };
 
 }  // namespace vp::core

@@ -25,10 +25,37 @@ LatencySummary Summarize(const std::vector<double>& samples_ms) {
   return out;
 }
 
+void RunningStat::Add(double value, Rng& rng, size_t reservoir_cap) {
+  if (count == 0) {
+    min = max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+  // Vitter's algorithm R: each of the `count` samples seen so far ends
+  // up in the reservoir with probability reservoir_cap / count.
+  if (reservoir.size() < reservoir_cap) {
+    reservoir.push_back(value);
+    return;
+  }
+  const int64_t j = rng.NextInt(0, static_cast<int64_t>(count) - 1);
+  if (j < static_cast<int64_t>(reservoir_cap)) {
+    reservoir[static_cast<size_t>(j)] = value;
+  }
+}
+
 void PipelineMetrics::OnCaptured(uint64_t seq, TimePoint when) {
   FrameTrace& trace = traces_[seq];
   trace.seq = seq;
   trace.capture = when;
+  ++captured_;
+  while (traces_.size() > trace_retention_) {
+    FoldTrace(traces_.begin()->second);
+    traces_.erase(traces_.begin());
+    ++traces_evicted_;
+  }
 }
 
 void PipelineMetrics::OnStageStart(uint64_t seq, const std::string& module,
@@ -56,6 +83,43 @@ void PipelineMetrics::OnCompleted(uint64_t seq, TimePoint when) {
   last_completion_ = when;
 }
 
+void PipelineMetrics::FoldTrace(const FrameTrace& trace) {
+  for (const auto& [module, span] : trace.stages) {
+    folded_capture_to_start_[module].Add((span.start - trace.capture).millis(),
+                                         fold_rng_, kReservoirCap);
+    if (span.end < span.start) continue;  // incomplete handler span
+    folded_module_latency_[module].Add(span.duration().millis(), fold_rng_,
+                                       kReservoirCap);
+  }
+  if (trace.completed) {
+    folded_total_latency_.Add((*trace.completed - trace.capture).millis(),
+                              fold_rng_, kReservoirCap);
+  }
+}
+
+LatencySummary PipelineMetrics::MergedSummary(const RunningStat* folded,
+                                              std::vector<double> live) {
+  if (folded == nullptr || folded->count == 0) return Summarize(live);
+  // Percentiles: reservoir (a uniform sample of the evicted values)
+  // pooled with the live samples. Count/mean/min/max: exact.
+  std::vector<double> pool = folded->reservoir;
+  pool.insert(pool.end(), live.begin(), live.end());
+  LatencySummary out = Summarize(pool);
+  double sum = folded->sum;
+  double lo = folded->min;
+  double hi = folded->max;
+  for (double s : live) {
+    sum += s;
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  out.count = folded->count + live.size();
+  out.mean_ms = sum / static_cast<double>(out.count);
+  out.min_ms = lo;
+  out.max_ms = hi;
+  return out;
+}
+
 double PipelineMetrics::EndToEndFps() const {
   if (completed_ < 2 || !first_completion_ || !last_completion_) return 0;
   const double seconds = (*last_completion_ - *first_completion_).seconds();
@@ -71,7 +135,10 @@ LatencySummary PipelineMetrics::ModuleLatency(const std::string& module) const {
     if (it->second.end < it->second.start) continue;  // incomplete
     samples.push_back(it->second.duration().millis());
   }
-  return Summarize(samples);
+  auto folded = folded_module_latency_.find(module);
+  return MergedSummary(
+      folded == folded_module_latency_.end() ? nullptr : &folded->second,
+      std::move(samples));
 }
 
 LatencySummary PipelineMetrics::CaptureToStageStart(
@@ -82,7 +149,10 @@ LatencySummary PipelineMetrics::CaptureToStageStart(
     if (it == trace.stages.end()) continue;
     samples.push_back((it->second.start - trace.capture).millis());
   }
-  return Summarize(samples);
+  auto folded = folded_capture_to_start_.find(module);
+  return MergedSummary(
+      folded == folded_capture_to_start_.end() ? nullptr : &folded->second,
+      std::move(samples));
 }
 
 LatencySummary PipelineMetrics::TotalLatency() const {
@@ -91,7 +161,7 @@ LatencySummary PipelineMetrics::TotalLatency() const {
     if (!trace.completed) continue;
     samples.push_back((*trace.completed - trace.capture).millis());
   }
-  return Summarize(samples);
+  return MergedSummary(&folded_total_latency_, std::move(samples));
 }
 
 }  // namespace vp::core

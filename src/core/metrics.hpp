@@ -5,6 +5,12 @@
 // sink completion), plus source-side admission statistics. The
 // benchmarks aggregate these into the paper's Fig. 6 (per-module
 // latency) and Table 2 (end-to-end FPS) outputs.
+//
+// Trace memory is bounded: at most `trace_retention` per-frame traces
+// are kept live. Older traces are folded into running aggregates
+// (exact count/mean/min/max plus a seeded reservoir sample for
+// percentiles) so long benches neither grow linearly nor lose their
+// latency summaries.
 #pragma once
 
 #include <map>
@@ -12,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/time.hpp"
 
 namespace vp::core {
@@ -41,6 +48,20 @@ struct LatencySummary {
 
 LatencySummary Summarize(const std::vector<double>& samples_ms);
 
+/// Running aggregate of samples whose raw values were discarded.
+/// count/sum/min/max are exact; the bounded reservoir (Vitter's
+/// algorithm R, seeded → deterministic) preserves the distribution for
+/// percentile estimates.
+struct RunningStat {
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  std::vector<double> reservoir;
+
+  void Add(double value, Rng& rng, size_t reservoir_cap);
+};
+
 class PipelineMetrics {
  public:
   // -- recording (called by the runtime) ------------------------------
@@ -51,11 +72,34 @@ class PipelineMetrics {
   void OnSourceTick() { ++source_ticks_; }
   void OnSourceDrop() { ++source_drops_; }
 
+  // -- recovery / fault-tolerance recording -----------------------------
+  /// A service call attempt failed transiently and will be retried.
+  void OnRetry() { ++retries_; }
+  /// A service call attempt exceeded its per-attempt timeout.
+  void OnCallTimeout() { ++call_timeouts_; }
+  /// A frame was dropped after retry exhaustion; its credit returned.
+  void OnFrameAbandoned() { ++frames_abandoned_; }
+  /// Accumulated downtime of the replicas serving this pipeline
+  /// (refreshed by the orchestrator after each RunFor).
+  void set_replica_downtime(Duration d) { replica_downtime_ = d; }
+
+  // -- retention --------------------------------------------------------
+  /// Cap live per-frame traces; excess oldest traces fold into the
+  /// running summaries. Must be ≥ the frames concurrently in flight
+  /// (any small number is fine for a credit-paced pipeline).
+  void set_trace_retention(size_t cap) { trace_retention_ = cap ? cap : 1; }
+  size_t trace_retention() const { return trace_retention_; }
+  uint64_t traces_evicted() const { return traces_evicted_; }
+
   // -- reporting --------------------------------------------------------
-  uint64_t frames_captured() const { return traces_.size(); }
+  uint64_t frames_captured() const { return captured_; }
   uint64_t frames_completed() const { return completed_; }
   uint64_t source_ticks() const { return source_ticks_; }
   uint64_t source_drops() const { return source_drops_; }
+  uint64_t retries() const { return retries_; }
+  uint64_t call_timeouts() const { return call_timeouts_; }
+  uint64_t frames_abandoned() const { return frames_abandoned_; }
+  double replica_downtime_ms() const { return replica_downtime_.millis(); }
 
   /// Completed-frame throughput between the first and last completion.
   double EndToEndFps() const;
@@ -70,13 +114,36 @@ class PipelineMetrics {
   /// Capture → sink completion ("Total Duration").
   LatencySummary TotalLatency() const;
 
+  /// Live (retained) traces only; evicted ones live in the summaries.
   const std::map<uint64_t, FrameTrace>& traces() const { return traces_; }
 
  private:
+  /// Fold one evicted trace into the running aggregates.
+  void FoldTrace(const FrameTrace& trace);
+
+  /// Exact count/mean/min/max from `folded`+`live`; percentiles from
+  /// the folded reservoir merged with the live samples.
+  static LatencySummary MergedSummary(const RunningStat* folded,
+                                      std::vector<double> live);
+
+  static constexpr size_t kReservoirCap = 512;
+
   std::map<uint64_t, FrameTrace> traces_;
+  size_t trace_retention_ = 8192;
+  uint64_t traces_evicted_ = 0;
+  Rng fold_rng_{0x5eed5eedULL};
+  std::map<std::string, RunningStat> folded_module_latency_;
+  std::map<std::string, RunningStat> folded_capture_to_start_;
+  RunningStat folded_total_latency_;
+
+  uint64_t captured_ = 0;
   uint64_t completed_ = 0;
   uint64_t source_ticks_ = 0;
   uint64_t source_drops_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t call_timeouts_ = 0;
+  uint64_t frames_abandoned_ = 0;
+  Duration replica_downtime_;
   std::optional<TimePoint> first_completion_;
   std::optional<TimePoint> last_completion_;
 };

@@ -149,6 +149,11 @@ void ModuleRuntime::ProcessMessage(net::Message message) {
 void ModuleRuntime::ExecuteHandler(net::Message message) {
   current_seq_ = message.seq();
   ++stats_.events;
+  service_call_exhausted_ = false;
+  // Timer events reuse the seq of the frame being handled when the
+  // timer was set; abandoning from one could return a credit for a
+  // frame still alive elsewhere in the pipeline.
+  const bool data_event = message.type() != "timer";
 
   json::Value payload = std::move(message.payload());
 
@@ -190,8 +195,17 @@ void ModuleRuntime::ExecuteHandler(net::Message message) {
     signaled_any_ = true;
     last_signaled_seq_ = current_seq_;
     pipeline_->metrics().OnCompleted(current_seq_, end);
-    orchestrator_->SignalSource(*pipeline_, device_);
+    orchestrator_->SignalSource(*pipeline_, device_, current_seq_);
+  } else if (!result.ok() && service_call_exhausted_ && data_event &&
+             !spec_->signal_source) {
+    // Graceful degradation: the handler died because a service stayed
+    // unreachable through every retry. Drop the frame and return its
+    // credit now — plain script errors still go through the camera
+    // watchdog instead.
+    ++stats_.frames_abandoned;
+    orchestrator_->AbandonFrame(*this, current_seq_);
   }
+  service_call_exhausted_ = false;
   FinishEvent();
 }
 

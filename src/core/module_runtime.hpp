@@ -38,6 +38,8 @@ struct ModuleRuntimeStats {
   uint64_t script_errors = 0;
   uint64_t service_calls = 0;
   uint64_t module_sends = 0;
+  /// Frames dropped here after a service call exhausted its retries.
+  uint64_t frames_abandoned = 0;
 };
 
 class ModuleRuntime {
@@ -66,6 +68,13 @@ class ModuleRuntime {
   /// Sequence number of the event currently being handled.
   uint64_t current_seq() const { return current_seq_; }
 
+  /// Called by the orchestrator when a call_service() from this module
+  /// exhausted its retry budget on a transient failure. If the current
+  /// handler then fails (the script did not catch and recover), the
+  /// frame is abandoned: dropped with its credit returned to the
+  /// source instead of waiting out the camera watchdog.
+  void NoteServiceCallExhausted() { service_call_exhausted_ = true; }
+
  private:
   void ProcessMessage(net::Message message);
   void ExecuteHandler(net::Message message);
@@ -89,6 +98,9 @@ class ModuleRuntime {
   uint64_t current_seq_ = 0;
   uint64_t last_signaled_seq_ = 0;
   bool signaled_any_ = false;
+  /// Set by the orchestrator during the current handler (see
+  /// NoteServiceCallExhausted); cleared when the handler finishes.
+  bool service_call_exhausted_ = false;
   ModuleRuntimeStats stats_;
 };
 

@@ -30,9 +30,14 @@ Result<json::Value> ParseReply(const net::Message& reply) {
     const json::Value* result = payload.Find("result");
     return result ? *result : json::Value();
   }
-  return Error(StatusCode::kUnavailable,
-               "service error [" + payload.GetString("code", "UNKNOWN") +
-                   "]: " + payload.GetString("message"));
+  // Reconstruct the remote code faithfully: the retry policy must see
+  // UNAVAILABLE/TIMEOUT as transient and everything else as final.
+  return Error(StatusCodeFromName(payload.GetString("code", "UNKNOWN")),
+               "service error: " + payload.GetString("message"));
+}
+
+bool RetryableCode(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kTimeout;
 }
 
 std::optional<media::FrameId> FrameIdOf(const json::Value& payload) {
@@ -87,8 +92,8 @@ media::FrameStore& Orchestrator::store(const std::string& device) {
   return *it->second;
 }
 
-Status Orchestrator::Await(PendingResult& pending) {
-  while (!pending.done) {
+Status Orchestrator::Await(const bool& done) {
+  while (!done) {
     if (!cluster_->simulator().Step()) {
       return Status(StatusCode::kInternal,
                     "event queue drained while a module was blocked on a "
@@ -99,9 +104,15 @@ Status Orchestrator::Await(PendingResult& pending) {
 }
 
 Status Orchestrator::BlockOnLane(sim::ExecutionLane& lane, Duration cost) {
-  PendingResult pending;
-  lane.Run(cost, [&pending] { pending.done = true; });
-  return Await(pending);
+  bool done = false;
+  lane.Run(cost, [&done] { done = true; });
+  return Await(done);
+}
+
+Status Orchestrator::SleepFor(Duration d) {
+  bool done = false;
+  cluster_->simulator().After(d, [&done] { done = true; });
+  return Await(done);
 }
 
 net::Address Orchestrator::ServiceGateway(const std::string& device,
@@ -128,6 +139,30 @@ Status Orchestrator::BindServiceGateway(const std::string& device,
         }
         if (!respond) return;  // services are request/response only
 
+        // Gateway watchdog: first of {replica reply, timeout} wins. A
+        // wedged replica swallows the request, so without this the
+        // remote caller would hang for its full (laxer) budget and the
+        // replica would never be health-marked.
+        auto answered = std::make_shared<bool>(false);
+        net::Responder once = [answered, respond](net::Message reply) {
+          if (*answered) return;
+          *answered = true;
+          respond(std::move(reply));
+        };
+        const Duration timeout = options_.service_call.timeout;
+        cluster_->simulator().After(
+            timeout, [this, answered, instance, once, device, service,
+                      timeout] {
+              if (*answered) return;
+              instance->MarkSuspected(cluster_->Now() +
+                                      options_.service_call.suspect_duration);
+              once(MakeReply(Timeout(
+                  "replica of '" + service + "' on " + device +
+                  " did not answer within " +
+                  std::to_string(static_cast<long long>(timeout.millis())) +
+                  " ms")));
+            });
+
         json::Value payload = std::move(message.payload());
         if (!message.parts().empty()) {
           // Remote caller shipped the frame: decode on this replica's
@@ -137,19 +172,19 @@ Status Orchestrator::BindServiceGateway(const std::string& device,
           instance->lane()->Run(
               decode_cost,
               [instance, payload = std::move(payload),
-               part = std::move(part), respond = std::move(respond)]() mutable {
+               part = std::move(part), once]() mutable {
                 services::ServiceRequest request;
                 request.payload = std::move(payload);
                 auto frame = media::DecodeFrame(part);
                 if (!frame.ok()) {
-                  respond(MakeReply(frame.error()));
+                  once(MakeReply(frame.error()));
                   return;
                 }
                 request.frame =
                     std::make_shared<const media::Frame>(std::move(*frame));
                 instance->Invoke(std::move(request),
-                                 [respond](Result<json::Value> result) {
-                                   respond(MakeReply(result));
+                                 [once](Result<json::Value> result) {
+                                   once(MakeReply(result));
                                  });
               });
           return;
@@ -157,9 +192,8 @@ Status Orchestrator::BindServiceGateway(const std::string& device,
         services::ServiceRequest request;
         request.payload = std::move(payload);
         instance->Invoke(std::move(request),
-                         [respond = std::move(respond)](
-                             Result<json::Value> result) {
-                           respond(MakeReply(result));
+                         [once](Result<json::Value> result) {
+                           once(MakeReply(result));
                          });
       });
   if (!bound.ok()) return bound;
@@ -203,6 +237,7 @@ Result<PipelineDeployment*> Orchestrator::Deploy(PipelineSpec spec,
   auto deployment = std::make_unique<PipelineDeployment>();
   deployment->spec_ = std::move(spec);
   deployment->plan_ = std::move(*plan);
+  deployment->metrics_.set_trace_retention(options_.trace_retention);
   const PipelineSpec& pspec = deployment->spec_;
   const DeploymentPlan& pplan = deployment->plan_;
   deployment->source_device_ = pplan.module_device.at(pspec.source.module);
@@ -297,7 +332,7 @@ Result<PipelineDeployment*> Orchestrator::Deploy(PipelineSpec spec,
   VP_RETURN_IF_ERROR_R(fabric_->Bind(
       deployment->camera_address_,
       [camera](net::Message message, net::Responder) {
-        if (message.type() == "credit") camera->OnCredit();
+        if (message.type() == "credit") camera->OnCredit(message.seq());
       }));
 
   VP_INFO("orchestrator") << "deployed pipeline '" << pspec.name
@@ -312,6 +347,21 @@ void Orchestrator::StartAll() {
 
 void Orchestrator::RunFor(Duration duration) {
   cluster_->simulator().RunUntil(cluster_->Now() + duration);
+  SyncReplicaDowntime();
+}
+
+void Orchestrator::SyncReplicaDowntime() {
+  const TimePoint now = cluster_->Now();
+  for (const auto& pipeline : pipelines_) {
+    Duration downtime;
+    for (const auto& [service, device] : pipeline->plan().service_device) {
+      for (services::ServiceInstance* replica :
+           registry_->Replicas(device, service)) {
+        downtime = downtime + replica->downtime(now);
+      }
+    }
+    pipeline->metrics().set_replica_downtime(downtime);
+  }
 }
 
 Result<json::Value> Orchestrator::CallService(ModuleRuntime& caller,
@@ -323,6 +373,42 @@ Result<json::Value> Orchestrator::CallService(ModuleRuntime& caller,
     return NotFound("service '" + service + "' not in the deployment plan");
   }
   const std::string& host_device = it->second;
+  const ServiceCallOptions& rc = options_.service_call;
+  PipelineMetrics& metrics = caller.pipeline().metrics();
+
+  Result<json::Value> result{json::Value()};
+  for (int attempt = 0;; ++attempt) {
+    result = CallServiceOnce(caller, service, host_device, payload);
+    if (result.ok()) return result;
+    if (result.error().code() == StatusCode::kTimeout) {
+      metrics.OnCallTimeout();
+    }
+    if (!RetryableCode(result.error().code()) || attempt >= rc.max_retries) {
+      break;
+    }
+    metrics.OnRetry();
+    Duration backoff = rc.backoff_base;
+    for (int k = 0; k < attempt; ++k) backoff = backoff * rc.backoff_multiplier;
+    if (backoff > Duration::Zero()) VP_RETURN_IF_ERROR_R(SleepFor(backoff));
+  }
+  if (RetryableCode(result.error().code())) {
+    // Retry budget exhausted on a transient failure. Flag the caller:
+    // if its handler does not catch and recover, the frame is dropped
+    // and its credit returned (graceful degradation — the pipeline
+    // never wedges on a dead service).
+    caller.NoteServiceCallExhausted();
+    VP_WARN("orchestrator")
+        << caller.name() << ": call to '" << service << "' failed after "
+        << (rc.max_retries + 1)
+        << " attempts: " << result.error().ToString();
+  }
+  return result;
+}
+
+Result<json::Value> Orchestrator::CallServiceOnce(
+    ModuleRuntime& caller, const std::string& service,
+    const std::string& host_device, const json::Value& payload) {
+  const ServiceCallOptions& rc = options_.service_call;
 
   // ---- Co-located: in-process call, frame by reference. --------------
   if (host_device == caller.device()) {
@@ -332,37 +418,55 @@ Result<json::Value> Orchestrator::CallService(ModuleRuntime& caller,
       if (!frame.ok()) return frame.error();
       request.frame = *frame;
     }
-    request.payload = std::move(payload);
+    request.payload = payload;  // copy: a retry reuses the original
 
     services::ServiceInstance* instance =
         registry_->Find(host_device, service);
     if (instance == nullptr) {
-      return Unavailable("no replica of '" + service + "' on " + host_device);
+      return Unavailable("no available replica of '" + service + "' on " +
+                         host_device);
     }
-    PendingResult pending;
+    // The call state is shared: after a timeout resolves the attempt,
+    // the late replica reply (if it ever comes) must find the state
+    // alive and see done == true, not a dangling stack frame.
+    auto state = std::make_shared<PendingResult>();
+    const uint64_t deadline = cluster_->simulator().After(
+        rc.timeout, [this, state, instance, service, host_device, rc] {
+          if (state->done) return;
+          state->done = true;
+          state->value = Result<json::Value>(Timeout(
+              "call to '" + service + "' on " + host_device +
+              " timed out after " +
+              std::to_string(static_cast<long long>(rc.timeout.millis())) +
+              " ms"));
+          instance->MarkSuspected(cluster_->Now() + rc.suspect_duration);
+        });
     const Duration ipc = cluster_->network().loopback_delay();
     cluster_->simulator().After(
-        ipc, [this, instance, &pending, ipc,
+        ipc, [this, instance, state, ipc,
               request = std::move(request)]() mutable {
           instance->Invoke(
               std::move(request),
-              [this, &pending, ipc](Result<json::Value> result) {
+              [this, state, ipc](Result<json::Value> result) {
                 cluster_->simulator().After(
-                    ipc, [&pending, result = std::move(result)]() mutable {
-                      pending.value = std::move(result);
-                      pending.done = true;
+                    ipc, [state, result = std::move(result)]() mutable {
+                      if (state->done) return;
+                      state->value = std::move(result);
+                      state->done = true;
                     });
               });
         });
-    VP_RETURN_IF_ERROR_R(Await(pending));
-    return std::move(pending.value);
+    VP_RETURN_IF_ERROR_R(Await(state->done));
+    cluster_->simulator().Cancel(deadline);  // no-op if it already fired
+    return std::move(state->value);
   }
 
   // ---- Remote: ship the request (and the frame) over the network. -----
   net::Message message("request");
   message.set_sender(caller.name());
   message.set_seq(caller.current_seq());
-  if (auto frame_id = FrameIdOf(payload)) {
+  json::Value body = payload;  // copy: a retry rebuilds from the original
+  if (auto frame_id = FrameIdOf(body)) {
     media::FrameStore& caller_store = store(caller.device());
     auto frame = caller_store.Get(*frame_id);
     if (!frame.ok()) return frame.error();
@@ -376,26 +480,44 @@ Result<json::Value> Orchestrator::CallService(ModuleRuntime& caller,
       caller_store.CacheEncoded(*frame_id, bytes);
       encoded = caller_store.Encoded(*frame_id);
     }
-    payload.AsObject().Erase("frame_id");  // remote ids are meaningless
+    body.AsObject().Erase("frame_id");  // remote ids are meaningless
     message.AddPart(*encoded);
   }
-  message.set_payload(std::move(payload));
+  message.set_payload(std::move(body));
 
   const net::Address gateway = ServiceGateway(host_device, service);
   if (gateway.device.empty()) {
     return Unavailable("no gateway for '" + service + "' on " + host_device);
   }
-  PendingResult pending;
+  // Caller-side backstop: the gateway already enforces `timeout` per
+  // replica, so grant it slack for the two network legs; this timer
+  // only decides when the gateway's answer (or the message) was lost.
+  auto state = std::make_shared<PendingResult>();
+  const Duration budget = rc.timeout + rc.remote_slack;
+  const uint64_t deadline = cluster_->simulator().After(
+      budget, [state, service, host_device, budget] {
+        if (state->done) return;
+        state->done = true;
+        state->value = Result<json::Value>(Timeout(
+            "no reply from gateway of '" + service + "' on " + host_device +
+            " within " +
+            std::to_string(static_cast<long long>(budget.millis())) + " ms"));
+      });
   Status sent = fabric_->Request(
       caller.device(), gateway, std::move(message),
-      [&pending](Result<net::Message> reply) {
-        pending.value = reply.ok() ? ParseReply(*reply)
-                                   : Result<json::Value>(reply.error());
-        pending.done = true;
+      [state](Result<net::Message> reply) {
+        if (state->done) return;
+        state->value = reply.ok() ? ParseReply(*reply)
+                                  : Result<json::Value>(reply.error());
+        state->done = true;
       });
-  VP_RETURN_IF_ERROR_R(sent);
-  VP_RETURN_IF_ERROR_R(Await(pending));
-  return std::move(pending.value);
+  if (!sent.ok()) {
+    cluster_->simulator().Cancel(deadline);
+    return sent.error();
+  }
+  VP_RETURN_IF_ERROR_R(Await(state->done));
+  cluster_->simulator().Cancel(deadline);
+  return std::move(state->value);
 }
 
 Status Orchestrator::SendToModule(ModuleRuntime& caller,
@@ -523,13 +645,44 @@ Status Orchestrator::Undeploy(PipelineDeployment* pipeline) {
 }
 
 void Orchestrator::SignalSource(PipelineDeployment& pipeline,
-                                const std::string& from_device) {
+                                const std::string& from_device,
+                                uint64_t seq) {
   net::Message credit("credit");
   credit.set_sender("sink");
+  credit.set_seq(seq);
   Status pushed = fabric_->Push(from_device, pipeline.camera_address_,
                                 std::move(credit));
   if (!pushed.ok()) {
     VP_WARN("orchestrator") << "credit push failed: " << pushed.ToString();
+  }
+}
+
+void Orchestrator::AbandonFrame(ModuleRuntime& caller, uint64_t seq) {
+  PipelineDeployment& pipeline = caller.pipeline();
+  pipeline.metrics().OnFrameAbandoned();
+  VP_WARN("orchestrator") << "abandoning frame " << seq << " at module '"
+                          << caller.name()
+                          << "' (service retries exhausted); credit returned";
+  SignalSource(pipeline, caller.device(), seq);
+}
+
+void Orchestrator::RegisterReplicasForFaults(sim::FaultInjector& injector) {
+  std::map<std::pair<std::string, std::string>, int> index;
+  for (services::ServiceInstance* instance : registry_->AllReplicas()) {
+    if (instance->native()) continue;
+    const int i = index[{instance->device(), instance->service_name()}]++;
+    const std::string label = instance->device() + "/" +
+                              instance->service_name() + "#" +
+                              std::to_string(i);
+    sim::ReplicaHooks hooks;
+    hooks.crash = [this, instance] { instance->Crash(cluster_->Now()); };
+    hooks.restart = [this, instance] {
+      instance->Restart(cluster_->Now(), options_.container_options.startup);
+    };
+    hooks.set_wedged = [instance](bool wedged) {
+      instance->SetWedged(wedged);
+    };
+    injector.RegisterReplica(label, std::move(hooks));
   }
 }
 

@@ -24,8 +24,34 @@
 #include "services/container.hpp"
 #include "services/registry.hpp"
 #include "sim/cluster.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace vp::core {
+
+/// Fault tolerance of the module → service call path: per-attempt
+/// timeout, bounded retry with exponential backoff, and a circuit
+/// breaker for replicas that time out. Defaults are deliberately
+/// generous — they must never trip on a merely busy replica (container
+/// cold start is 350 ms and backlogs add tens of ms); fault benches
+/// tighten them explicitly.
+struct ServiceCallOptions {
+  /// Per-attempt budget, measured at the caller for co-located calls
+  /// and at the gateway for remote ones.
+  Duration timeout = Duration::Seconds(1.0);
+  /// Extra slack the *caller* grants a remote gateway on top of
+  /// `timeout` (transfer + reply time); the caller-side timer is the
+  /// backstop for a gateway that vanished entirely.
+  Duration remote_slack = Duration::Millis(400);
+  /// Retries after the first failed attempt; only UNAVAILABLE and
+  /// TIMEOUT are retried (deterministic handler errors are not).
+  int max_retries = 2;
+  /// Backoff before retry k (0-based): backoff_base * multiplier^k.
+  Duration backoff_base = Duration::Millis(25);
+  double backoff_multiplier = 2.0;
+  /// How long a timed-out replica sits out of load balancing before
+  /// the breaker half-opens and it may be tried again.
+  Duration suspect_duration = Duration::Seconds(1.0);
+};
 
 struct OrchestratorOptions {
   /// Per-event module runtime overhead (context dispatch), ref ms.
@@ -39,6 +65,10 @@ struct OrchestratorOptions {
   /// Frame-store capacity per device.
   size_t frame_store_capacity = 64;
   services::AutoscalerOptions autoscaler_options;
+  ServiceCallOptions service_call;
+  /// Per-frame traces kept live in PipelineMetrics; older traces fold
+  /// into running summaries (bounded memory on long runs).
+  size_t trace_retention = 8192;
   uint64_t seed = 42;
 };
 
@@ -117,8 +147,22 @@ class Orchestrator {
                                   json::Value payload);
   Status SendToModule(ModuleRuntime& caller, const std::string& target,
                       json::Value payload);
+  /// Return the credit for frame `seq` to the camera. Credits are
+  /// seq-tagged: the camera discards ones for frames it already wrote
+  /// off (stale), preserving the single-slot invariant of §2.3.
   void SignalSource(PipelineDeployment& pipeline,
-                    const std::string& from_device);
+                    const std::string& from_device, uint64_t seq);
+
+  /// Graceful degradation: drop `caller`'s current frame after a
+  /// service call exhausted its retries, returning the frame's credit
+  /// to the source so the pipeline keeps flowing.
+  void AbandonFrame(ModuleRuntime& caller, uint64_t seq);
+
+  /// Wire every containerized replica in the registry into `injector`
+  /// (labels "device/service#i" in registration order). Native
+  /// replicas (camera, display) are skipped — they are not containers
+  /// and the paper's fault model does not crash them.
+  void RegisterReplicasForFaults(sim::FaultInjector& injector);
 
   /// Run `cost` on `lane`, blocking (in virtual time) until done.
   Status BlockOnLane(sim::ExecutionLane& lane, Duration cost);
@@ -167,8 +211,22 @@ class Orchestrator {
     Result<json::Value> value{json::Value()};
   };
 
-  /// Run the simulator until `pending.done` (re-entrant blocking).
-  Status Await(PendingResult& pending);
+  /// Run the simulator until `done` flips (re-entrant blocking).
+  Status Await(const bool& done);
+
+  /// Block the caller for `d` of virtual time (retry backoff).
+  Status SleepFor(Duration d);
+
+  /// One attempt of a service call (no retries). Timed: an attempt
+  /// that outlives the per-attempt budget resolves to kTimeout and the
+  /// late reply, if any, is discarded.
+  Result<json::Value> CallServiceOnce(ModuleRuntime& caller,
+                                      const std::string& service,
+                                      const std::string& host_device,
+                                      const json::Value& payload);
+
+  /// Refresh each pipeline's replica_downtime metric from the registry.
+  void SyncReplicaDowntime();
 
   Status EnsureServiceDeployed(const std::string& device,
                                const std::string& service, bool native);

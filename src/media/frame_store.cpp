@@ -40,7 +40,26 @@ void FrameStore::CacheEncoded(FrameId id, Bytes encoded) {
   it->second.encoded = std::make_shared<const Bytes>(std::move(encoded));
 }
 
-bool FrameStore::Release(FrameId id) { return frames_.erase(id) > 0; }
+bool FrameStore::Release(FrameId id) {
+  const bool erased = frames_.erase(id) > 0;
+  // Released ids stay in order_ until eviction would reach them; under
+  // heavy Put/Release churn that deque would grow without bound. Amortized
+  // O(1) compaction: once the dead entries outnumber the live ones (and
+  // we are past `capacity_`), rebuild order_ from the live ids only.
+  if (erased && order_.size() > capacity_ &&
+      order_.size() > 2 * frames_.size()) {
+    Compact();
+  }
+  return erased;
+}
+
+void FrameStore::Compact() {
+  std::deque<FrameId> live;
+  for (FrameId id : order_) {
+    if (frames_.count(id) > 0) live.push_back(id);
+  }
+  order_ = std::move(live);
+}
 
 size_t FrameStore::resident_bytes() const {
   size_t total = 0;

@@ -37,11 +37,17 @@ class FrameStore {
   /// Attach a wire encoding after the fact.
   void CacheEncoded(FrameId id, Bytes encoded);
 
-  /// Drop a frame explicitly (sinks call this when done).
+  /// Drop a frame explicitly (sinks call this when done). Lazily
+  /// compacts the eviction bookkeeping so Put/Release churn keeps
+  /// memory bounded by the live frames.
   bool Release(FrameId id);
 
   size_t size() const { return frames_.size(); }
   size_t capacity() const { return capacity_; }
+  /// Length of the eviction-order bookkeeping (live + not-yet-reaped
+  /// released ids). Bounded at max(capacity, 2·size): Release compacts
+  /// lazily, so churn cannot grow this without bound.
+  size_t order_size() const { return order_.size(); }
   uint64_t evictions() const { return evictions_; }
   uint64_t puts() const { return puts_; }
 
@@ -53,6 +59,9 @@ class FrameStore {
     FramePtr frame;
     std::shared_ptr<const Bytes> encoded;  // optional wire-format cache
   };
+  /// Drop released ids from order_ (rebuild keeping live ids only).
+  void Compact();
+
   size_t capacity_;
   FrameId next_id_ = 1;
   std::unordered_map<FrameId, Entry> frames_;

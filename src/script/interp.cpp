@@ -475,10 +475,13 @@ Result<Value> Interpreter::EvalCall(const Expr& expr,
   }
   auto result = Call(*callee, std::move(args));
   if (!result.ok()) {
-    // Annotate with the call site line once (keeps traces short).
+    // Annotate with the call site line once (keeps traces short), but
+    // keep the original status code: a host failure such as UNAVAILABLE
+    // must stay catchable as that code, not collapse to SCRIPT_ERROR.
     const std::string& msg = result.error().message();
     if (msg.find("script:") == std::string::npos) {
-      return Raise(expr.line, msg);
+      return Error(result.error().code(),
+                   Format("script:%d: %s", expr.line, msg.c_str()));
     }
   }
   return result;

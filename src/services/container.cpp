@@ -7,6 +7,17 @@ namespace vp::services {
 void ServiceInstance::Invoke(ServiceRequest request,
                              std::function<void(Result<json::Value>)> done) {
   ++stats_.requests;
+  if (crashed_) {
+    // Connection refused: the caller learns immediately, not via a
+    // timeout.
+    ++stats_.refused;
+    ++stats_.errors;
+    if (done) {
+      done(Unavailable("replica of '" + name_ + "' on " + device_ +
+                       " is down"));
+    }
+    return;
+  }
   Duration cost = impl_->Cost(request);
   if (cost_jitter_ > 0.0) {
     const double factor =
@@ -14,12 +25,53 @@ void ServiceInstance::Invoke(ServiceRequest request,
     cost = cost * factor;
   }
   stats_.busy += cost;
-  lane_->Run(cost, [this, request = std::move(request),
+  const uint64_t epoch = epoch_;
+  lane_->Run(cost, [this, epoch, request = std::move(request),
                     done = std::move(done)]() mutable {
+    if (wedged_) {
+      // Hung process: the request was accepted and is now lost. Only a
+      // caller-side timeout can recover from this.
+      ++stats_.swallowed;
+      return;
+    }
+    if (epoch != epoch_ || crashed_) {
+      // The replica crashed after admitting this request; the result
+      // died with the process.
+      ++stats_.refused;
+      ++stats_.errors;
+      if (done) {
+        done(Unavailable("replica of '" + name_ + "' on " + device_ +
+                         " crashed mid-request"));
+      }
+      return;
+    }
     auto result = impl_->Handle(request);
     if (!result.ok()) ++stats_.errors;
     if (done) done(std::move(result));
   });
+}
+
+void ServiceInstance::Crash(TimePoint now) {
+  if (crashed_) return;
+  crashed_ = true;
+  ++epoch_;
+  down_since_ = now;
+}
+
+void ServiceInstance::Restart(TimePoint now, Duration startup_cost) {
+  if (crashed_) {
+    downtime_ += now - down_since_;
+    crashed_ = false;
+  }
+  wedged_ = false;
+  suspected_until_ = TimePoint();
+  // Cold start occupies the lane; early requests queue behind it.
+  if (startup_cost > Duration::Zero()) lane_->Run(startup_cost, nullptr);
+}
+
+void ServiceInstance::SetWedged(bool wedged) {
+  wedged_ = wedged;
+  if (!wedged) suspected_until_ = TimePoint();
 }
 
 Result<std::unique_ptr<ServiceInstance>> ContainerRuntime::LaunchImpl(

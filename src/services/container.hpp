@@ -30,6 +30,10 @@ struct ServiceInstanceStats {
   uint64_t requests = 0;
   uint64_t errors = 0;
   Duration busy;
+  /// Requests a wedged replica accepted and never answered.
+  uint64_t swallowed = 0;
+  /// Requests refused or voided because the replica was crashed.
+  uint64_t refused = 0;
 };
 
 class ServiceInstance {
@@ -52,8 +56,42 @@ class ServiceInstance {
 
   /// Asynchronously handle a request: the compute cost is charged on
   /// this replica's lane; `done` fires at completion with the result.
+  /// A crashed replica answers kUnavailable immediately (connection
+  /// refused); a wedged replica accepts the request and never answers.
   void Invoke(ServiceRequest request,
               std::function<void(Result<json::Value>)> done);
+
+  // -- fault surface (driven by the FaultInjector / orchestrator) ------
+  /// Hard-kill: in-flight requests die with the process (their `done`
+  /// fires with an error), new requests are refused until Restart.
+  void Crash(TimePoint now);
+
+  /// Bring a crashed replica back up; charges `startup_cost` on the
+  /// lane (container cold start) and clears all health marks.
+  void Restart(TimePoint now, Duration startup_cost);
+
+  /// Wedge (true): accept requests, never reply. Unwedge (false) also
+  /// clears any suspicion so the replica rejoins balancing.
+  void SetWedged(bool wedged);
+
+  /// Health mark set by the runtime when a call to this replica timed
+  /// out; the replica is excluded from balancing until `until` (or a
+  /// Restart/unwedge) — a circuit breaker with automatic half-open.
+  void MarkSuspected(TimePoint until) {
+    if (until > suspected_until_) suspected_until_ = until;
+  }
+
+  bool crashed() const { return crashed_; }
+  bool wedged() const { return wedged_; }
+  bool suspected(TimePoint now) const { return now < suspected_until_; }
+  /// Eligible for load balancing at `now`.
+  bool available(TimePoint now) const {
+    return !crashed_ && !suspected(now);
+  }
+  /// Total time spent crashed, including the open interval at `now`.
+  Duration downtime(TimePoint now) const {
+    return crashed_ ? downtime_ + (now - down_since_) : downtime_;
+  }
 
  private:
   std::string device_;
@@ -66,6 +104,16 @@ class ServiceInstance {
   double cost_jitter_;
   Rng jitter_rng_;
   ServiceInstanceStats stats_;
+
+  // Fault state. `epoch_` counts crashes: a lane task captured before
+  // a crash observes the mismatch on completion and errors out instead
+  // of delivering a result computed by a dead process.
+  bool crashed_ = false;
+  bool wedged_ = false;
+  uint64_t epoch_ = 0;
+  TimePoint suspected_until_;
+  TimePoint down_since_;
+  Duration downtime_;
 };
 
 struct ContainerOptions {

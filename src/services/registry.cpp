@@ -14,13 +14,44 @@ ServiceInstance* ServiceRegistry::Find(const std::string& device,
   auto it = groups_.find(Key{device, service});
   if (it == groups_.end() || it->second.empty()) return nullptr;
   const TimePoint now = cluster_->Now();
-  ServiceInstance* best = it->second.front().get();
+  // Least-backlog among healthy replicas; crashed or timeout-suspected
+  // replicas are excluded from balancing until they restart/recover.
+  ServiceInstance* best = nullptr;
   for (const auto& candidate : it->second) {
-    if (candidate->backlog(now) < best->backlog(now)) {
+    if (!candidate->available(now)) continue;
+    if (best == nullptr || candidate->backlog(now) < best->backlog(now)) {
       best = candidate.get();
     }
   }
   return best;
+}
+
+std::vector<ServiceInstance*> ServiceRegistry::AllReplicas() {
+  std::vector<ServiceInstance*> out;
+  for (const auto& [key, group] : groups_) {
+    for (const auto& instance : group) out.push_back(instance.get());
+  }
+  return out;
+}
+
+Duration ServiceRegistry::TotalDowntime(TimePoint now) const {
+  Duration total;
+  for (const auto& [key, group] : groups_) {
+    for (const auto& instance : group) total += instance->downtime(now);
+  }
+  return total;
+}
+
+size_t ServiceRegistry::AvailableReplicaCount(const std::string& device,
+                                              const std::string& service) {
+  size_t n = 0;
+  const TimePoint now = cluster_->Now();
+  auto it = groups_.find(Key{device, service});
+  if (it == groups_.end()) return 0;
+  for (const auto& instance : it->second) {
+    if (instance->available(now)) ++n;
+  }
+  return n;
 }
 
 std::vector<ServiceInstance*> ServiceRegistry::Replicas(

@@ -22,13 +22,25 @@ class ServiceRegistry {
   /// Take ownership of a launched replica.
   void Add(std::unique_ptr<ServiceInstance> instance);
 
-  /// Least-backlog replica of `service` on `device`; nullptr if none.
+  /// Least-backlog *available* replica of `service` on `device` —
+  /// crashed and timeout-suspected replicas do not participate in
+  /// balancing. nullptr when none is available.
   ServiceInstance* Find(const std::string& device,
                         const std::string& service);
 
-  /// All replicas of `service` on `device`.
+  /// All replicas of `service` on `device` (healthy or not).
   std::vector<ServiceInstance*> Replicas(const std::string& device,
                                          const std::string& service);
+
+  /// Every replica in the registry (fault-injection wiring, reports).
+  std::vector<ServiceInstance*> AllReplicas();
+
+  /// Replicas of the group currently eligible for balancing.
+  size_t AvailableReplicaCount(const std::string& device,
+                               const std::string& service);
+
+  /// Cluster-wide accumulated replica downtime (recovery metric).
+  Duration TotalDowntime(TimePoint now) const;
 
   /// Devices hosting at least one replica of `service`.
   std::vector<std::string> DevicesHosting(const std::string& service) const;

@@ -1,0 +1,127 @@
+#include "sim/fault_injector.hpp"
+
+namespace vp::sim {
+
+FaultInjector::FaultInjector(Simulator* sim, Network* network, uint64_t seed)
+    : sim_(sim), network_(network), rng_(seed) {}
+
+void FaultInjector::RegisterReplica(const std::string& label,
+                                    ReplicaHooks hooks) {
+  auto it = replicas_.find(label);
+  if (it == replicas_.end()) {
+    replicas_[label] = ReplicaState{std::move(hooks), false, false};
+    order_.push_back(label);
+  } else {
+    it->second.hooks = std::move(hooks);
+  }
+}
+
+FaultInjector::ReplicaState* FaultInjector::FindReplica(
+    const std::string& label) {
+  auto it = replicas_.find(label);
+  return it == replicas_.end() ? nullptr : &it->second;
+}
+
+void FaultInjector::CrashNow(const std::string& label, Duration downtime) {
+  ReplicaState* replica = FindReplica(label);
+  if (replica == nullptr || replica->down) return;
+  replica->down = true;
+  ++stats_.crashes;
+  if (replica->hooks.crash) replica->hooks.crash();
+  if (downtime > Duration::Zero()) {
+    sim_->After(downtime, [this, label] {
+      ReplicaState* r = FindReplica(label);
+      if (r == nullptr || !r->down) return;
+      r->down = false;
+      ++stats_.restarts;
+      if (r->hooks.restart) r->hooks.restart();
+    });
+  }
+}
+
+void FaultInjector::WedgeNow(const std::string& label, Duration duration) {
+  ReplicaState* replica = FindReplica(label);
+  if (replica == nullptr || replica->wedged || replica->down) return;
+  replica->wedged = true;
+  ++stats_.wedges;
+  if (replica->hooks.set_wedged) replica->hooks.set_wedged(true);
+  if (duration > Duration::Zero()) {
+    sim_->After(duration, [this, label] {
+      ReplicaState* r = FindReplica(label);
+      if (r == nullptr || !r->wedged) return;
+      r->wedged = false;
+      ++stats_.unwedges;
+      if (r->hooks.set_wedged) r->hooks.set_wedged(false);
+    });
+  }
+}
+
+Status FaultInjector::ScheduleCrash(const std::string& label, TimePoint at,
+                                    Duration downtime) {
+  if (FindReplica(label) == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "no registered replica '" + label + "'");
+  }
+  sim_->At(at, [this, label, downtime] { CrashNow(label, downtime); });
+  return Status::Ok();
+}
+
+Status FaultInjector::ScheduleWedge(const std::string& label, TimePoint at,
+                                    Duration duration) {
+  if (FindReplica(label) == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "no registered replica '" + label + "'");
+  }
+  sim_->At(at, [this, label, duration] { WedgeNow(label, duration); });
+  return Status::Ok();
+}
+
+void FaultInjector::ScheduleLinkFault(const std::string& a,
+                                      const std::string& b, TimePoint at,
+                                      Duration duration, LinkSpec degraded) {
+  sim_->At(at, [this, a, b, duration, degraded] {
+    // Capture the current per-direction specs so the restore is exact
+    // even when the two directions were configured asymmetrically.
+    const LinkSpec original_ab = network_->link(a, b);
+    const LinkSpec original_ba = network_->link(b, a);
+    network_->SetLink(a, b, degraded);
+    network_->SetLink(b, a, degraded);
+    ++stats_.link_faults;
+    if (duration > Duration::Zero()) {
+      sim_->After(duration, [this, a, b, original_ab, original_ba] {
+        network_->SetLink(a, b, original_ab);
+        network_->SetLink(b, a, original_ba);
+        ++stats_.link_restores;
+      });
+    }
+  });
+}
+
+void FaultInjector::StartRandomFaults(RandomFaultOptions options) {
+  random_options_ = options;
+  if (random_running_) return;
+  random_running_ = true;
+  sim_->After(random_options_.interval, [this] { RandomTick(); });
+}
+
+void FaultInjector::RandomTick() {
+  if (!random_running_) return;
+  // Iterate in registration order: the draw sequence — and therefore
+  // the whole fault timeline — depends only on the seed.
+  for (const std::string& label : order_) {
+    ReplicaState* replica = FindReplica(label);
+    if (replica == nullptr || replica->down || replica->wedged) continue;
+    if (random_options_.crash_probability > 0.0 &&
+        rng_.NextBool(random_options_.crash_probability)) {
+      CrashNow(label, random_options_.crash_downtime);
+      continue;
+    }
+    if (random_options_.wedge_probability > 0.0 &&
+        rng_.NextBool(random_options_.wedge_probability)) {
+      WedgeNow(label, random_options_.wedge_duration);
+    }
+  }
+  sim_->After(random_options_.interval, [this] { RandomTick(); });
+}
+
+}  // namespace vp::sim

@@ -1,0 +1,127 @@
+// Fault injection for the simulated edge cluster.
+//
+// The FaultInjector perturbs a running simulation the way real edge
+// deployments fail: service replicas crash and restart, replicas wedge
+// (accept a request and never answer — a hung container), and Wi-Fi
+// links degrade (loss/latency spikes). Faults can be placed on an
+// explicit schedule or drawn probabilistically from a seeded Rng, so
+// every fault run is bit-for-bit reproducible.
+//
+// Layering: the injector lives in vp::sim and knows nothing about the
+// service runtime. Replicas are registered as opaque hook bundles
+// (crash / restart / wedge); the orchestrator supplies hooks that
+// reach into the real ServiceInstances. Link faults act directly on
+// the Network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace vp::sim {
+
+/// Opaque handle to one service replica. The injector drives these;
+/// the registering layer decides what they do.
+struct ReplicaHooks {
+  /// Hard-kill the replica (in-flight work dies, callers get errors).
+  std::function<void()> crash;
+  /// Bring a crashed replica back (pays a cold-start).
+  std::function<void()> restart;
+  /// true: the replica accepts requests but never replies (hung
+  /// process). false: it recovers and answers again.
+  std::function<void(bool)> set_wedged;
+};
+
+/// Knobs for probabilistic fault generation. All draws come from one
+/// seeded Rng in a fixed order, so a given seed always produces the
+/// same fault timeline.
+struct RandomFaultOptions {
+  /// How often the injector rolls the dice.
+  Duration interval = Duration::Millis(250);
+  /// Per tick, per replica: probability of a crash. Expected downtime
+  /// fraction ≈ crash_probability * crash_downtime / interval.
+  double crash_probability = 0.0;
+  Duration crash_downtime = Duration::Millis(400);
+  /// Per tick, per replica: probability of a wedge (hang).
+  double wedge_probability = 0.0;
+  Duration wedge_duration = Duration::Millis(400);
+};
+
+struct FaultInjectorStats {
+  uint64_t crashes = 0;
+  uint64_t restarts = 0;
+  uint64_t wedges = 0;
+  uint64_t unwedges = 0;
+  uint64_t link_faults = 0;
+  uint64_t link_restores = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(Simulator* sim, Network* network, uint64_t seed = 1);
+
+  /// Register a replica under `label` (e.g. "desktop/pose_detector#0").
+  /// Labels must be unique; re-registering replaces the hooks.
+  void RegisterReplica(const std::string& label, ReplicaHooks hooks);
+
+  size_t replica_count() const { return order_.size(); }
+  std::vector<std::string> replica_labels() const { return order_; }
+
+  // -- scheduled (deterministic) faults --------------------------------
+  /// Crash `label` at absolute time `at`; restart it `downtime` later.
+  /// A zero/negative downtime crashes without restart.
+  Status ScheduleCrash(const std::string& label, TimePoint at,
+                       Duration downtime);
+
+  /// Wedge `label` at `at`; recover it `duration` later (never, when
+  /// duration is zero/negative).
+  Status ScheduleWedge(const std::string& label, TimePoint at,
+                       Duration duration);
+
+  /// Replace the (symmetric) link a↔b with `degraded` at `at`, and
+  /// restore the original spec `duration` later. A zero/negative
+  /// duration leaves the link degraded.
+  void ScheduleLinkFault(const std::string& a, const std::string& b,
+                         TimePoint at, Duration duration, LinkSpec degraded);
+
+  // -- probabilistic faults ---------------------------------------------
+  /// Start rolling for crashes/wedges every options.interval across all
+  /// registered replicas. Replicas currently down or wedged are skipped.
+  void StartRandomFaults(RandomFaultOptions options);
+
+  /// Stop the probabilistic generator (scheduled faults already placed
+  /// still fire; pending restores still fire so nothing stays broken).
+  void StopRandomFaults() { random_running_ = false; }
+
+  const FaultInjectorStats& stats() const { return stats_; }
+
+ private:
+  struct ReplicaState {
+    ReplicaHooks hooks;
+    bool down = false;
+    bool wedged = false;
+  };
+
+  ReplicaState* FindReplica(const std::string& label);
+  void CrashNow(const std::string& label, Duration downtime);
+  void WedgeNow(const std::string& label, Duration duration);
+  void RandomTick();
+
+  Simulator* sim_;
+  Network* network_;
+  Rng rng_;
+  std::map<std::string, ReplicaState> replicas_;
+  std::vector<std::string> order_;  // registration order (determinism)
+  RandomFaultOptions random_options_;
+  bool random_running_ = false;
+  FaultInjectorStats stats_;
+};
+
+}  // namespace vp::sim

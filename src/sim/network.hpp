@@ -50,6 +50,13 @@ class Network {
   void SetSymmetricLink(const std::string& a, const std::string& b,
                         LinkSpec spec);
 
+  /// Current spec of the (directed) link from → to (the default link
+  /// when no explicit entry exists). Fault injection reads this to
+  /// restore a degraded link exactly.
+  const LinkSpec& link(const std::string& from, const std::string& to) const {
+    return SpecFor(from, to);
+  }
+
   /// IPC delay for same-device delivery.
   void set_loopback_delay(Duration d) { loopback_delay_ = d; }
   Duration loopback_delay() const { return loopback_delay_; }

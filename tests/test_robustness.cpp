@@ -7,9 +7,11 @@
 #include "json/parse.hpp"
 #include "json/write.hpp"
 #include "media/codec.hpp"
+#include "media/frame_store.hpp"
 #include "net/message.hpp"
 #include "script/parser.hpp"
 #include "sim/cluster.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace vp {
 namespace {
@@ -83,6 +85,328 @@ TEST(FailureInjection, SlowServiceTriggersWatchdogNotWedge) {
   // 300 ms ref on the phone ≈ 857 ms actual — over the 400 ms timeout.
   EXPECT_GT((*deployment)->camera().credit_timeouts(), 3u);
   EXPECT_GT((*deployment)->metrics().frames_completed(), 8u);
+}
+
+// ------------------------------------------- fault-tolerant service calls
+
+// Service-call options tightened for fault tests: a vanished replica
+// costs a couple hundred virtual ms per frame, not seconds.
+core::OrchestratorOptions FastRecoveryOptions() {
+  core::OrchestratorOptions options;
+  options.service_call.timeout = Duration::Millis(200);
+  options.service_call.remote_slack = Duration::Millis(100);
+  options.service_call.max_retries = 2;
+  options.service_call.backoff_base = Duration::Millis(10);
+  options.service_call.suspect_duration = Duration::Millis(300);
+  return options;
+}
+
+struct FaultRig {
+  std::unique_ptr<sim::Cluster> cluster;
+  std::unique_ptr<core::Orchestrator> orchestrator;
+  core::PipelineDeployment* pipeline = nullptr;
+};
+
+FaultRig MakeRig(Result<core::PipelineSpec> spec,
+                 core::OrchestratorOptions options) {
+  FaultRig rig;
+  rig.cluster = sim::MakeHomeTestbed();
+  rig.orchestrator =
+      std::make_unique<core::Orchestrator>(rig.cluster.get(), options);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  core::Orchestrator::DeployArgs args;
+  args.workload = apps::fitness::Workout();
+  auto deployment =
+      rig.orchestrator->Deploy(std::move(*spec), std::move(args));
+  EXPECT_TRUE(deployment.ok()) << deployment.status().ToString();
+  rig.pipeline = *deployment;
+  return rig;
+}
+
+std::string LabelOf(const sim::FaultInjector& injector,
+                    const std::string& service) {
+  for (const std::string& label : injector.replica_labels()) {
+    if (label.find(service) != std::string::npos) return label;
+  }
+  return {};
+}
+
+TEST(FaultTolerance, ReplicaCrashMidPipelineRecovers) {
+  auto rig = MakeRig(apps::fitness::Spec(), FastRecoveryOptions());
+  sim::FaultInjector injector(&rig.cluster->simulator(),
+                              &rig.cluster->network(), 99);
+  rig.orchestrator->RegisterReplicasForFaults(injector);
+  const std::string label = LabelOf(injector, "pose_detector");
+  ASSERT_FALSE(label.empty());
+
+  // Kill the pose replica at t=3s for one second.
+  ASSERT_TRUE(injector
+                  .ScheduleCrash(label, TimePoint() + Duration::Seconds(3),
+                                 Duration::Seconds(1))
+                  .ok());
+  rig.pipeline->Start();
+  rig.orchestrator->RunFor(Duration::Seconds(3.5));
+  const uint64_t mid = rig.pipeline->metrics().frames_completed();
+  rig.orchestrator->RunFor(Duration::Seconds(16.5));
+
+  const core::PipelineMetrics& metrics = rig.pipeline->metrics();
+  EXPECT_EQ(injector.stats().crashes, 1u);
+  EXPECT_EQ(injector.stats().restarts, 1u);
+  // During the outage frames were dropped gracefully, with retries.
+  EXPECT_GT(metrics.frames_abandoned(), 5u);
+  EXPECT_GT(metrics.retries(), 0u);
+  EXPECT_GE(metrics.replica_downtime_ms(), 900.0);
+  // And after the restart the pipeline returned to a healthy rate.
+  EXPECT_GT(metrics.frames_completed(), mid + 80);
+}
+
+TEST(FaultTolerance, WedgedReplicaTimesOutInsteadOfStallingPipeline) {
+  auto rig = MakeRig(apps::fitness::Spec(), FastRecoveryOptions());
+  sim::FaultInjector injector(&rig.cluster->simulator(),
+                              &rig.cluster->network(), 7);
+  rig.orchestrator->RegisterReplicasForFaults(injector);
+  const std::string label = LabelOf(injector, "pose_detector");
+  ASSERT_FALSE(label.empty());
+
+  // The replica hangs (accepts requests, never answers) for 1.5s.
+  ASSERT_TRUE(injector
+                  .ScheduleWedge(label, TimePoint() + Duration::Seconds(5),
+                                 Duration::Millis(1500))
+                  .ok());
+  rig.pipeline->Start();
+  rig.orchestrator->RunFor(Duration::Seconds(7));
+  const uint64_t mid = rig.pipeline->metrics().frames_completed();
+  rig.orchestrator->RunFor(Duration::Seconds(13));
+
+  const core::PipelineMetrics& metrics = rig.pipeline->metrics();
+  EXPECT_EQ(injector.stats().wedges, 1u);
+  EXPECT_EQ(injector.stats().unwedges, 1u);
+  // Calls into the hung replica resolved by timeout, not by waiting
+  // forever; the swallowed requests are visible on the replica.
+  EXPECT_GT(metrics.call_timeouts(), 0u);
+  EXPECT_GT(metrics.frames_abandoned(), 2u);
+  const std::string& device =
+      rig.pipeline->plan().service_device.at("pose_detector");
+  auto replicas = rig.orchestrator->registry().Replicas(device,
+                                                        "pose_detector");
+  ASSERT_FALSE(replicas.empty());
+  EXPECT_GT(replicas.front()->stats().swallowed, 0u);
+  // Steady-state recovery after the wedge clears.
+  EXPECT_GT(metrics.frames_completed(), mid + 80);
+}
+
+TEST(FaultTolerance, RetryExhaustionDropsFrameAndReturnsCredit) {
+  // proc calls a service and does NOT catch failures; sink only signals
+  // credits. When the only replica dies permanently, every frame must
+  // be abandoned promptly (credit returned by the runtime), not leak
+  // through one camera-watchdog period each.
+  auto spec = core::ParsePipelineConfigText(R"CFG({
+    "name": "drops",
+    "source": { "fps": 20, "width": 64, "height": 48 },
+    "modules": [
+      { "name": "cam", "type": "source", "next_module": ["proc"] },
+      { "name": "proc", "service": ["pose_detector"],
+        "next_module": ["sink"],
+        "code": "function event_received(m) { var p = call_service('pose_detector', { frame_id: m.frame_id }); call_module('sink', { seq: m.seq }); }" },
+      { "name": "sink", "signal_source": true,
+        "code": "function event_received(m) {}" }
+    ]
+  })CFG",
+                                            core::MapResolver({}));
+  auto rig = MakeRig(std::move(spec), FastRecoveryOptions());
+  sim::FaultInjector injector(&rig.cluster->simulator(),
+                              &rig.cluster->network(), 3);
+  rig.orchestrator->RegisterReplicasForFaults(injector);
+  const std::string label = LabelOf(injector, "pose_detector");
+  ASSERT_FALSE(label.empty());
+
+  // Crash with no restart: the outage is permanent.
+  ASSERT_TRUE(injector
+                  .ScheduleCrash(label, TimePoint() + Duration::Seconds(2),
+                                 Duration::Zero())
+                  .ok());
+  rig.pipeline->Start();
+  rig.orchestrator->RunFor(Duration::Seconds(2));
+  const uint64_t completed_before = rig.pipeline->metrics().frames_completed();
+  EXPECT_GT(completed_before, 20u);
+  rig.orchestrator->RunFor(Duration::Seconds(8));
+
+  const core::PipelineMetrics& metrics = rig.pipeline->metrics();
+  // No frame completes without the service…
+  EXPECT_LE(metrics.frames_completed(), completed_before + 2);
+  // …but the source kept flowing: each frame died by fast abandonment
+  // (credit returned by the runtime), not by 1s watchdog write-offs.
+  EXPECT_GT(metrics.frames_abandoned(), 50u);
+  EXPECT_GT(rig.pipeline->camera().frames_emitted(), 120u);
+  EXPECT_LE(rig.pipeline->camera().credit_timeouts(), 2u);
+}
+
+TEST(FaultTolerance, ScriptCanCatchServiceFailureAndRecover) {
+  // The vpscript surface of the tentpole: call_service() failures after
+  // retry exhaustion are ordinary catchable errors with a code.
+  auto spec = core::ParsePipelineConfigText(R"CFG({
+    "name": "catcher",
+    "source": { "fps": 20, "width": 64, "height": 48 },
+    "modules": [
+      { "name": "cam", "type": "source", "next_module": ["proc"] },
+      { "name": "proc", "service": ["pose_detector"], "signal_source": true,
+        "code": "var failures = 0; var last_code = ''; function event_received(m) { try { call_service('pose_detector', { frame_id: m.frame_id }); } catch (e) { failures = failures + 1; last_code = e.code; } }" }
+    ]
+  })CFG",
+                                            core::MapResolver({}));
+  auto rig = MakeRig(std::move(spec), FastRecoveryOptions());
+  sim::FaultInjector injector(&rig.cluster->simulator(),
+                              &rig.cluster->network(), 11);
+  rig.orchestrator->RegisterReplicasForFaults(injector);
+  const std::string label = LabelOf(injector, "pose_detector");
+  ASSERT_FALSE(label.empty());
+  ASSERT_TRUE(injector
+                  .ScheduleCrash(label, TimePoint() + Duration::Seconds(2),
+                                 Duration::Zero())
+                  .ok());
+  rig.pipeline->Start();
+  rig.orchestrator->RunFor(Duration::Seconds(8));
+
+  // The module caught every failure and kept completing frames (it is
+  // the sink), so nothing was abandoned on its behalf.
+  const core::PipelineMetrics& metrics = rig.pipeline->metrics();
+  EXPECT_EQ(metrics.frames_abandoned(), 0u);
+  EXPECT_GT(metrics.frames_completed(), 80u);
+  core::ModuleRuntime* proc = rig.pipeline->FindModule("proc");
+  ASSERT_NE(proc, nullptr);
+  const json::Value state = proc->context().SnapshotState();
+  EXPECT_GT(state.GetDouble("failures", 0), 20.0);
+  EXPECT_EQ(state.GetString("last_code", ""), "UNAVAILABLE");
+}
+
+TEST(FaultTolerance, RandomFaultTimelineIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    auto rig = MakeRig(apps::fitness::Spec(), FastRecoveryOptions());
+    sim::FaultInjector injector(&rig.cluster->simulator(),
+                                &rig.cluster->network(), seed);
+    rig.orchestrator->RegisterReplicasForFaults(injector);
+    sim::RandomFaultOptions faults;
+    faults.crash_probability = 0.03;
+    faults.crash_downtime = Duration::Millis(400);
+    faults.wedge_probability = 0.01;
+    faults.wedge_duration = Duration::Millis(300);
+    injector.StartRandomFaults(faults);
+    rig.pipeline->Start();
+    rig.orchestrator->RunFor(Duration::Seconds(15));
+    const core::PipelineMetrics& m = rig.pipeline->metrics();
+    return std::tuple<uint64_t, uint64_t, uint64_t, uint64_t, uint64_t>(
+        injector.stats().crashes, injector.stats().wedges,
+        m.frames_completed(), m.frames_abandoned(), m.retries());
+  };
+  const auto a = run(1234);
+  const auto b = run(1234);
+  const auto c = run(4321);
+  EXPECT_EQ(a, b);  // bit-for-bit reproducible under a fixed seed
+  EXPECT_GT(std::get<0>(a) + std::get<1>(a), 0u);  // faults happened
+  EXPECT_GT(std::get<2>(a), 100u);  // and the pipeline survived them
+}
+
+// --------------------------------------- flow-control credit staleness
+
+TEST(FlowControl, StaleCreditCannotDoubleAdmit) {
+  // Regression: frame A's credit arrives AFTER the watchdog already
+  // wrote A off and minted a replacement. Honoring it would put two
+  // frames in flight (§2.3 single-slot invariant).
+  sim::Simulator sim;
+  sim::ExecutionLane lane(&sim, "cam", 1.0);
+  core::PipelineMetrics metrics;
+  std::vector<uint64_t> emitted;
+  core::CameraOptions options;
+  options.credit_timeout = Duration::Millis(100);
+  core::CameraDriver camera(
+      &sim, &lane,
+      media::SyntheticVideoSource(apps::fitness::Workout(), 20.0,
+                                  media::SceneOptions{}, 5),
+      &metrics,
+      [&emitted](uint64_t seq, TimePoint, Bytes) { emitted.push_back(seq); },
+      options);
+
+  camera.Start();
+  sim.RunUntil(TimePoint() + Duration::Millis(60));
+  ASSERT_EQ(emitted.size(), 1u);  // frame A out, credit outstanding
+  const uint64_t frame_a = emitted[0];
+
+  // Watchdog fires at 100ms, mints a replacement credit → frame B.
+  sim.RunUntil(TimePoint() + Duration::Millis(160));
+  ASSERT_EQ(emitted.size(), 2u);
+  EXPECT_EQ(camera.credit_timeouts(), 1u);
+
+  // The late credit for A must be ignored: no third admission while
+  // B's credit is still outstanding.
+  camera.OnCredit(frame_a);
+  sim.RunUntil(TimePoint() + Duration::Millis(195));
+  EXPECT_EQ(emitted.size(), 2u);
+  EXPECT_EQ(camera.stale_credits(), 1u);
+
+  // B's own credit still works.
+  camera.OnCredit(emitted[1]);
+  sim.RunUntil(TimePoint() + Duration::Millis(260));
+  EXPECT_EQ(emitted.size(), 3u);
+  EXPECT_EQ(camera.stale_credits(), 1u);
+}
+
+// ----------------------------------------------- bounded bookkeeping
+
+TEST(FrameStoreBounds, PutReleaseChurnKeepsOrderBounded) {
+  media::FrameStore store(8);
+  for (int i = 0; i < 5000; ++i) {
+    const media::FrameId id = store.Put(media::Frame{});
+    ASSERT_TRUE(store.Release(id));
+    // Lazy compaction: the eviction deque never grows past O(capacity)
+    // even though every frame is released out-of-band.
+    EXPECT_LE(store.order_size(), 2 * store.capacity() + 1);
+  }
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(FrameStoreBounds, MixedChurnStaysBoundedAndResolvable) {
+  media::FrameStore store(16);
+  std::vector<media::FrameId> resident;
+  for (int i = 0; i < 3000; ++i) {
+    resident.push_back(store.Put(media::Frame{}));
+    if (resident.size() > 4) {
+      store.Release(resident.front());
+      resident.erase(resident.begin());
+    }
+    EXPECT_LE(store.order_size(), 2 * store.capacity() + 1);
+  }
+  for (media::FrameId id : resident) {
+    EXPECT_TRUE(store.Get(id).ok());
+  }
+}
+
+TEST(MetricsRetention, EvictedTracesFoldIntoSummaries) {
+  core::PipelineMetrics m;
+  m.set_trace_retention(32);
+  for (uint64_t s = 0; s < 1000; ++s) {
+    const TimePoint t0 =
+        TimePoint() + Duration::Micros(static_cast<int64_t>(s) * 50000);
+    m.OnCaptured(s, t0);
+    m.OnStageStart(s, "mod", t0 + Duration::Millis(1));
+    m.OnStageEnd(s, "mod",
+                 t0 + Duration::Millis(6 + static_cast<double>(s % 10)));
+    m.OnCompleted(s, t0 + Duration::Millis(20));
+  }
+  EXPECT_LE(m.traces().size(), 32u);
+  EXPECT_EQ(m.traces_evicted(), 968u);
+  // Counters are exact even though most raw traces are gone.
+  EXPECT_EQ(m.frames_captured(), 1000u);
+  EXPECT_EQ(m.frames_completed(), 1000u);
+  const core::LatencySummary lat = m.ModuleLatency("mod");
+  EXPECT_EQ(lat.count, 1000u);
+  EXPECT_NEAR(lat.mean_ms, 9.5, 0.01);  // 5 + mean(0..9)
+  EXPECT_DOUBLE_EQ(lat.min_ms, 5.0);
+  EXPECT_DOUBLE_EQ(lat.max_ms, 14.0);
+  const core::LatencySummary total = m.TotalLatency();
+  EXPECT_EQ(total.count, 1000u);
+  EXPECT_DOUBLE_EQ(total.mean_ms, 20.0);
+  EXPECT_NEAR(total.p50_ms, 20.0, 1e-9);
+  EXPECT_NEAR(total.p95_ms, 20.0, 1e-9);
 }
 
 // ----------------------------------------------------------- fuzzing
