@@ -40,6 +40,17 @@ void CameraDriver::OnCredit(uint64_t seq) {
   MaybeEmit();
 }
 
+void CameraDriver::WriteOffOutstanding() {
+  if (!options_.paced_by_credits || outstanding_seq_ < 0) return;
+  if (watchdog_event_ != 0) {
+    sim_->Cancel(watchdog_event_);
+    watchdog_event_ = 0;
+  }
+  outstanding_seq_ = -1;
+  if (credits_ < 1) ++credits_;
+  MaybeEmit();
+}
+
 void CameraDriver::MaybeEmit() {
   if (!running_ || emission_scheduled_) return;
   if (options_.paced_by_credits && credits_ <= 0) return;

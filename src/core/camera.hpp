@@ -59,6 +59,17 @@ class CameraDriver {
   /// second admission slot).
   void OnCredit(uint64_t seq);
 
+  /// Recovery hook: the outstanding frame is known dead (its device
+  /// crashed), so write it off now instead of waiting out the watchdog
+  /// — cancel the watchdog, invalidate the frame's credit (stale from
+  /// here on) and mint the replacement admission slot. Safe even when
+  /// the frame actually survived: the seq-tagged stale-credit check
+  /// keeps the single-slot invariant. No-op with no frame outstanding.
+  void WriteOffOutstanding();
+
+  bool running() const { return running_; }
+  bool has_outstanding() const { return outstanding_seq_ >= 0; }
+
   uint64_t frames_emitted() const { return emitted_; }
   uint64_t frames_dropped() const { return dropped_; }
   uint64_t credit_timeouts() const { return credit_timeouts_; }

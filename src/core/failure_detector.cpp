@@ -1,0 +1,135 @@
+#include "core/failure_detector.hpp"
+
+#include "common/log.hpp"
+
+namespace vp::core {
+
+const char* DeviceHealthName(DeviceHealth health) {
+  switch (health) {
+    case DeviceHealth::kHealthy: return "healthy";
+    case DeviceHealth::kSuspect: return "suspect";
+    case DeviceHealth::kDown: return "down";
+  }
+  return "unknown";
+}
+
+FailureDetector::FailureDetector(sim::Cluster* cluster, net::Fabric* fabric,
+                                 FailureDetectorOptions options)
+    : cluster_(cluster), fabric_(fabric), options_(std::move(options)) {
+  endpoint_ = net::Address{options_.controller_device, options_.port};
+  check_interval_ = options_.heartbeat_interval * 0.5;
+  if (check_interval_ < Duration::Millis(1)) {
+    check_interval_ = Duration::Millis(1);
+  }
+}
+
+Status FailureDetector::Start() {
+  if (running_) return Status::Ok();
+  if (options_.controller_device.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "failure detector needs a controller device");
+  }
+  if (cluster_->FindDevice(options_.controller_device) == nullptr) {
+    return Status(StatusCode::kNotFound, "unknown controller device '" +
+                                             options_.controller_device +
+                                             "'");
+  }
+  VP_RETURN_IF_ERROR(fabric_->Bind(
+      endpoint_, [this](net::Message message, net::Responder) {
+        if (message.type() == "heartbeat") {
+          OnHeartbeat(message.payload().GetString("device"));
+        }
+      }));
+  running_ = true;
+  const TimePoint now = cluster_->Now();
+  for (sim::Device* device : cluster_->devices()) {
+    entries_[device->name()] = Entry{now, DeviceHealth::kHealthy};
+    order_.push_back(device->name());
+  }
+  // Launch the daemons in insertion order (deterministic event order).
+  // The controller heartbeats itself over loopback.
+  for (const std::string& name : order_) HeartbeatLoop(name);
+  CheckLoop();
+  return Status::Ok();
+}
+
+void FailureDetector::Stop() {
+  if (!running_) return;
+  running_ = false;
+  fabric_->Unbind(endpoint_);
+}
+
+void FailureDetector::HeartbeatLoop(const std::string& device) {
+  if (!running_) return;
+  net::Message heartbeat("heartbeat");
+  json::Value payload = json::Value::MakeObject();
+  payload["device"] = json::Value(device);
+  heartbeat.set_payload(std::move(payload));
+  // A down device's push is physically dropped at the network's
+  // liveness gate — the daemon "dies" with its host and "restarts"
+  // with it, without the detector peeking at device state.
+  (void)fabric_->Push(device, endpoint_, std::move(heartbeat));
+  cluster_->simulator().After(options_.heartbeat_interval,
+                              [this, device] { HeartbeatLoop(device); });
+}
+
+void FailureDetector::OnHeartbeat(const std::string& device) {
+  auto it = entries_.find(device);
+  if (it == entries_.end()) return;
+  ++stats_.heartbeats_received;
+  it->second.last_heard = cluster_->Now();
+  if (it->second.health == DeviceHealth::kDown) {
+    ++stats_.revivals;
+    it->second.health = DeviceHealth::kHealthy;
+    VP_INFO("detector") << "device '" << device
+                        << "' is heartbeating again";
+    if (on_up_) on_up_(device);
+  } else {
+    it->second.health = DeviceHealth::kHealthy;
+  }
+}
+
+void FailureDetector::CheckLoop() {
+  if (!running_) return;
+  const TimePoint now = cluster_->Now();
+  // The detector is a process on the controller: while the controller
+  // itself is down, nobody is watching the table.
+  const sim::Device* controller =
+      cluster_->FindDevice(options_.controller_device);
+  if (controller == nullptr || controller->up()) {
+    for (const std::string& name : order_) {
+      Entry& entry = entries_[name];
+      const Duration gap = now - entry.last_heard;
+      if (entry.health != DeviceHealth::kDown &&
+          gap > options_.suspicion_window) {
+        entry.health = DeviceHealth::kDown;
+        ++stats_.failures_declared;
+        VP_WARN("detector") << "device '" << name << "' declared down ("
+                            << gap.millis() << " ms since last heartbeat)";
+        if (on_down_) on_down_(name, entry.last_heard);
+      } else if (entry.health == DeviceHealth::kHealthy &&
+                 gap > options_.suspect_after) {
+        entry.health = DeviceHealth::kSuspect;
+      }
+    }
+  }
+  cluster_->simulator().After(check_interval_, [this] { CheckLoop(); });
+}
+
+DeviceHealth FailureDetector::health(const std::string& device) const {
+  auto it = entries_.find(device);
+  return it == entries_.end() ? DeviceHealth::kHealthy : it->second.health;
+}
+
+TimePoint FailureDetector::last_heard(const std::string& device) const {
+  auto it = entries_.find(device);
+  return it == entries_.end() ? TimePoint() : it->second.last_heard;
+}
+
+std::map<std::string, DeviceHealth> FailureDetector::snapshot() const {
+  std::map<std::string, DeviceHealth> out;
+  for (const auto& [name, entry] : entries_) out[name] = entry.health;
+  return out;
+}
+
+}  // namespace vp::core

@@ -1,0 +1,114 @@
+// Heartbeat-based device failure detector.
+//
+// Every device runs a (simulated) heartbeat daemon that PUSHes a tiny
+// message to the controller device on a fixed cadence. The detector —
+// conceptually a process on the controller — tracks the last heartbeat
+// heard from each device and walks the table on a fast check loop:
+//
+//   gap > suspect_after     → kSuspect (lossy link? busy device?)
+//   gap > suspicion_window  → kDown    (confirmed; on_device_down fires)
+//
+// The two thresholds separate jitter tolerance from failure
+// confirmation: a Wi-Fi link dropping a heartbeat or two marks the
+// device suspect but does not trigger recovery. Once a device is
+// declared down it stays latched down until a heartbeat is heard again
+// (a reboot restarts its daemon), which fires on_device_up.
+//
+// Honest physics: the detector has no side-channel to device state.
+// Heartbeats from a dead device are physically dropped by the
+// network's liveness gate, and when the *controller* is down the check
+// loop does not run (the detector process is dead too) — controller
+// failure is a documented single point of coordination.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/fabric.hpp"
+#include "sim/cluster.hpp"
+
+namespace vp::core {
+
+enum class DeviceHealth { kHealthy, kSuspect, kDown };
+
+const char* DeviceHealthName(DeviceHealth health);
+
+struct FailureDetectorOptions {
+  /// Cadence of each device's heartbeat daemon.
+  Duration heartbeat_interval = Duration::Millis(100);
+  /// Gap after which a device is marked suspect (no action taken).
+  Duration suspect_after = Duration::Millis(250);
+  /// Gap after which a device is declared down. Must comfortably
+  /// exceed heartbeat_interval + worst-case link latency/jitter or a
+  /// lossy link will false-positive.
+  Duration suspicion_window = Duration::Millis(500);
+  /// Device hosting the detector (and the checkpoint store). Empty:
+  /// the SelfHealer picks the fastest container-capable device.
+  std::string controller_device;
+  /// Port of the heartbeat endpoint on the controller.
+  uint16_t port = 19099;
+};
+
+struct FailureDetectorStats {
+  uint64_t heartbeats_received = 0;
+  uint64_t failures_declared = 0;
+  uint64_t revivals = 0;
+};
+
+class FailureDetector {
+ public:
+  /// (device, last heartbeat heard) — the detector's honest knowledge
+  /// of when the device was last alive; MTTR is measured from it.
+  using DownHandler =
+      std::function<void(const std::string& device, TimePoint last_heard)>;
+  using UpHandler = std::function<void(const std::string& device)>;
+
+  FailureDetector(sim::Cluster* cluster, net::Fabric* fabric,
+                  FailureDetectorOptions options);
+
+  void set_on_device_down(DownHandler handler) {
+    on_down_ = std::move(handler);
+  }
+  void set_on_device_up(UpHandler handler) { on_up_ = std::move(handler); }
+
+  /// Bind the heartbeat endpoint on the controller, start every
+  /// device's heartbeat daemon and the check loop.
+  Status Start();
+  /// Stop the loops and unbind the endpoint.
+  void Stop();
+
+  DeviceHealth health(const std::string& device) const;
+  TimePoint last_heard(const std::string& device) const;
+  /// Current health of every tracked device (for the monitor).
+  std::map<std::string, DeviceHealth> snapshot() const;
+
+  const FailureDetectorOptions& options() const { return options_; }
+  const FailureDetectorStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    TimePoint last_heard;
+    DeviceHealth health = DeviceHealth::kHealthy;
+  };
+
+  void OnHeartbeat(const std::string& device);
+  void HeartbeatLoop(const std::string& device);
+  void CheckLoop();
+
+  sim::Cluster* cluster_;
+  net::Fabric* fabric_;
+  FailureDetectorOptions options_;
+  net::Address endpoint_;
+  Duration check_interval_;
+  bool running_ = false;
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;  // deterministic scan order
+  DownHandler on_down_;
+  UpHandler on_up_;
+  FailureDetectorStats stats_;
+};
+
+}  // namespace vp::core

@@ -13,6 +13,7 @@
 // latency summaries.
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <string>
@@ -83,6 +84,29 @@ class PipelineMetrics {
   /// (refreshed by the orchestrator after each RunFor).
   void set_replica_downtime(Duration d) { replica_downtime_ = d; }
 
+  // -- self-healing recording (device failures) -------------------------
+  /// The failure detector confirmed a device hosting part of this
+  /// pipeline as dead. `detection_ms` = confirmation − last heartbeat.
+  void OnDeviceFailureDetected(double detection_ms) {
+    ++device_failures_;
+    last_detection_latency_ = detection_ms;
+  }
+  /// Recovery (re-placement + restore + relaunch) finished.
+  /// `mttr_ms` = recovery done − last heartbeat from the dead device.
+  void OnRecoveryComplete(double mttr_ms) {
+    ++recoveries_;
+    last_recovery_time_ = mttr_ms;
+  }
+  /// A frame died with the device (the in-flight admission slot).
+  void OnFrameLostToFailure() { ++frames_lost_to_failure_; }
+  /// A module resumed from a checkpoint `staleness_ms` old — the upper
+  /// bound on the state rolled back by the failure.
+  void OnCheckpointRestored(double staleness_ms) {
+    ++checkpoints_restored_;
+    last_checkpoint_staleness_ =
+        std::max(last_checkpoint_staleness_, staleness_ms);
+  }
+
   // -- retention --------------------------------------------------------
   /// Cap live per-frame traces; excess oldest traces fold into the
   /// running summaries. Must be ≥ the frames concurrently in flight
@@ -100,6 +124,17 @@ class PipelineMetrics {
   uint64_t call_timeouts() const { return call_timeouts_; }
   uint64_t frames_abandoned() const { return frames_abandoned_; }
   double replica_downtime_ms() const { return replica_downtime_.millis(); }
+  uint64_t device_failures() const { return device_failures_; }
+  /// Last confirmed failure: confirmation − last heartbeat (ms).
+  double detection_latency_ms() const { return last_detection_latency_; }
+  uint64_t recoveries() const { return recoveries_; }
+  /// Last recovery: done − last heartbeat (MTTR, ms).
+  double recovery_time_ms() const { return last_recovery_time_; }
+  uint64_t frames_lost_to_failure() const { return frames_lost_to_failure_; }
+  uint64_t checkpoints_restored() const { return checkpoints_restored_; }
+  /// Worst checkpoint age at restore across recoveries (ms); 0 when no
+  /// checkpointed state was ever restored.
+  double checkpoint_staleness_ms() const { return last_checkpoint_staleness_; }
 
   /// Completed-frame throughput between the first and last completion.
   double EndToEndFps() const;
@@ -144,6 +179,13 @@ class PipelineMetrics {
   uint64_t call_timeouts_ = 0;
   uint64_t frames_abandoned_ = 0;
   Duration replica_downtime_;
+  uint64_t device_failures_ = 0;
+  double last_detection_latency_ = 0;
+  uint64_t recoveries_ = 0;
+  double last_recovery_time_ = 0;
+  uint64_t frames_lost_to_failure_ = 0;
+  uint64_t checkpoints_restored_ = 0;
+  double last_checkpoint_staleness_ = 0;
   std::optional<TimePoint> first_completion_;
   std::optional<TimePoint> last_completion_;
 };

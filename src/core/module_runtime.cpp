@@ -98,6 +98,11 @@ Status ModuleRuntime::Initialize(
         }
         payload["timer"] = json::Value(true);
         const uint64_t seq = current_seq_;
+        // The timer event captures `this`: push the drain watermark out
+        // to its deadline so a retired runtime outlives the callback.
+        drain_deadline_ = std::max(
+            drain_deadline_,
+            orchestrator_->cluster().Now() + Duration::Millis(ms));
         orchestrator_->cluster().simulator().After(
             Duration::Millis(ms),
             [this, seq, payload = std::move(payload)]() mutable {
@@ -122,6 +127,17 @@ Status ModuleRuntime::Initialize(
 }
 
 void ModuleRuntime::OnMessage(net::Message message) {
+  // A runtime on a dead device processes nothing: events targeting it
+  // (timers armed before the crash, messages that slipped through)
+  // vanish with the machine. The credit watchdog / recovery path
+  // regenerates any frame lost this way.
+  sim::Device* device = orchestrator_->cluster().FindDevice(device_);
+  if (device == nullptr || !device->up()) {
+    ++stats_.dropped_device_down;
+    return;
+  }
+  drain_deadline_ =
+      std::max(drain_deadline_, orchestrator_->cluster().Now());
   if (busy_) {
     // Queue-free semantics: one parked slot, newest message wins.
     if (parked_.has_value()) ++stats_.dropped_replaced;
@@ -147,6 +163,14 @@ void ModuleRuntime::ProcessMessage(net::Message message) {
 }
 
 void ModuleRuntime::ExecuteHandler(net::Message message) {
+  // The device may have died between admission and lane completion.
+  sim::Device* host = orchestrator_->cluster().FindDevice(device_);
+  if (host == nullptr || !host->up()) {
+    ++stats_.dropped_device_down;
+    busy_ = false;
+    parked_.reset();  // parked work died with the machine too
+    return;
+  }
   current_seq_ = message.seq();
   ++stats_.events;
   service_call_exhausted_ = false;
@@ -210,6 +234,8 @@ void ModuleRuntime::ExecuteHandler(net::Message message) {
 }
 
 void ModuleRuntime::FinishEvent() {
+  drain_deadline_ =
+      std::max(drain_deadline_, orchestrator_->cluster().Now());
   busy_ = false;
   if (parked_.has_value()) {
     net::Message next = std::move(*parked_);

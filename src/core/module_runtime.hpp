@@ -40,6 +40,8 @@ struct ModuleRuntimeStats {
   uint64_t module_sends = 0;
   /// Frames dropped here after a service call exhausted its retries.
   uint64_t frames_abandoned = 0;
+  /// Events discarded because this runtime's device was down.
+  uint64_t dropped_device_down = 0;
 };
 
 class ModuleRuntime {
@@ -68,6 +70,15 @@ class ModuleRuntime {
   /// Sequence number of the event currently being handled.
   uint64_t current_seq() const { return current_seq_; }
 
+  /// Whether an event is currently being handled (or parked behind one).
+  bool busy() const { return busy_; }
+
+  /// Drain watermark: the latest virtual time at which an in-flight
+  /// sim event may still reference this runtime (message arrivals,
+  /// handler completions, pending set_timer() deadlines). A retired
+  /// runtime is safe to destroy once Now() is comfortably past this.
+  TimePoint drain_deadline() const { return drain_deadline_; }
+
   /// Called by the orchestrator when a call_service() from this module
   /// exhausted its retry budget on a transient failure. If the current
   /// handler then fails (the script did not catch and recover), the
@@ -95,6 +106,7 @@ class ModuleRuntime {
 
   bool busy_ = false;
   std::optional<net::Message> parked_;
+  TimePoint drain_deadline_;
   uint64_t current_seq_ = 0;
   uint64_t last_signaled_seq_ = 0;
   bool signaled_any_ = false;

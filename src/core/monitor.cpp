@@ -19,6 +19,20 @@ json::Value MonitorSample::ToJson() const {
     backlog[group] = json::Value(value);
   }
   out["service_backlog"] = std::move(backlog);
+  json::Value replicas = json::Value::MakeObject();
+  for (const auto& [group, healths] : replica_health) {
+    json::Value list = json::Value::MakeArray();
+    for (const std::string& health : healths) {
+      list.PushBack(json::Value(health));
+    }
+    replicas[group] = std::move(list);
+  }
+  out["replica_health"] = std::move(replicas);
+  json::Value devices = json::Value::MakeObject();
+  for (const auto& [device, health] : device_health) {
+    devices[device] = json::Value(health);
+  }
+  out["device_health"] = std::move(devices);
   out["network_bytes"] = json::Value(static_cast<double>(network_bytes));
   return out;
 }
@@ -71,6 +85,24 @@ void PipelineMonitor::Sample() {
     }
     sample.service_backlog[key] = backlog;
     sample.service_replicas[key] = static_cast<int>(replicas.size());
+    // The circuit breaker's view of each replica: crashed replicas are
+    // down, timed-out ones sit suspect until the breaker half-opens.
+    std::vector<std::string> healths;
+    for (services::ServiceInstance* replica : replicas) {
+      if (replica->crashed()) {
+        healths.push_back("down");
+      } else if (replica->suspected(now)) {
+        healths.push_back("suspect");
+      } else {
+        healths.push_back("healthy");
+      }
+    }
+    sample.replica_health[key] = std::move(healths);
+  }
+  if (detector_ != nullptr) {
+    for (const auto& [device, health] : detector_->snapshot()) {
+      sample.device_health[device] = DeviceHealthName(health);
+    }
   }
   for (sim::Device* device : orchestrator_->cluster().devices()) {
     const Duration busy = device->module_lane().busy_time();

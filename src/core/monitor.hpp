@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/failure_detector.hpp"
 #include "core/orchestrator.hpp"
 
 namespace vp::core {
@@ -26,8 +27,14 @@ struct MonitorSample {
   std::map<std::string, int> service_backlog;
   /// "device/service" → replica count.
   std::map<std::string, int> service_replicas;
+  /// "device/service" → per-replica health ("healthy" / "suspect" /
+  /// "down"), from the circuit breaker's view of each replica.
+  std::map<std::string, std::vector<std::string>> replica_health;
   /// Device → module-lane utilization over the last interval [0,1].
   std::map<std::string, double> device_utilization;
+  /// Device → liveness as the failure detector sees it ("healthy" /
+  /// "suspect" / "down"). Empty when no detector is watched.
+  std::map<std::string, std::string> device_health;
   uint64_t network_bytes = 0;
 
   json::Value ToJson() const;
@@ -40,6 +47,12 @@ class PipelineMonitor {
 
   /// Include a (device, service) group in every sample.
   void WatchService(const std::string& device, const std::string& service);
+
+  /// Include the failure detector's per-device liveness in every
+  /// sample. The detector must outlive the monitor's sampling.
+  void WatchDetector(const FailureDetector* detector) {
+    detector_ = detector;
+  }
 
   /// Publish each sample as a "telemetry" message on this fabric topic
   /// from this device (optional).
@@ -61,6 +74,7 @@ class PipelineMonitor {
   Duration interval_;
   bool running_ = false;
   std::vector<std::pair<std::string, std::string>> watched_services_;
+  const FailureDetector* detector_ = nullptr;
   std::string publish_device_;
   std::string publish_topic_;
   std::map<std::string, uint64_t> last_completed_;

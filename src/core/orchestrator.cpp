@@ -237,6 +237,7 @@ Result<PipelineDeployment*> Orchestrator::Deploy(PipelineSpec spec,
   auto deployment = std::make_unique<PipelineDeployment>();
   deployment->spec_ = std::move(spec);
   deployment->plan_ = std::move(*plan);
+  deployment->placement_ = args.placement;  // re-planned on device failure
   deployment->metrics_.set_trace_retention(options_.trace_retention);
   const PipelineSpec& pspec = deployment->spec_;
   const DeploymentPlan& pplan = deployment->plan_;
@@ -348,6 +349,43 @@ void Orchestrator::StartAll() {
 void Orchestrator::RunFor(Duration duration) {
   cluster_->simulator().RunUntil(cluster_->Now() + duration);
   SyncReplicaDowntime();
+  ReclaimDrained();
+}
+
+void Orchestrator::ReclaimDrained() {
+  const Duration window = options_.retired_drain_window;
+  if (!(window > Duration::Zero())) return;
+  const TimePoint now = cluster_->Now();
+  // A runtime is drained once it is idle and the window has elapsed
+  // past both its retirement and its drain watermark (the latest time
+  // any in-flight sim event — lane completion, set_timer() — may still
+  // dereference it).
+  auto drained = [&](const ModuleRuntime& rt, TimePoint since) {
+    return !rt.busy() && now >= since + window &&
+           now >= rt.drain_deadline() + window;
+  };
+  for (const auto& pipeline : pipelines_) {
+    auto& retired = pipeline->retired_modules_;
+    retired.erase(
+        std::remove_if(retired.begin(), retired.end(),
+                       [&](const PipelineDeployment::RetiredModule& r) {
+                         return drained(*r.runtime, r.retired_at);
+                       }),
+        retired.end());
+  }
+  undeployed_.erase(
+      std::remove_if(undeployed_.begin(), undeployed_.end(),
+                     [&](const Undeployed& u) {
+                       if (now < u.at + window) return false;
+                       for (const auto& m : u.pipeline->modules_) {
+                         if (!drained(*m, u.at)) return false;
+                       }
+                       for (const auto& r : u.pipeline->retired_modules_) {
+                         if (!drained(*r.runtime, r.retired_at)) return false;
+                       }
+                       return true;
+                     }),
+      undeployed_.end());
 }
 
 void Orchestrator::SyncReplicaDowntime() {
@@ -610,7 +648,8 @@ Status Orchestrator::MigrateModule(PipelineDeployment& pipeline,
   // be executing on it) and route the module name to the new one.
   for (auto& owned : pipeline.modules_) {
     if (owned.get() == old_runtime) {
-      pipeline.retired_modules_.push_back(std::move(owned));
+      pipeline.retired_modules_.push_back(
+          {std::move(owned), cluster_->Now()});
       owned = std::move(runtime);
       break;
     }
@@ -639,7 +678,7 @@ Status Orchestrator::Undeploy(PipelineDeployment* pipeline) {
   }
   VP_INFO("orchestrator") << "undeployed pipeline '"
                           << pipeline->spec().name << "'";
-  undeployed_.push_back(std::move(*it));
+  undeployed_.push_back({std::move(*it), cluster_->Now()});
   pipelines_.erase(it);
   return Status::Ok();
 }
@@ -684,6 +723,259 @@ void Orchestrator::RegisterReplicasForFaults(sim::FaultInjector& injector) {
     };
     injector.RegisterReplica(label, std::move(hooks));
   }
+}
+
+void Orchestrator::RegisterDevicesForFaults(sim::FaultInjector& injector) {
+  for (sim::Device* device : cluster_->devices()) {
+    const std::string name = device->name();
+    sim::DeviceHooks hooks;
+    hooks.crash = [this, name] { HandleDeviceCrash(name); };
+    hooks.reboot = [this, name] { HandleDeviceReboot(name); };
+    injector.RegisterDevice(name, std::move(hooks));
+  }
+}
+
+void Orchestrator::HandleDeviceCrash(const std::string& device) {
+  sim::Device* dev = cluster_->FindDevice(device);
+  if (dev == nullptr || !dev->up()) return;
+  dev->Crash();
+  // Everything in the device's RAM dies with it. The injector fires
+  // per-replica crash hooks right after this (idempotent with the
+  // retirement below — ServiceInstance::Crash is a no-op on a corpse).
+  if (auto it = stores_.find(device); it != stores_.end()) {
+    it->second->Clear();
+  }
+  const size_t replicas = registry_->RetireDevice(device, cluster_->Now());
+  const size_t endpoints = fabric_->UnbindDevice(device);
+  for (auto it = gateways_.begin(); it != gateways_.end();) {
+    if (it->first.first == device) {
+      it = gateways_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  VP_WARN("orchestrator") << "device '" << device << "' lost power: "
+                          << replicas << " replicas and " << endpoints
+                          << " endpoints gone";
+}
+
+void Orchestrator::HandleDeviceReboot(const std::string& device) {
+  sim::Device* dev = cluster_->FindDevice(device);
+  if (dev == nullptr || dev->up()) return;
+  dev->Reboot();
+  // Cold and empty: replicas/modules come back only through
+  // ResumeAfterDeviceReturn (triggered by the detector's revival).
+  VP_INFO("orchestrator") << "device '" << device
+                          << "' rebooted (cold, empty)";
+}
+
+Status Orchestrator::RestoreModule(PipelineDeployment& pipeline,
+                                   const std::string& module,
+                                   const std::string& target_device,
+                                   const ModuleCheckpoint* checkpoint,
+                                   const std::string& ship_from) {
+  const ModuleSpec* spec = pipeline.spec_.FindModule(module);
+  ModuleRuntime* old_runtime = pipeline.FindModule(module);
+  if (spec == nullptr || old_runtime == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "no script module '" + module + "' in pipeline '" +
+                      pipeline.spec_.name + "'");
+  }
+  fabric_->Unbind(old_runtime->address());  // no-op if the crash got it
+
+  const net::Address new_address{target_device, AllocatePort()};
+  auto runtime = std::make_unique<ModuleRuntime>(
+      this, &pipeline, spec, target_device, new_address);
+  std::vector<std::pair<std::string, script::HostFunction>> extras;
+  if (auto it = pipeline.extra_host_functions_.find(module);
+      it != pipeline.extra_host_functions_.end()) {
+    extras = it->second;
+  }
+  VP_RETURN_IF_ERROR(runtime->Initialize(extras));
+  json::Value state = json::Value::MakeObject();
+  if (checkpoint != nullptr) {
+    VP_RETURN_IF_ERROR(runtime->context().RestoreState(checkpoint->state));
+    pipeline.metrics_.OnCheckpointRestored(
+        (cluster_->Now() - checkpoint->taken_at).millis());
+    state = checkpoint->state;
+  }
+
+  ModuleRuntime* raw = runtime.get();
+  // Ship the checkpointed state from the controller to the target; the
+  // fresh instance goes live (binds its endpoint) on arrival. With no
+  // checkpoint the transfer is just the (tiny) init message.
+  net::Message transfer("restore", state);
+  const size_t transfer_bytes = transfer.ByteSize();
+  const std::string& from = ship_from.empty() ? target_device : ship_from;
+  cluster_->network().Send(
+      from, target_device, transfer_bytes, [this, raw, new_address] {
+        Status bound = fabric_->Bind(
+            new_address, [raw](net::Message message, net::Responder) {
+              raw->OnMessage(std::move(message));
+            });
+        if (!bound.ok()) {
+          VP_ERROR("orchestrator")
+              << "restore bind failed: " << bound.ToString();
+        }
+      });
+
+  for (auto& owned : pipeline.modules_) {
+    if (owned.get() == old_runtime) {
+      pipeline.retired_modules_.push_back(
+          {std::move(owned), cluster_->Now()});
+      owned = std::move(runtime);
+      break;
+    }
+  }
+  pipeline.addresses_[module] = new_address;
+  pipeline.plan_.module_device[module] = target_device;
+  VP_INFO("orchestrator") << "restored module '" << module << "' on "
+                          << target_device
+                          << (checkpoint != nullptr ? " from checkpoint"
+                                                    : " from scratch")
+                          << " (" << transfer_bytes << " B)";
+  return Status::Ok();
+}
+
+Status Orchestrator::RecoverFromDeviceFailure(
+    const std::string& device, TimePoint failed_since,
+    const CheckpointLookup& checkpoints, const std::string& checkpoint_host) {
+  const double detection_ms = (cluster_->Now() - failed_since).millis();
+  Status worst = Status::Ok();
+  for (const auto& pipeline : pipelines_) {
+    const bool source_lost = pipeline->source_device_ == device;
+    std::vector<std::string> lost_services;
+    for (const auto& [service, host] : pipeline->plan_.service_device) {
+      if (host == device) lost_services.push_back(service);
+    }
+    // Collect names first: RestoreModule mutates modules_.
+    std::vector<std::string> lost_modules;
+    for (const auto& m : pipeline->modules_) {
+      if (m->device() == device) lost_modules.push_back(m->name());
+    }
+    if (!source_lost && lost_services.empty() && lost_modules.empty()) {
+      continue;  // this pipeline never touched the dead device
+    }
+    pipeline->metrics_.OnDeviceFailureDetected(detection_ms);
+
+    if (source_lost) {
+      // The camera IS the dead device's sensor: nothing to migrate it
+      // to. Pause; ResumeAfterDeviceReturn restarts the pipeline when
+      // (if) the device reboots.
+      if (pipeline->camera_->has_outstanding()) {
+        pipeline->metrics_.OnFrameLostToFailure();
+      }
+      pipeline->camera_->Stop();
+      pipeline->paused_by_failure_ = true;
+      VP_WARN("orchestrator")
+          << "pipeline '" << pipeline->spec_.name
+          << "' paused: source device '" << device << "' is down";
+      continue;
+    }
+
+    // Re-plan over the surviving devices. Only the lost pieces move —
+    // survivors keep their placement to minimize disruption.
+    auto fresh =
+        PlanDeployment(pipeline->spec_, *cluster_, pipeline->placement_);
+    if (!fresh.ok()) {
+      VP_ERROR("orchestrator")
+          << "recovery of '" << pipeline->spec_.name
+          << "' failed: no feasible placement without '" << device
+          << "': " << fresh.status().ToString();
+      worst = fresh.status();
+      continue;
+    }
+    for (const std::string& service : lost_services) {
+      const std::string& target = fresh->service_device.at(service);
+      Status launched =
+          EnsureServiceDeployed(target, service, fresh->IsNative(service));
+      if (!launched.ok()) {
+        worst = launched;
+        continue;
+      }
+      pipeline->plan_.service_device[service] = target;
+    }
+    pipeline->plan_.native_services = fresh->native_services;
+    for (const std::string& module : lost_modules) {
+      Status restored = RestoreModule(
+          *pipeline, module, fresh->module_device.at(module),
+          checkpoints ? checkpoints(pipeline->spec_.name, module) : nullptr,
+          checkpoint_host);
+      if (!restored.ok()) worst = restored;
+    }
+    // The in-flight frame was (with overwhelming likelihood) somewhere
+    // on the dead device's path. Write it off now instead of waiting
+    // out the watchdog; seq-tagged stale-credit discard keeps this
+    // safe even if the frame actually survived.
+    if (pipeline->camera_->has_outstanding()) {
+      pipeline->metrics_.OnFrameLostToFailure();
+      pipeline->camera_->WriteOffOutstanding();
+    }
+    pipeline->metrics_.OnRecoveryComplete(
+        (cluster_->Now() - failed_since).millis());
+    VP_INFO("orchestrator") << "pipeline '" << pipeline->spec_.name
+                            << "' recovered from loss of '" << device
+                            << "' (" << lost_services.size()
+                            << " services, " << lost_modules.size()
+                            << " modules relocated)";
+  }
+  return worst;
+}
+
+Status Orchestrator::ResumeAfterDeviceReturn(
+    const std::string& device, const CheckpointLookup& checkpoints,
+    const std::string& checkpoint_host) {
+  sim::Device* dev = cluster_->FindDevice(device);
+  if (dev == nullptr) {
+    return Status(StatusCode::kNotFound, "unknown device '" + device + "'");
+  }
+  if (!dev->up()) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "device '" + device + "' is still down");
+  }
+  Status worst = Status::Ok();
+  for (const auto& pipeline : pipelines_) {
+    if (!pipeline->paused_by_failure_ ||
+        pipeline->source_device_ != device) {
+      continue;
+    }
+    // Relaunch the plan's replicas that lived on the rebooted device.
+    for (const auto& [service, host] : pipeline->plan_.service_device) {
+      if (host != device) continue;
+      Status launched = EnsureServiceDeployed(
+          device, service, pipeline->plan_.IsNative(service));
+      if (!launched.ok()) worst = launched;
+    }
+    // Rebuild its modules (the reboot came back empty).
+    std::vector<std::string> dead_modules;
+    for (const auto& m : pipeline->modules_) {
+      if (m->device() == device) dead_modules.push_back(m->name());
+    }
+    for (const std::string& module : dead_modules) {
+      Status restored = RestoreModule(
+          *pipeline, module, device,
+          checkpoints ? checkpoints(pipeline->spec_.name, module) : nullptr,
+          checkpoint_host);
+      if (!restored.ok()) worst = restored;
+    }
+    // The camera's credit endpoint died with the device; rebind it.
+    if (!fabric_->IsBound(pipeline->camera_address_)) {
+      CameraDriver* camera = pipeline->camera_.get();
+      Status bound = fabric_->Bind(
+          pipeline->camera_address_,
+          [camera](net::Message message, net::Responder) {
+            if (message.type() == "credit") camera->OnCredit(message.seq());
+          });
+      if (!bound.ok()) worst = bound;
+    }
+    pipeline->paused_by_failure_ = false;
+    pipeline->camera_->WriteOffOutstanding();
+    pipeline->camera_->Start();
+    VP_INFO("orchestrator") << "pipeline '" << pipeline->spec_.name
+                            << "' resumed: source device '" << device
+                            << "' is back";
+  }
+  return worst;
 }
 
 }  // namespace vp::core

@@ -69,6 +69,14 @@ struct OrchestratorOptions {
   /// Per-frame traces kept live in PipelineMetrics; older traces fold
   /// into running summaries (bounded memory on long runs).
   size_t trace_retention = 8192;
+  /// How long a retired module runtime (migration/recovery leftover) or
+  /// an undeployed pipeline must sit idle past its drain watermark
+  /// before RunFor() reclaims its memory. In-flight events (including
+  /// pending set_timer() deadlines) hold the watermark forward, so the
+  /// window only needs to cover sim-event delivery slop, not script
+  /// timer horizons. <= 0 disables reclamation (everything is kept
+  /// until the orchestrator dies, the pre-PR-2 behavior).
+  Duration retired_drain_window = Duration::Seconds(30);
   uint64_t seed = 42;
 };
 
@@ -90,19 +98,36 @@ class PipelineDeployment {
   const net::Address& camera_address() const { return camera_address_; }
   const std::string& source_device() const { return source_device_; }
 
+  /// True while the pipeline is paused because its *source* device
+  /// died: the camera cannot move (it is the device's sensor), so the
+  /// pipeline waits for the device to reboot instead of recovering.
+  bool paused() const { return paused_by_failure_; }
+  /// Retired runtimes (migration/recovery leftovers) not yet reclaimed.
+  size_t retired_module_count() const { return retired_modules_.size(); }
+
  private:
   friend class Orchestrator;
   friend class ModuleRuntime;
 
+  /// A runtime replaced by migration or failure recovery. Kept alive —
+  /// in-flight events (lane completions, set_timer() callbacks)
+  /// capture the raw pointer — until `runtime->drain_deadline()` and
+  /// `retired_at` are both comfortably in the past.
+  struct RetiredModule {
+    std::unique_ptr<ModuleRuntime> runtime;
+    TimePoint retired_at;
+  };
+
   PipelineSpec spec_;
   DeploymentPlan plan_;
+  PlacementOptions placement_;  // re-run on device failure
   PipelineMetrics metrics_;
   std::map<std::string, net::Address> addresses_;
   net::Address camera_address_;
   std::string source_device_;
+  bool paused_by_failure_ = false;
   std::vector<std::unique_ptr<ModuleRuntime>> modules_;
-  /// Runtimes replaced by migration; kept alive for in-flight events.
-  std::vector<std::unique_ptr<ModuleRuntime>> retired_modules_;
+  std::vector<RetiredModule> retired_modules_;
   /// Per-module extra host functions from DeployArgs (needed again
   /// when a module migrates and gets a fresh context).
   std::map<std::string,
@@ -164,6 +189,49 @@ class Orchestrator {
   /// and the paper's fault model does not crash them.
   void RegisterReplicasForFaults(sim::FaultInjector& injector);
 
+  /// Wire every cluster device into `injector` (labels = device names)
+  /// so ScheduleDeviceCrash/Reboot drive the orchestrator's crash
+  /// bookkeeping: lane teardown, replica retirement, endpoint unbind,
+  /// frame-store wipe. Detection and recovery are NOT triggered here —
+  /// the control plane only learns of the death through missed
+  /// heartbeats (FailureDetector → SelfHealer).
+  void RegisterDevicesForFaults(sim::FaultInjector& injector);
+
+  // -- self-healing ------------------------------------------------------
+
+  /// Last checkpoint of one module's script state, as stored on the
+  /// controller device by the SelfHealer's checkpoint shipper.
+  struct ModuleCheckpoint {
+    json::Value state;
+    TimePoint taken_at;
+  };
+  /// (pipeline name, module name) → latest checkpoint or nullptr.
+  using CheckpointLookup = std::function<const ModuleCheckpoint*(
+      const std::string& pipeline, const std::string& module)>;
+
+  /// React to a *confirmed* device death (the failure detector's
+  /// suspicion window elapsed): for every pipeline touching `device`,
+  /// re-plan over the surviving devices, restore lost script modules
+  /// from their last checkpoint (shipped from `checkpoint_host`),
+  /// relaunch lost service replicas, and write off the in-flight frame
+  /// if it died with the device. A pipeline whose *source* device died
+  /// pauses instead (the camera is that device's sensor) and resumes
+  /// via ResumeAfterDeviceReturn. `failed_since` is the detector's last
+  /// heartbeat from the device — detection latency and MTTR are
+  /// measured from it (the control plane's honest clock).
+  Status RecoverFromDeviceFailure(const std::string& device,
+                                  TimePoint failed_since,
+                                  const CheckpointLookup& checkpoints,
+                                  const std::string& checkpoint_host);
+
+  /// A dead device came back (heartbeats resumed after a reboot). The
+  /// machine is cold and empty: relaunch its planned replicas, rebuild
+  /// its modules (from checkpoints where available) and un-pause any
+  /// pipeline that was waiting on its source device.
+  Status ResumeAfterDeviceReturn(const std::string& device,
+                                 const CheckpointLookup& checkpoints,
+                                 const std::string& checkpoint_host);
+
   /// Run `cost` on `lane`, blocking (in virtual time) until done.
   Status BlockOnLane(sim::ExecutionLane& lane, Duration cost);
 
@@ -179,6 +247,10 @@ class Orchestrator {
   const std::vector<std::unique_ptr<PipelineDeployment>>& pipelines() const {
     return pipelines_;
   }
+  /// Live service gateway endpoints (one per (device, service) pair).
+  size_t gateway_count() const { return gateways_.size(); }
+  /// Undeployed pipelines still held for in-flight-event drain.
+  size_t undeployed_count() const { return undeployed_.size(); }
 
   /// Launch an extra replica of an already-deployed service group
   /// (manual scale-up; the Autoscaler uses the same path).
@@ -228,6 +300,29 @@ class Orchestrator {
   /// Refresh each pipeline's replica_downtime metric from the registry.
   void SyncReplicaDowntime();
 
+  /// Physical consequences of a device crash (called from the fault
+  /// injector's device hook): mark the device down, retire its service
+  /// replicas, wipe its frame store, unbind its fabric endpoints and
+  /// drop its gateways. No recovery — that is the detector's job.
+  void HandleDeviceCrash(const std::string& device);
+  /// Physical reboot: the device is up again, cold and empty.
+  void HandleDeviceReboot(const std::string& device);
+
+  /// Replace `module`'s (dead or retired) runtime with a fresh one on
+  /// `target_device`, restoring `checkpoint` if present and shipping
+  /// the state bytes from `ship_from` (the controller). The new
+  /// endpoint binds when the state transfer arrives.
+  Status RestoreModule(PipelineDeployment& pipeline,
+                       const std::string& module,
+                       const std::string& target_device,
+                       const ModuleCheckpoint* checkpoint,
+                       const std::string& ship_from);
+
+  /// Reclaim retired runtimes and undeployed pipelines whose drain
+  /// watermark is `retired_drain_window` in the past (satellite:
+  /// bounded growth for long-running orchestrators).
+  void ReclaimDrained();
+
   Status EnsureServiceDeployed(const std::string& device,
                                const std::string& service, bool native);
   net::Address ServiceGateway(const std::string& device,
@@ -253,7 +348,13 @@ class Orchestrator {
   std::map<std::string, std::unique_ptr<media::FrameStore>> stores_;
   std::map<std::pair<std::string, std::string>, net::Address> gateways_;
   std::vector<std::unique_ptr<PipelineDeployment>> pipelines_;
-  std::vector<std::unique_ptr<PipelineDeployment>> undeployed_;
+  /// Torn-down pipelines kept for in-flight events, reclaimed once
+  /// every runtime has drained past the watermark (see ReclaimDrained).
+  struct Undeployed {
+    std::unique_ptr<PipelineDeployment> pipeline;
+    TimePoint at;
+  };
+  std::vector<Undeployed> undeployed_;
   uint16_t next_port_ = 20000;
   Rng jitter_rng_;
 };

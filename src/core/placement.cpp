@@ -53,11 +53,13 @@ std::string DeploymentPlan::ToString() const {
 
 namespace {
 
-/// The fastest container-capable device (deterministic tie-break by
-/// insertion order).
+/// The fastest *live* container-capable device (deterministic
+/// tie-break by insertion order). Down devices never receive new
+/// placements — this is what lets recovery re-plan around a crash.
 sim::Device* BestContainerDevice(sim::Cluster& cluster) {
   sim::Device* best = nullptr;
   for (sim::Device* device : cluster.container_devices()) {
+    if (!device->up()) continue;
     if (best == nullptr || device->spec().cpu_speed > best->spec().cpu_speed) {
       best = device;
     }
@@ -68,6 +70,7 @@ sim::Device* BestContainerDevice(sim::Cluster& cluster) {
 sim::Device* DeviceWithCapability(sim::Cluster& cluster,
                                   const std::string& capability) {
   for (sim::Device* device : cluster.devices()) {
+    if (!device->up()) continue;
     if (device->spec().HasCapability(capability)) return device;
   }
   return nullptr;
@@ -85,8 +88,13 @@ Result<DeploymentPlan> PlanDeployment(const PipelineSpec& spec,
   const ModuleSpec* source = spec.FindModule(spec.source.module);
   std::string source_device;
   if (!source->device.empty()) {
-    if (cluster.FindDevice(source->device) == nullptr) {
+    sim::Device* pinned = cluster.FindDevice(source->device);
+    if (pinned == nullptr) {
       return NotFound("pinned device '" + source->device + "' not in cluster");
+    }
+    if (!pinned->up()) {
+      return FailedPrecondition("pinned device '" + source->device +
+                                "' is down");
     }
     source_device = source->device;
   } else if (sim::Device* camera = DeviceWithCapability(cluster, "camera")) {
@@ -104,8 +112,14 @@ Result<DeploymentPlan> PlanDeployment(const PipelineSpec& spec,
       return FailedPrecondition("no container-capable device in the cluster");
     }
     server = best->name();
-  } else if (cluster.FindDevice(server) == nullptr) {
-    return NotFound("server device '" + server + "' not in cluster");
+  } else {
+    sim::Device* pinned = cluster.FindDevice(server);
+    if (pinned == nullptr) {
+      return NotFound("server device '" + server + "' not in cluster");
+    }
+    if (!pinned->up()) {
+      return FailedPrecondition("server device '" + server + "' is down");
+    }
   }
 
   // Collect every service any module calls.
@@ -181,6 +195,7 @@ Result<DeploymentPlan> PlanDeployment(const PipelineSpec& spec,
       sim::Device* best = nullptr;
       double best_cost = 0;
       for (sim::Device* candidate : cluster.container_devices()) {
+        if (!candidate->up()) continue;
         double cost_ms = compute_hint / candidate->spec().cpu_speed;
         if (candidate->name() != previous_device) {
           cost_ms += cluster.network()
@@ -207,8 +222,12 @@ Result<DeploymentPlan> PlanDeployment(const PipelineSpec& spec,
   for (const ModuleSpec& m : spec.modules) {
     if (m.name == source->name) continue;
     if (!m.device.empty()) {
-      if (cluster.FindDevice(m.device) == nullptr) {
+      sim::Device* pinned = cluster.FindDevice(m.device);
+      if (pinned == nullptr) {
         return NotFound("pinned device '" + m.device + "' not in cluster");
+      }
+      if (!pinned->up()) {
+        return FailedPrecondition("pinned device '" + m.device + "' is down");
       }
       plan.module_device[m.name] = m.device;
       continue;

@@ -1,0 +1,146 @@
+#include "core/self_healing.hpp"
+
+#include "common/log.hpp"
+
+namespace vp::core {
+
+SelfHealer::SelfHealer(Orchestrator* orchestrator, SelfHealingOptions options)
+    : orchestrator_(orchestrator), options_(std::move(options)) {}
+
+Status SelfHealer::Start() {
+  if (running_) return Status::Ok();
+  controller_ = options_.detector.controller_device;
+  if (controller_.empty()) {
+    // Default controller: the fastest container-capable device that is
+    // currently up (in the home testbed, the desktop).
+    double best = -1;
+    for (sim::Device* device : orchestrator_->cluster().container_devices()) {
+      if (!device->up()) continue;
+      if (device->spec().cpu_speed > best) {
+        best = device->spec().cpu_speed;
+        controller_ = device->name();
+      }
+    }
+  }
+  if (controller_.empty()) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "no live container-capable device to host the controller");
+  }
+  FailureDetectorOptions detector_options = options_.detector;
+  detector_options.controller_device = controller_;
+  detector_ = std::make_unique<FailureDetector>(
+      &orchestrator_->cluster(), &orchestrator_->fabric(), detector_options);
+  detector_->set_on_device_down(
+      [this](const std::string& device, TimePoint last_heard) {
+        OnDeviceDown(device, last_heard);
+      });
+  detector_->set_on_device_up(
+      [this](const std::string& device) { OnDeviceUp(device); });
+  VP_RETURN_IF_ERROR(detector_->Start());
+  running_ = true;
+  VP_INFO("self-healing") << "controller on '" << controller_
+                          << "', checkpoint every "
+                          << options_.checkpoint_interval.millis() << " ms";
+  orchestrator_->cluster().simulator().After(options_.checkpoint_interval,
+                                             [this] { CheckpointTick(); });
+  return Status::Ok();
+}
+
+void SelfHealer::Stop() {
+  if (!running_) return;
+  running_ = false;
+  if (detector_) detector_->Stop();
+}
+
+void SelfHealer::CheckpointTick() {
+  if (!running_) return;
+  const TimePoint now = orchestrator_->cluster().Now();
+  for (const auto& pipeline : orchestrator_->pipelines()) {
+    if (pipeline->paused()) continue;  // nothing new while paused
+    for (const ModuleSpec& m : pipeline->spec().modules) {
+      if (m.type != ModuleType::kScript) continue;
+      ModuleRuntime* runtime = pipeline->FindModule(m.name);
+      if (runtime == nullptr) continue;
+      sim::Device* host =
+          orchestrator_->cluster().FindDevice(runtime->device());
+      if (host == nullptr || !host->up()) continue;  // nobody to snapshot
+      json::Value state = runtime->context().SnapshotState();
+      net::Message message("checkpoint", state);
+      const size_t bytes = message.ByteSize();
+      ++stats_.checkpoints_shipped;
+      const std::string pipeline_name = pipeline->spec().name;
+      const std::string module_name = m.name;
+      // Capture the state by value: the checkpoint must not reference
+      // the runtime (which may be retired and reclaimed mid-flight).
+      // If the shipping device dies before delivery, the network's
+      // liveness gate drops the transfer — the store keeps the older
+      // checkpoint, exactly like a real half-written upload.
+      orchestrator_->cluster().network().Send(
+          runtime->device(), controller_, bytes,
+          [this, pipeline_name, module_name, state, now] {
+            checkpoints_[{pipeline_name, module_name}] =
+                Orchestrator::ModuleCheckpoint{state, now};
+            ++stats_.checkpoints_stored;
+          });
+    }
+  }
+  orchestrator_->cluster().simulator().After(options_.checkpoint_interval,
+                                             [this] { CheckpointTick(); });
+}
+
+Orchestrator::CheckpointLookup SelfHealer::MakeLookup() const {
+  return [this](const std::string& pipeline, const std::string& module)
+             -> const Orchestrator::ModuleCheckpoint* {
+    auto it = checkpoints_.find({pipeline, module});
+    return it == checkpoints_.end() ? nullptr : &it->second;
+  };
+}
+
+const Orchestrator::ModuleCheckpoint* SelfHealer::checkpoint(
+    const std::string& pipeline, const std::string& module) const {
+  auto it = checkpoints_.find({pipeline, module});
+  return it == checkpoints_.end() ? nullptr : &it->second;
+}
+
+void SelfHealer::OnDeviceDown(const std::string& device,
+                              TimePoint last_heard) {
+  if (device == controller_) {
+    // Should not happen (the check loop pauses with the controller),
+    // but guard anyway: with the controller gone there is no store to
+    // restore from and nobody to run recovery.
+    VP_WARN("self-healing")
+        << "controller '" << controller_
+        << "' is down — no recovery possible (single point of "
+           "coordination, see docs/robustness.md)";
+    return;
+  }
+  if (detector_->health(controller_) == DeviceHealth::kDown) return;
+  if (!options_.auto_recover) {
+    VP_WARN("self-healing") << "auto-recover disabled; ignoring loss of '"
+                            << device << "'";
+    return;
+  }
+  Status recovered = orchestrator_->RecoverFromDeviceFailure(
+      device, last_heard, MakeLookup(), controller_);
+  if (recovered.ok()) {
+    ++stats_.recoveries;
+  } else {
+    ++stats_.failed_recoveries;
+    VP_ERROR("self-healing") << "recovery from loss of '" << device
+                             << "' failed: " << recovered.ToString();
+  }
+}
+
+void SelfHealer::OnDeviceUp(const std::string& device) {
+  if (!options_.auto_recover) return;
+  Status resumed = orchestrator_->ResumeAfterDeviceReturn(
+      device, MakeLookup(), controller_);
+  if (resumed.ok()) {
+    ++stats_.resumes;
+  } else {
+    VP_ERROR("self-healing") << "resume after return of '" << device
+                             << "' failed: " << resumed.ToString();
+  }
+}
+
+}  // namespace vp::core

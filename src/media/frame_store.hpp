@@ -42,6 +42,15 @@ class FrameStore {
   /// memory bounded by the live frames.
   bool Release(FrameId id);
 
+  /// Drop everything — the store's RAM died with its device. Resident
+  /// frames count as evictions; ids are NOT reused (next_id_ keeps
+  /// advancing), so stale references fail with kNotFound, never alias.
+  void Clear() {
+    evictions_ += frames_.size();
+    frames_.clear();
+    order_.clear();
+  }
+
   size_t size() const { return frames_.size(); }
   size_t capacity() const { return capacity_; }
   /// Length of the eviction-order bookkeeping (live + not-yet-reaped

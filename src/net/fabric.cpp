@@ -23,6 +23,28 @@ Status Fabric::Bind(const Address& address, MessageHandler handler) {
 
 void Fabric::Unbind(const Address& address) { bindings_.erase(address); }
 
+size_t Fabric::UnbindDevice(const std::string& device) {
+  size_t removed = 0;
+  for (auto it = bindings_.begin(); it != bindings_.end();) {
+    if (it->first.device == device) {
+      it = bindings_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [topic, subscribers] : topics_) {
+    for (auto it = subscribers.begin(); it != subscribers.end();) {
+      if (it->device == device) {
+        it = subscribers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return removed;
+}
+
 Status Fabric::Push(const std::string& from_device, const Address& to,
                     Message m) {
   VP_RETURN_IF_ERROR(CheckDevice(from_device));

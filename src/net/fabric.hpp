@@ -49,6 +49,10 @@ class Fabric {
   /// Remove a binding; in-flight messages to it are dropped on arrival.
   void Unbind(const Address& address);
 
+  /// Remove every binding and subscription on `device` — the endpoint
+  /// teardown of a device crash. Returns how many bindings went away.
+  size_t UnbindDevice(const std::string& device);
+
   bool IsBound(const Address& address) const {
     return bindings_.count(address) != 0;
   }

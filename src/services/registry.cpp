@@ -81,6 +81,24 @@ size_t ServiceRegistry::total_instances() const {
   return total;
 }
 
+size_t ServiceRegistry::RetireDevice(const std::string& device,
+                                     TimePoint now) {
+  size_t retired = 0;
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    if (it->first.first != device) {
+      ++it;
+      continue;
+    }
+    for (auto& instance : it->second) {
+      instance->Crash(now);  // no-op if already crashed
+      graveyard_.push_back(std::move(instance));
+      ++retired;
+    }
+    it = groups_.erase(it);
+  }
+  return retired;
+}
+
 uint64_t ServiceRegistry::RequestCount(const std::string& device,
                                        const std::string& service) {
   uint64_t total = 0;

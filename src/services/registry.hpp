@@ -52,10 +52,20 @@ class ServiceRegistry {
   uint64_t RequestCount(const std::string& device,
                         const std::string& service);
 
+  /// Device death: crash every replica on `device` and move them out of
+  /// their groups so lookups stop finding them. The corpses are kept
+  /// alive in a graveyard — in-flight gateway watchdog lambdas hold raw
+  /// ServiceInstance pointers — until registry destruction. Returns the
+  /// number of replicas retired.
+  size_t RetireDevice(const std::string& device, TimePoint now);
+
+  size_t retired_instances() const { return graveyard_.size(); }
+
  private:
   using Key = std::pair<std::string, std::string>;  // (device, service)
   sim::Cluster* cluster_;
   std::map<Key, std::vector<std::unique_ptr<ServiceInstance>>> groups_;
+  std::vector<std::unique_ptr<ServiceInstance>> graveyard_;
 };
 
 }  // namespace vp::services

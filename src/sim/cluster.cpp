@@ -4,6 +4,12 @@ namespace vp::sim {
 
 Cluster::Cluster(uint64_t seed) {
   network_ = std::make_unique<Network>(&sim_, seed);
+  // The network's notion of liveness is the device's power state:
+  // unknown names (e.g. test-only endpoints) count as up.
+  network_->set_liveness_check([this](const std::string& name) {
+    const Device* device = FindDevice(name);
+    return device == nullptr || device->up();
+  });
 }
 
 Result<Device*> Cluster::AddDevice(DeviceSpec spec) {
@@ -75,6 +81,19 @@ std::unique_ptr<Cluster> MakeHomeTestbed(uint64_t seed) {
   wifi.bandwidth_bps = 80e6;
   wifi.jitter = Duration::Millis(0.8);
   cluster->network().set_default_link(wifi);
+
+  return cluster;
+}
+
+std::unique_ptr<Cluster> MakeExtendedTestbed(uint64_t seed) {
+  auto cluster = MakeHomeTestbed(seed);
+
+  DeviceSpec nuc;
+  nuc.name = "nuc";
+  nuc.cpu_speed = 0.8;
+  nuc.supports_containers = true;
+  nuc.container_cores = 4;
+  (void)cluster->AddDevice(nuc);
 
   return cluster;
 }

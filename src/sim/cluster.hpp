@@ -50,4 +50,11 @@ class Cluster {
 /// All pairs connected by home Wi-Fi (3.5 ms, 80 Mbit/s, 0.8 ms jitter).
 std::unique_ptr<Cluster> MakeHomeTestbed(uint64_t seed = 42);
 
+/// The §5.1 testbed plus a spare mini-PC — "nuc": speed 0.8,
+/// containers (4 cores), no native capabilities. Used by the
+/// failure-recovery scenarios, which need somewhere for the desktop's
+/// services to land when the desktop dies (the TV's 2 cores are not
+/// enough for the fitness pipeline's 3 containerized services).
+std::unique_ptr<Cluster> MakeExtendedTestbed(uint64_t seed = 42);
+
 }  // namespace vp::sim

@@ -43,10 +43,27 @@ ExecutionLane* Device::AllocateContainerLane(const std::string& label) {
   return container_lanes_.back().get();
 }
 
+void Device::Crash() {
+  if (!up_) return;
+  up_ = false;
+  ++crash_count_;
+}
+
+void Device::Reboot() {
+  if (up_) return;
+  up_ = true;
+  // Capacity slots return; the old lane objects stay alive because
+  // in-flight sim events may still reference them (same contract as
+  // ReleaseContainerLane).
+  active_lanes_ = 0;
+}
+
 void Device::ReleaseContainerLane(ExecutionLane* lane) {
   for (const auto& owned : container_lanes_) {
     if (owned.get() == lane) {
-      --active_lanes_;
+      // A lane allocated before a crash may be released after the
+      // reboot already reset capacity; don't double-credit the slot.
+      if (active_lanes_ > 0) --active_lanes_;
       return;
     }
   }

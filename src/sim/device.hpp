@@ -97,12 +97,31 @@ class Device {
 
   int allocated_container_lanes() const { return active_lanes_; }
 
+  /// Whether the device is powered and reachable. A crashed device
+  /// drops off the network (the Cluster wires Network's liveness check
+  /// to this flag) and loses all processes; lanes keep draining already
+  /// admitted work, which higher layers discard via their own guards.
+  bool up() const { return up_; }
+
+  /// Power loss: the device disappears from the network. Everything in
+  /// RAM (frame stores, replica processes, module state) is gone — the
+  /// owning layers are told separately via FaultInjector device hooks.
+  void Crash();
+
+  /// Power back on, cold and empty: container capacity is reset, but
+  /// nothing that ran before the crash is resurrected.
+  void Reboot();
+
+  uint64_t crash_count() const { return crash_count_; }
+
  private:
   Simulator* sim_;
   DeviceSpec spec_;
   std::unique_ptr<ExecutionLane> module_lane_;
   std::vector<std::unique_ptr<ExecutionLane>> container_lanes_;
   int active_lanes_ = 0;
+  bool up_ = true;
+  uint64_t crash_count_ = 0;
 };
 
 }  // namespace vp::sim

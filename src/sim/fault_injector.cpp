@@ -16,10 +16,27 @@ void FaultInjector::RegisterReplica(const std::string& label,
   }
 }
 
+void FaultInjector::RegisterDevice(const std::string& name,
+                                   DeviceHooks hooks) {
+  auto it = devices_.find(name);
+  if (it == devices_.end()) {
+    devices_[name] = DeviceState{std::move(hooks), false};
+    device_order_.push_back(name);
+  } else {
+    it->second.hooks = std::move(hooks);
+  }
+}
+
 FaultInjector::ReplicaState* FaultInjector::FindReplica(
     const std::string& label) {
   auto it = replicas_.find(label);
   return it == replicas_.end() ? nullptr : &it->second;
+}
+
+FaultInjector::DeviceState* FaultInjector::FindDevice(
+    const std::string& name) {
+  auto it = devices_.find(name);
+  return it == devices_.end() ? nullptr : &it->second;
 }
 
 void FaultInjector::CrashNow(const std::string& label, Duration downtime) {
@@ -54,6 +71,79 @@ void FaultInjector::WedgeNow(const std::string& label, Duration duration) {
       if (r->hooks.set_wedged) r->hooks.set_wedged(false);
     });
   }
+}
+
+void FaultInjector::CrashDevice(const std::string& name, Duration downtime) {
+  DeviceState* device = FindDevice(name);
+  if (device == nullptr || device->down) return;
+  device->down = true;
+  ++stats_.device_crashes;
+  // Power first: the hook owner takes the node off the network and
+  // tears down what it knows lived there…
+  if (device->hooks.crash) device->hooks.crash();
+  // …then mark every registered replica on the node as down so the
+  // random generator stops rolling for them. Their crash hooks fire
+  // (idempotently, if the device hook already killed them) and no
+  // restart is scheduled: the device reboots empty.
+  const std::string prefix = name + "/";
+  for (const std::string& label : order_) {
+    if (label.compare(0, prefix.size(), prefix) != 0) continue;
+    ReplicaState* replica = FindReplica(label);
+    if (replica == nullptr || replica->down) continue;
+    replica->down = true;
+    ++stats_.crashes;
+    if (replica->hooks.crash) replica->hooks.crash();
+  }
+  if (downtime > Duration::Zero()) {
+    sim_->After(downtime, [this, name] { RebootDevice(name); });
+  }
+}
+
+void FaultInjector::RebootDevice(const std::string& name) {
+  DeviceState* device = FindDevice(name);
+  if (device == nullptr || !device->down) return;
+  device->down = false;
+  ++stats_.device_reboots;
+  if (device->hooks.reboot) device->hooks.reboot();
+}
+
+Status FaultInjector::ScheduleDeviceCrash(const std::string& name,
+                                          TimePoint at, Duration downtime) {
+  if (FindDevice(name) == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "no registered device '" + name + "'");
+  }
+  sim_->At(at, [this, name, downtime] { CrashDevice(name, downtime); });
+  return Status::Ok();
+}
+
+Status FaultInjector::ScheduleDeviceReboot(const std::string& name,
+                                           TimePoint at) {
+  if (FindDevice(name) == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "no registered device '" + name + "'");
+  }
+  sim_->At(at, [this, name] { RebootDevice(name); });
+  return Status::Ok();
+}
+
+Status FaultInjector::CrashDeviceNow(const std::string& name,
+                                     Duration downtime) {
+  if (FindDevice(name) == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "no registered device '" + name + "'");
+  }
+  CrashDevice(name, downtime);
+  return Status::Ok();
+}
+
+Status FaultInjector::RebootDeviceNow(const std::string& name) {
+  if (FindDevice(name) == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "no registered device '" + name + "'");
+  }
+  RebootDevice(name);
+  return Status::Ok();
 }
 
 Status FaultInjector::ScheduleCrash(const std::string& label, TimePoint at,

@@ -39,6 +39,15 @@ struct ReplicaHooks {
   std::function<void(bool)> set_wedged;
 };
 
+/// Opaque handle to one whole device. A device crash is power loss:
+/// the hook owner (the orchestrator) takes the node off the network,
+/// kills every process on it and discards its frame-store RAM; reboot
+/// brings the node back cold and empty.
+struct DeviceHooks {
+  std::function<void()> crash;
+  std::function<void()> reboot;
+};
+
 /// Knobs for probabilistic fault generation. All draws come from one
 /// seeded Rng in a fixed order, so a given seed always produces the
 /// same fault timeline.
@@ -61,6 +70,8 @@ struct FaultInjectorStats {
   uint64_t unwedges = 0;
   uint64_t link_faults = 0;
   uint64_t link_restores = 0;
+  uint64_t device_crashes = 0;
+  uint64_t device_reboots = 0;
 };
 
 class FaultInjector {
@@ -73,6 +84,14 @@ class FaultInjector {
 
   size_t replica_count() const { return order_.size(); }
   std::vector<std::string> replica_labels() const { return order_; }
+
+  /// Register a whole device under its name. Replica labels are
+  /// expected to be prefixed "device/…": a device crash also marks
+  /// every matching registered replica as down (their crash hooks
+  /// fire; no automatic restart — the device reboots empty).
+  void RegisterDevice(const std::string& name, DeviceHooks hooks);
+
+  size_t device_count() const { return device_order_.size(); }
 
   // -- scheduled (deterministic) faults --------------------------------
   /// Crash `label` at absolute time `at`; restart it `downtime` later.
@@ -91,6 +110,18 @@ class FaultInjector {
   void ScheduleLinkFault(const std::string& a, const std::string& b,
                          TimePoint at, Duration duration, LinkSpec degraded);
 
+  /// Power-cycle faults: crash device `name` at `at` and reboot it
+  /// `downtime` later (never, when downtime is zero/negative). The
+  /// rebooted device comes back cold and empty — nothing that ran on
+  /// it is resurrected by the injector.
+  Status ScheduleDeviceCrash(const std::string& name, TimePoint at,
+                             Duration downtime);
+  Status ScheduleDeviceReboot(const std::string& name, TimePoint at);
+
+  /// Immediate variants (same semantics, at Now()).
+  Status CrashDeviceNow(const std::string& name, Duration downtime);
+  Status RebootDeviceNow(const std::string& name);
+
   // -- probabilistic faults ---------------------------------------------
   /// Start rolling for crashes/wedges every options.interval across all
   /// registered replicas. Replicas currently down or wedged are skipped.
@@ -108,10 +139,17 @@ class FaultInjector {
     bool down = false;
     bool wedged = false;
   };
+  struct DeviceState {
+    DeviceHooks hooks;
+    bool down = false;
+  };
 
   ReplicaState* FindReplica(const std::string& label);
+  DeviceState* FindDevice(const std::string& name);
   void CrashNow(const std::string& label, Duration downtime);
   void WedgeNow(const std::string& label, Duration duration);
+  void CrashDevice(const std::string& name, Duration downtime);
+  void RebootDevice(const std::string& name);
   void RandomTick();
 
   Simulator* sim_;
@@ -119,6 +157,8 @@ class FaultInjector {
   Rng rng_;
   std::map<std::string, ReplicaState> replicas_;
   std::vector<std::string> order_;  // registration order (determinism)
+  std::map<std::string, DeviceState> devices_;
+  std::vector<std::string> device_order_;
   RandomFaultOptions random_options_;
   bool random_running_ = false;
   FaultInjectorStats stats_;

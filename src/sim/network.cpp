@@ -36,12 +36,27 @@ Network::LinkState& Network::StateFor(const std::string& from,
 
 TimePoint Network::Send(const std::string& from, const std::string& to,
                         size_t bytes, Task on_delivery) {
+  // A dead device neither transmits nor receives: drop at send time…
+  if (!DeviceUp(from) || !DeviceUp(to)) {
+    ++stats_.device_drops;
+    return sim_->Now();
+  }
+  // …and re-check the receiver at delivery time, so a message in
+  // flight when its destination dies is lost with it.
+  Task deliver = [this, to, task = std::move(on_delivery)]() mutable {
+    if (!DeviceUp(to)) {
+      ++stats_.device_drops;
+      return;
+    }
+    if (task) task();
+  };
+
   ++stats_.messages;
   stats_.bytes += bytes;
 
   if (from == to) {
     const TimePoint at = sim_->Now() + loopback_delay_;
-    sim_->At(at, std::move(on_delivery));
+    sim_->At(at, std::move(deliver));
     return at;
   }
 
@@ -75,7 +90,7 @@ TimePoint Network::Send(const std::string& from, const std::string& to,
   }
 
   const TimePoint at = tx_end + lat;
-  sim_->At(at, std::move(on_delivery));
+  sim_->At(at, std::move(deliver));
   return at;
 }
 

@@ -35,6 +35,9 @@ struct NetworkStats {
   uint64_t messages = 0;
   uint64_t bytes = 0;
   uint64_t retransmits = 0;
+  /// Messages dropped because the sender or receiver device was down
+  /// (at send time or — for the receiver — at delivery time).
+  uint64_t device_drops = 0;
 };
 
 class Network {
@@ -61,6 +64,15 @@ class Network {
   void set_loopback_delay(Duration d) { loopback_delay_ = d; }
   Duration loopback_delay() const { return loopback_delay_; }
 
+  /// Liveness oracle: returns whether the named device is up. When set
+  /// (the Cluster wires it to Device::up()), messages from or to a down
+  /// device are silently dropped — a dead radio neither transmits nor
+  /// receives. Without a check every device counts as up.
+  using LivenessCheck = std::function<bool(const std::string&)>;
+  void set_liveness_check(LivenessCheck check) {
+    liveness_check_ = std::move(check);
+  }
+
   /// Deliver `bytes` from device `from` to device `to`; `on_delivery`
   /// fires at the receiver when the last byte arrives. Returns the
   /// delivery time.
@@ -84,9 +96,13 @@ class Network {
   const LinkSpec& SpecFor(const std::string& from,
                           const std::string& to) const;
   LinkState& StateFor(const std::string& from, const std::string& to);
+  bool DeviceUp(const std::string& name) const {
+    return !liveness_check_ || liveness_check_(name);
+  }
 
   Simulator* sim_;
   Rng rng_;
+  LivenessCheck liveness_check_;
   LinkSpec default_link_;
   Duration loopback_delay_ = Duration::Micros(150);
   std::map<std::pair<std::string, std::string>, LinkState> links_;

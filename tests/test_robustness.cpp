@@ -1,6 +1,11 @@
 // Robustness: failure injection and randomized (fuzz-ish) round-trip
 // properties across the wire formats.
+//
+// Seed-sweepable: set VP_TEST_SEED to vary the cluster / injector
+// seeds (the CI seed-sweep job runs 1..5); default 42.
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 #include "apps/fitness.hpp"
 #include "core/orchestrator.hpp"
@@ -16,10 +21,15 @@
 namespace vp {
 namespace {
 
+uint64_t TestSeed() {
+  const char* env = std::getenv("VP_TEST_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 42;
+}
+
 // --------------------------------------------------- failure injection
 
 TEST(FailureInjection, PipelineSurvivesLossyWifi) {
-  auto cluster = sim::MakeHomeTestbed();
+  auto cluster = sim::MakeHomeTestbed(TestSeed());
   sim::LinkSpec lossy;
   lossy.latency = Duration::Millis(3.5);
   lossy.bandwidth_bps = 80e6;
@@ -61,7 +71,7 @@ TEST(FailureInjection, SlowServiceTriggersWatchdogNotWedge) {
   // A pipeline whose only module busy-loops longer than the camera's
   // credit timeout: the watchdog refills credits and frames keep
   // flowing (late), rather than the pipeline stopping after frame 1.
-  auto cluster = sim::MakeHomeTestbed();
+  auto cluster = sim::MakeHomeTestbed(TestSeed());
   core::OrchestratorOptions options;
   options.camera_options.credit_timeout = Duration::Millis(400);
   core::Orchestrator orchestrator(cluster.get(), options);
@@ -110,7 +120,7 @@ struct FaultRig {
 FaultRig MakeRig(Result<core::PipelineSpec> spec,
                  core::OrchestratorOptions options) {
   FaultRig rig;
-  rig.cluster = sim::MakeHomeTestbed();
+  rig.cluster = sim::MakeHomeTestbed(TestSeed());
   rig.orchestrator =
       std::make_unique<core::Orchestrator>(rig.cluster.get(), options);
   EXPECT_TRUE(spec.ok()) << spec.status().ToString();
@@ -134,7 +144,7 @@ std::string LabelOf(const sim::FaultInjector& injector,
 TEST(FaultTolerance, ReplicaCrashMidPipelineRecovers) {
   auto rig = MakeRig(apps::fitness::Spec(), FastRecoveryOptions());
   sim::FaultInjector injector(&rig.cluster->simulator(),
-                              &rig.cluster->network(), 99);
+                              &rig.cluster->network(), TestSeed() + 99);
   rig.orchestrator->RegisterReplicasForFaults(injector);
   const std::string label = LabelOf(injector, "pose_detector");
   ASSERT_FALSE(label.empty());
@@ -163,7 +173,7 @@ TEST(FaultTolerance, ReplicaCrashMidPipelineRecovers) {
 TEST(FaultTolerance, WedgedReplicaTimesOutInsteadOfStallingPipeline) {
   auto rig = MakeRig(apps::fitness::Spec(), FastRecoveryOptions());
   sim::FaultInjector injector(&rig.cluster->simulator(),
-                              &rig.cluster->network(), 7);
+                              &rig.cluster->network(), TestSeed() + 7);
   rig.orchestrator->RegisterReplicasForFaults(injector);
   const std::string label = LabelOf(injector, "pose_detector");
   ASSERT_FALSE(label.empty());
@@ -215,7 +225,7 @@ TEST(FaultTolerance, RetryExhaustionDropsFrameAndReturnsCredit) {
                                             core::MapResolver({}));
   auto rig = MakeRig(std::move(spec), FastRecoveryOptions());
   sim::FaultInjector injector(&rig.cluster->simulator(),
-                              &rig.cluster->network(), 3);
+                              &rig.cluster->network(), TestSeed() + 3);
   rig.orchestrator->RegisterReplicasForFaults(injector);
   const std::string label = LabelOf(injector, "pose_detector");
   ASSERT_FALSE(label.empty());
@@ -256,7 +266,7 @@ TEST(FaultTolerance, ScriptCanCatchServiceFailureAndRecover) {
                                             core::MapResolver({}));
   auto rig = MakeRig(std::move(spec), FastRecoveryOptions());
   sim::FaultInjector injector(&rig.cluster->simulator(),
-                              &rig.cluster->network(), 11);
+                              &rig.cluster->network(), TestSeed() + 11);
   rig.orchestrator->RegisterReplicasForFaults(injector);
   const std::string label = LabelOf(injector, "pose_detector");
   ASSERT_FALSE(label.empty());
