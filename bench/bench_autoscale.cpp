@@ -19,7 +19,7 @@ struct Outcome {
   size_t scale_events;
 };
 
-Outcome Measure(bool autoscale) {
+Outcome Measure(bool autoscale, double seconds) {
   core::OrchestratorOptions options;
   // Two one-in-flight pipelines put at most 2 requests on the shared
   // replica; trigger on sustained backlog above 1.
@@ -34,7 +34,7 @@ Outcome Measure(bool autoscale) {
     session.orchestrator->autoscaler().Watch("desktop", "pose_detector");
     session.orchestrator->autoscaler().Start();
   }
-  Run(session, 40.0);
+  Run(session, seconds);
 
   Outcome out;
   out.fitness_fps = fitness->metrics().EndToEndFps();
@@ -48,11 +48,21 @@ Outcome Measure(bool autoscale) {
 
 }  // namespace
 
+json::Value ToJson(const Outcome& o) {
+  json::Value out = json::Value::MakeObject();
+  out["fitness_fps"] = json::Value(o.fitness_fps);
+  out["gesture_fps"] = json::Value(o.gesture_fps);
+  out["pose_replicas"] = json::Value(o.pose_replicas);
+  out["scale_events"] = json::Value(o.scale_events);
+  return out;
+}
+
 int main() {
+  const double seconds = BenchSeconds(40.0);
   std::printf("=== Autoscaling the shared pose service "
-              "(two pipelines at 20 FPS, 40 s) ===\n");
-  const Outcome fixed = Measure(false);
-  const Outcome scaled = Measure(true);
+              "(two pipelines at 20 FPS, %.0f s) ===\n", seconds);
+  const Outcome fixed = Measure(false, seconds);
+  const Outcome scaled = Measure(true, seconds);
 
   std::printf("%-22s %12s %12s\n", "", "fixed (1)", "autoscaled");
   std::printf("%-22s %12.2f %12.2f\n", "fitness FPS", fixed.fitness_fps,
@@ -66,5 +76,12 @@ int main() {
   std::printf("\nexpected: the autoscaler adds replica(s) once the shared "
               "service saturates, recovering per-pipeline FPS toward the "
               "solo rate (~11).\n");
+
+  json::Value doc = json::Value::MakeObject();
+  doc["bench"] = json::Value("autoscale");
+  doc["virtual_seconds"] = json::Value(seconds);
+  doc["fixed"] = ToJson(fixed);
+  doc["autoscaled"] = ToJson(scaled);
+  WriteBenchJson("autoscale", doc);
   return 0;
 }

@@ -14,8 +14,10 @@ using namespace vp;
 using namespace vp::bench;
 
 int main() {
+  const double seconds = BenchSeconds(40.0);
   std::printf("=== Table 2 (col 4): two pipelines sharing the pose "
               "service ===\n");
+  json::Value rows_json = json::Value::MakeArray();
   std::printf("%-12s %14s %14s %14s  %s\n", "Source FPS", "Fitness",
               "Gesture", "Solo fitness", "(paper pair)");
 
@@ -36,22 +38,38 @@ int main() {
         shared.orchestrator->registry()
             .Replicas("desktop", "pose_detector")
             .size();
-    Run(shared, 40.0);
+    Run(shared, seconds);
 
     // Solo reference.
     Session solo = MakeSession();
     core::PipelineDeployment* solo_fitness =
         DeployFitness(solo, core::PlacementPolicy::kCoLocate, row.fps);
-    Run(solo, 40.0);
+    Run(solo, seconds);
 
+    const double fitness_fps = fitness->metrics().EndToEndFps();
+    const double gesture_fps = gesture->metrics().EndToEndFps();
+    const double solo_fps = solo_fitness->metrics().EndToEndFps();
     std::printf("%-12.0f %14.2f %14.2f %14.2f  %s  [pose replicas: %zu]\n",
-                row.fps, fitness->metrics().EndToEndFps(),
-                gesture->metrics().EndToEndFps(),
-                solo_fitness->metrics().EndToEndFps(), row.pair,
+                row.fps, fitness_fps, gesture_fps, solo_fps, row.pair,
                 pose_replicas);
+
+    json::Value row_json = json::Value::MakeObject();
+    row_json["source_fps"] = json::Value(row.fps);
+    row_json["fitness_fps"] = json::Value(fitness_fps);
+    row_json["gesture_fps"] = json::Value(gesture_fps);
+    row_json["solo_fitness_fps"] = json::Value(solo_fps);
+    row_json["pose_replicas"] = json::Value(pose_replicas);
+    row_json["paper_pair"] = json::Value(std::string(row.pair));
+    rows_json.AsArray().push_back(std::move(row_json));
   }
   std::printf("\npaper shape check: sharing is free at 5-10 FPS; at 20 FPS "
               "the single shared replica saturates and both pipelines drop "
               "below the solo rate.\n");
+
+  json::Value doc = json::Value::MakeObject();
+  doc["bench"] = json::Value("table2_sharing");
+  doc["virtual_seconds"] = json::Value(seconds);
+  doc["rows"] = std::move(rows_json);
+  WriteBenchJson("table2_sharing", doc);
   return 0;
 }

@@ -4,12 +4,17 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <string>
 
+#include "apps/fall.hpp"
 #include "apps/fitness.hpp"
 #include "apps/gesture.hpp"
 #include "apps/iot.hpp"
 #include "core/orchestrator.hpp"
+#include "json/write.hpp"
 #include "sim/cluster.hpp"
 
 namespace vp::bench {
@@ -20,6 +25,8 @@ struct Session {
   std::vector<core::PipelineDeployment*> pipelines;
   // Keep app-side state alive for gesture pipelines.
   std::shared_ptr<apps::IoTHub> hub;
+  // Keep app-side state alive for fall pipelines.
+  std::shared_ptr<apps::fall::AlertLog> alert_log;
 };
 
 inline Session MakeSession(core::OrchestratorOptions options = {}) {
@@ -82,9 +89,74 @@ inline core::PipelineDeployment* DeployGesture(Session& session, double fps) {
   return *deployment;
 }
 
+/// Deploy the fall-detection pipeline at `fps`. Its config declares
+/// "priority": "interactive"; `deadline_ms` (when > 0) arms
+/// deadline-aware scheduling for its service calls. Shares
+/// pose_detector with any fitness pipeline already in the session.
+inline core::PipelineDeployment* DeployFall(Session& session, double fps,
+                                            double deadline_ms = 0) {
+  auto spec = apps::fall::Spec();
+  if (!spec.ok()) {
+    std::fprintf(stderr, "fall config: %s\n", spec.error().ToString().c_str());
+    std::abort();
+  }
+  spec->source.fps = fps;
+  spec->deadline_ms = deadline_ms;
+  if (!session.alert_log) {
+    session.alert_log = std::make_shared<apps::fall::AlertLog>();
+  }
+  auto args = apps::fall::MakeDeployArgs(*session.alert_log,
+                                         &session.cluster->simulator());
+  args.placement.policy = core::PlacementPolicy::kCoLocate;
+  // Loop the 20 s fall session so long runs stay busy.
+  media::MotionParams fall_params;
+  fall_params.period = 6.0;
+  auto looped = media::MotionScript::Make({
+      {"idle", 4.0, {}}, {"squat", 6.0, {}}, {"idle", 2.0, {}},
+      {"fall", 8.0, fall_params},
+      {"idle", 4.0, {}}, {"squat", 6.0, {}}, {"idle", 2.0, {}},
+      {"fall", 8.0, fall_params},
+      {"idle", 4.0, {}}, {"squat", 6.0, {}}, {"idle", 2.0, {}},
+      {"fall", 8.0, fall_params},
+      {"idle", 4.0, {}}, {"squat", 6.0, {}}, {"idle", 2.0, {}},
+      {"fall", 8.0, fall_params},
+  });
+  args.workload = std::move(*looped);
+  auto deployment =
+      session.orchestrator->Deploy(std::move(*spec), std::move(args));
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "deploy fall: %s\n",
+                 deployment.error().ToString().c_str());
+    std::abort();
+  }
+  session.pipelines.push_back(*deployment);
+  return *deployment;
+}
+
 inline void Run(Session& session, double seconds) {
   session.orchestrator->StartAll();
   session.orchestrator->RunFor(Duration::Seconds(seconds));
+}
+
+/// CI smoke mode (VP_BENCH_SMOKE=1): shrink virtual run time so the
+/// bench finishes fast while still exercising the full path and
+/// emitting its JSON.
+inline bool SmokeMode() { return std::getenv("VP_BENCH_SMOKE") != nullptr; }
+inline double BenchSeconds(double full, double smoke = 8.0) {
+  return SmokeMode() ? smoke : full;
+}
+
+/// Write a benchmark's machine-readable results as BENCH_<name>.json
+/// in the working directory (CI archives these as artifacts).
+inline void WriteBenchJson(const std::string& name, const json::Value& doc) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  file << json::Write(doc, 1) << "\n";
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace vp::bench

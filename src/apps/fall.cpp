@@ -63,6 +63,7 @@ std::string ConfigJson() {
 // Fall-detection pipeline (paper §4.3).
 {
   "name": "fall_detection",
+  "priority": "interactive",
   "source": { "module": "video_streaming_module",
               "fps": 15, "width": 320, "height": 240 },
   "modules": [

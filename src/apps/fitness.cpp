@@ -103,6 +103,7 @@ std::string ConfigJson() {
 // Fitness application pipeline (paper Listing 1 / Fig. 4).
 {
   "name": "fitness",
+  "priority": "background",
   "source": { "module": "video_streaming_module",
               "fps": 20, "width": 320, "height": 240 },
   "modules": [

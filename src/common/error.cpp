@@ -12,6 +12,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kTimeout: return "TIMEOUT";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kParseError: return "PARSE_ERROR";
@@ -30,6 +31,7 @@ StatusCode StatusCodeFromName(const std::string& name) {
       {"UNAVAILABLE", StatusCode::kUnavailable},
       {"RESOURCE_EXHAUSTED", StatusCode::kResourceExhausted},
       {"TIMEOUT", StatusCode::kTimeout},
+      {"DEADLINE_EXCEEDED", StatusCode::kDeadlineExceeded},
       {"INTERNAL", StatusCode::kInternal},
       {"UNIMPLEMENTED", StatusCode::kUnimplemented},
       {"PARSE_ERROR", StatusCode::kParseError},

@@ -25,6 +25,7 @@ enum class StatusCode {
   kUnavailable,      // transient: endpoint not reachable, replica busy
   kResourceExhausted,
   kTimeout,
+  kDeadlineExceeded,  // request shed: its frame deadline cannot be met
   kInternal,
   kUnimplemented,
   kParseError,       // config / script / message decoding problems
@@ -155,6 +156,9 @@ inline Error ResourceExhausted(std::string m) {
 }
 inline Error Timeout(std::string m) {
   return Error(StatusCode::kTimeout, std::move(m));
+}
+inline Error DeadlineExceeded(std::string m) {
+  return Error(StatusCode::kDeadlineExceeded, std::move(m));
 }
 inline Error Internal(std::string m) {
   return Error(StatusCode::kInternal, std::move(m));

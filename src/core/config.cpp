@@ -49,6 +49,16 @@ Status ValidatePipelineSpec(const PipelineSpec& spec) {
   if (spec.source.fps <= 0) {
     return Status(StatusCode::kInvalidArgument, "source fps must be positive");
   }
+  if (!spec.priority.empty() && spec.priority != "interactive" &&
+      spec.priority != "normal" && spec.priority != "background") {
+    return Status(StatusCode::kInvalidArgument,
+                  "unknown priority class '" + spec.priority +
+                      "' (use interactive, normal or background)");
+  }
+  if (spec.deadline_ms < 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "deadline_ms must be >= 0");
+  }
 
   std::map<std::string, const ModuleSpec*> by_name;
   std::set<uint16_t> ports;
@@ -134,6 +144,8 @@ Result<PipelineSpec> ParsePipelineConfig(const json::Value& doc,
   if (!doc.is_object()) return ParseError("pipeline config must be an object");
   PipelineSpec spec;
   spec.name = doc.GetString("name");
+  spec.priority = doc.GetString("priority", "normal");
+  spec.deadline_ms = doc.GetDouble("deadline_ms", 0.0);
 
   if (const json::Value* source = doc.Find("source");
       source != nullptr && source->is_object()) {

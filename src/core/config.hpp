@@ -74,6 +74,13 @@ struct PipelineSpec {
   std::string name;
   SourceSpec source;
   std::vector<ModuleSpec> modules;
+  /// Serving-layer priority class for this pipeline's service calls:
+  /// "interactive", "normal" or "background". Only consulted when the
+  /// orchestrator's serving layer is enabled.
+  std::string priority = "normal";
+  /// Per-frame service-call deadline measured from frame capture (ms);
+  /// 0 disables deadline scheduling/shedding for this pipeline.
+  double deadline_ms = 0;
 
   const ModuleSpec* FindModule(const std::string& name) const;
 };

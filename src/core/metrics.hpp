@@ -80,6 +80,11 @@ class PipelineMetrics {
   void OnCallTimeout() { ++call_timeouts_; }
   /// A frame was dropped after retry exhaustion; its credit returned.
   void OnFrameAbandoned() { ++frames_abandoned_; }
+  /// The serving layer shed a request (deadline unmeetable or queue
+  /// wait exceeded) instead of dispatching it.
+  void OnRequestShed() { ++requests_shed_; }
+  /// A service call completed, but past the frame's deadline.
+  void OnDeadlineMiss() { ++deadline_misses_; }
   /// Accumulated downtime of the replicas serving this pipeline
   /// (refreshed by the orchestrator after each RunFor).
   void set_replica_downtime(Duration d) { replica_downtime_ = d; }
@@ -123,6 +128,8 @@ class PipelineMetrics {
   uint64_t retries() const { return retries_; }
   uint64_t call_timeouts() const { return call_timeouts_; }
   uint64_t frames_abandoned() const { return frames_abandoned_; }
+  uint64_t requests_shed() const { return requests_shed_; }
+  uint64_t deadline_misses() const { return deadline_misses_; }
   double replica_downtime_ms() const { return replica_downtime_.millis(); }
   uint64_t device_failures() const { return device_failures_; }
   /// Last confirmed failure: confirmation − last heartbeat (ms).
@@ -178,6 +185,8 @@ class PipelineMetrics {
   uint64_t retries_ = 0;
   uint64_t call_timeouts_ = 0;
   uint64_t frames_abandoned_ = 0;
+  uint64_t requests_shed_ = 0;
+  uint64_t deadline_misses_ = 0;
   Duration replica_downtime_;
   uint64_t device_failures_ = 0;
   double last_detection_latency_ = 0;

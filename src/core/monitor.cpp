@@ -34,6 +34,27 @@ json::Value MonitorSample::ToJson() const {
   }
   out["device_health"] = std::move(devices);
   out["network_bytes"] = json::Value(static_cast<double>(network_bytes));
+  if (!scheduler_queue_depth.empty()) {
+    json::Value serving = json::Value::MakeObject();
+    for (const auto& [group, depth] : scheduler_queue_depth) {
+      json::Value entry = json::Value::MakeObject();
+      entry["queue_depth"] = json::Value(depth);
+      if (auto it = scheduler_queue_delay_ms.find(group);
+          it != scheduler_queue_delay_ms.end()) {
+        entry["queue_delay_ms"] = json::Value(it->second);
+      }
+      if (auto it = scheduler_batch_occupancy.find(group);
+          it != scheduler_batch_occupancy.end()) {
+        entry["batch_occupancy"] = json::Value(it->second);
+      }
+      if (auto it = scheduler_sheds.find(group);
+          it != scheduler_sheds.end()) {
+        entry["sheds"] = json::Value(static_cast<double>(it->second));
+      }
+      serving[group] = std::move(entry);
+    }
+    out["serving"] = std::move(serving);
+  }
   return out;
 }
 
@@ -115,6 +136,15 @@ void PipelineMonitor::Sample() {
   }
   sample.network_bytes = orchestrator_->cluster().network().stats().bytes;
 
+  for (const auto& [key, sched] : orchestrator_->schedulers()) {
+    const std::string group = key.first + "/" + key.second;
+    const serving::SchedulerStats& stats = sched->stats();
+    sample.scheduler_queue_depth[group] = sched->queue_depth();
+    sample.scheduler_queue_delay_ms[group] = stats.mean_queue_delay_ms();
+    sample.scheduler_batch_occupancy[group] = stats.mean_batch_occupancy();
+    sample.scheduler_sheds[group] = stats.shed_deadline + stats.shed_stale;
+  }
+
   if (!publish_topic_.empty()) {
     net::Message telemetry("telemetry", sample.ToJson());
     (void)orchestrator_->fabric().Publish(publish_device_, publish_topic_,
@@ -174,6 +204,20 @@ std::string PipelineMonitor::Report() const {
   for (const auto& [device, utilization] : peak_utilization) {
     out += Format("  device   %-24s peak module-lane load = %.0f%%\n",
                   device.c_str(), utilization * 100);
+  }
+  for (const auto& [group, occupancy] :
+       samples_.back().scheduler_batch_occupancy) {
+    const auto& last = samples_.back();
+    out += Format(
+        "  serving  %-24s batch occupancy = %.2f, queue delay = %.1f ms, "
+        "sheds = %llu\n",
+        group.c_str(), occupancy,
+        last.scheduler_queue_delay_ms.count(group)
+            ? last.scheduler_queue_delay_ms.at(group)
+            : 0.0,
+        static_cast<unsigned long long>(
+            last.scheduler_sheds.count(group) ? last.scheduler_sheds.at(group)
+                                              : 0));
   }
   return out;
 }

@@ -37,6 +37,16 @@ struct MonitorSample {
   std::map<std::string, std::string> device_health;
   uint64_t network_bytes = 0;
 
+  // -- serving layer (empty maps when disabled) -------------------------
+  /// "device/service" → requests queued in the scheduler.
+  std::map<std::string, int> scheduler_queue_depth;
+  /// "device/service" → mean queueing delay so far (ms).
+  std::map<std::string, double> scheduler_queue_delay_ms;
+  /// "device/service" → mean dispatched batch size.
+  std::map<std::string, double> scheduler_batch_occupancy;
+  /// "device/service" → cumulative shed requests (deadline + stale).
+  std::map<std::string, uint64_t> scheduler_sheds;
+
   json::Value ToJson() const;
 };
 

@@ -77,6 +77,33 @@ Orchestrator::Orchestrator(sim::Cluster* cluster, OrchestratorOptions options)
   autoscaler_ = std::make_unique<services::Autoscaler>(
       cluster_, containers_.get(), registry_.get(),
       options_.autoscaler_options);
+  if (options_.serving.enabled) {
+    // Batching keeps lane backlog pinned near 1 — queueing moves into
+    // the scheduler, so the scheduler's pressure (queued + in-flight
+    // per replica) is the honest autoscaler signal.
+    autoscaler_->set_load_probe(
+        [this](const std::string& device,
+               const std::string& service) -> std::optional<double> {
+          auto it = schedulers_.find({device, service});
+          if (it == schedulers_.end()) return std::nullopt;
+          return it->second->QueuePressure(cluster_->Now());
+        });
+  }
+}
+
+serving::RequestScheduler* Orchestrator::scheduler(
+    const std::string& device, const std::string& service) {
+  if (!options_.serving.enabled) return nullptr;
+  auto it = schedulers_.find({device, service});
+  if (it == schedulers_.end()) {
+    it = schedulers_
+             .emplace(std::make_pair(device, service),
+                      std::make_unique<serving::RequestScheduler>(
+                          &cluster_->simulator(), registry_.get(), device,
+                          service, options_.serving.scheduler))
+             .first;
+  }
+  return it->second.get();
 }
 
 Orchestrator::~Orchestrator() = default;
@@ -128,16 +155,74 @@ Status Orchestrator::BindServiceGateway(const std::string& device,
   Status bound = fabric_->Bind(
       address, [this, device, service](net::Message message,
                                        net::Responder respond) {
+        if (!respond) return;  // services are request/response only
+
+        if (serving::RequestScheduler* sched = scheduler(device, service)) {
+          // Serving path: strip the piggybacked scheduling plan and
+          // submit to the scheduler (which owns replica choice and
+          // health). The gateway watchdog stays — a wedged replica
+          // swallows its whole batch and the remote caller must still
+          // get a timely TIMEOUT.
+          auto answered = std::make_shared<bool>(false);
+          net::Responder once = [answered, respond](net::Message reply) {
+            if (*answered) return;
+            *answered = true;
+            respond(std::move(reply));
+          };
+          const Duration timeout = options_.service_call.timeout;
+          cluster_->simulator().After(
+              timeout, [answered, once, device, service, timeout] {
+                if (*answered) return;
+                once(MakeReply(Timeout(
+                    "replica of '" + service + "' on " + device +
+                    " did not answer within " +
+                    std::to_string(
+                        static_cast<long long>(timeout.millis())) +
+                    " ms")));
+              });
+
+          json::Value payload = std::move(message.payload());
+          serving::SchedulerRequest sreq;
+          if (const json::Value* sv = payload.Find("__serving");
+              sv != nullptr && sv->is_object()) {
+            sreq.priority_class =
+                serving::PriorityClassFromName(sv->GetString("class"));
+            if (const json::Value* d = sv->Find("deadline_us");
+                d != nullptr && d->is_number()) {
+              sreq.deadline = TimePoint::FromMicros(
+                  static_cast<int64_t>(d->AsDouble()));
+            }
+            payload.AsObject().Erase("__serving");
+          }
+          if (!message.parts().empty()) {
+            // Remote caller shipped the frame. Decode cost is charged
+            // with the batch (extra_cost) — the replica is not chosen
+            // until dispatch, so there is no lane to charge yet.
+            Bytes part = std::move(message.mutable_parts().front());
+            sreq.extra_cost = media::DecodeCost(part.size());
+            auto frame = media::DecodeFrame(part);
+            if (!frame.ok()) {
+              once(MakeReply(frame.error()));
+              return;
+            }
+            sreq.request.frame =
+                std::make_shared<const media::Frame>(std::move(*frame));
+          }
+          sreq.request.payload = std::move(payload);
+          sreq.done = [once](Result<json::Value> result) {
+            once(MakeReply(result));
+          };
+          sched->Submit(std::move(sreq));
+          return;
+        }
+
         services::ServiceInstance* instance =
             registry_->Find(device, service);
         if (instance == nullptr) {
-          if (respond) {
-            respond(MakeReply(
-                Unavailable("no replica of '" + service + "' on " + device)));
-          }
+          respond(MakeReply(
+              Unavailable("no replica of '" + service + "' on " + device)));
           return;
         }
-        if (!respond) return;  // services are request/response only
 
         // Gateway watchdog: first of {replica reply, timeout} wins. A
         // wedged replica swallows the request, so without this the
@@ -414,10 +499,25 @@ Result<json::Value> Orchestrator::CallService(ModuleRuntime& caller,
   const ServiceCallOptions& rc = options_.service_call;
   PipelineMetrics& metrics = caller.pipeline().metrics();
 
+  // Serving-layer plan: the pipeline's declared priority class, and —
+  // when the spec sets deadline_ms — the absolute deadline measured
+  // from the *frame's capture time* (queueing upstream already ate
+  // part of the budget), falling back to now for non-frame calls.
+  const int priority =
+      serving::PriorityClassFromName(caller.pipeline().spec().priority);
+  std::optional<TimePoint> deadline;
+  if (options_.serving.enabled && caller.pipeline().spec().deadline_ms > 0) {
+    TimePoint base = cluster_->Now();
+    auto trace = metrics.traces().find(caller.current_seq());
+    if (trace != metrics.traces().end()) base = trace->second.capture;
+    deadline = base + Duration::Millis(caller.pipeline().spec().deadline_ms);
+  }
+
   Result<json::Value> result{json::Value()};
   for (int attempt = 0;; ++attempt) {
-    result = CallServiceOnce(caller, service, host_device, payload);
-    if (result.ok()) return result;
+    result = CallServiceOnce(caller, service, host_device, payload, priority,
+                             deadline);
+    if (result.ok()) break;
     if (result.error().code() == StatusCode::kTimeout) {
       metrics.OnCallTimeout();
     }
@@ -428,6 +528,24 @@ Result<json::Value> Orchestrator::CallService(ModuleRuntime& caller,
     Duration backoff = rc.backoff_base;
     for (int k = 0; k < attempt; ++k) backoff = backoff * rc.backoff_multiplier;
     if (backoff > Duration::Zero()) VP_RETURN_IF_ERROR_R(SleepFor(backoff));
+  }
+  if (result.ok()) {
+    if (deadline.has_value() && cluster_->Now() > *deadline) {
+      metrics.OnDeadlineMiss();
+    }
+    return result;
+  }
+  if (result.error().code() == StatusCode::kDeadlineExceeded) {
+    // The serving layer shed the request. Same graceful-degradation
+    // contract as retry exhaustion: a handler may catch
+    // DEADLINE_EXCEEDED and degrade; an uncaught one drops the frame
+    // and returns its credit instead of wedging the pipeline.
+    metrics.OnRequestShed();
+    caller.NoteServiceCallExhausted();
+    VP_WARN("orchestrator")
+        << caller.name() << ": call to '" << service
+        << "' shed by the serving layer: " << result.error().ToString();
+    return result;
   }
   if (RetryableCode(result.error().code())) {
     // Retry budget exhausted on a transient failure. Flag the caller:
@@ -445,7 +563,8 @@ Result<json::Value> Orchestrator::CallService(ModuleRuntime& caller,
 
 Result<json::Value> Orchestrator::CallServiceOnce(
     ModuleRuntime& caller, const std::string& service,
-    const std::string& host_device, const json::Value& payload) {
+    const std::string& host_device, const json::Value& payload,
+    int priority_class, std::optional<TimePoint> deadline) {
   const ServiceCallOptions& rc = options_.service_call;
 
   // ---- Co-located: in-process call, frame by reference. --------------
@@ -457,6 +576,45 @@ Result<json::Value> Orchestrator::CallServiceOnce(
       request.frame = *frame;
     }
     request.payload = payload;  // copy: a retry reuses the original
+
+    if (serving::RequestScheduler* sched = scheduler(host_device, service)) {
+      // Serving path: same caller-side timeout scaffolding as the
+      // direct path, but the request goes through the scheduler, which
+      // owns replica choice, batching and health — so a timeout here
+      // (could be queueing, not a sick replica) marks nothing suspect.
+      auto state = std::make_shared<PendingResult>();
+      const uint64_t timer = cluster_->simulator().After(
+          rc.timeout, [state, service, host_device, rc] {
+            if (state->done) return;
+            state->done = true;
+            state->value = Result<json::Value>(Timeout(
+                "call to '" + service + "' on " + host_device +
+                " timed out after " +
+                std::to_string(static_cast<long long>(rc.timeout.millis())) +
+                " ms"));
+          });
+      const Duration ipc = cluster_->network().loopback_delay();
+      cluster_->simulator().After(
+          ipc, [this, sched, state, ipc, priority_class, deadline,
+                request = std::move(request)]() mutable {
+            serving::SchedulerRequest sreq;
+            sreq.request = std::move(request);
+            sreq.priority_class = priority_class;
+            sreq.deadline = deadline;
+            sreq.done = [this, state, ipc](Result<json::Value> result) {
+              cluster_->simulator().After(
+                  ipc, [state, result = std::move(result)]() mutable {
+                    if (state->done) return;
+                    state->value = std::move(result);
+                    state->done = true;
+                  });
+            };
+            sched->Submit(std::move(sreq));
+          });
+      VP_RETURN_IF_ERROR_R(Await(state->done));
+      cluster_->simulator().Cancel(timer);  // no-op if it already fired
+      return std::move(state->value);
+    }
 
     services::ServiceInstance* instance =
         registry_->Find(host_device, service);
@@ -521,6 +679,18 @@ Result<json::Value> Orchestrator::CallServiceOnce(
     body.AsObject().Erase("frame_id");  // remote ids are meaningless
     message.AddPart(*encoded);
   }
+  if (options_.serving.enabled) {
+    // Piggyback the scheduling plan; the remote gateway strips it
+    // before the payload reaches the service handler.
+    json::Value sv = json::Value::MakeObject();
+    sv["class"] =
+        json::Value(std::string(serving::PriorityClassName(priority_class)));
+    if (deadline.has_value()) {
+      sv["deadline_us"] =
+          json::Value(static_cast<double>(deadline->micros()));
+    }
+    body["__serving"] = std::move(sv);
+  }
   message.set_payload(std::move(body));
 
   const net::Address gateway = ServiceGateway(host_device, service);
@@ -532,7 +702,7 @@ Result<json::Value> Orchestrator::CallServiceOnce(
   // only decides when the gateway's answer (or the message) was lost.
   auto state = std::make_shared<PendingResult>();
   const Duration budget = rc.timeout + rc.remote_slack;
-  const uint64_t deadline = cluster_->simulator().After(
+  const uint64_t backstop = cluster_->simulator().After(
       budget, [state, service, host_device, budget] {
         if (state->done) return;
         state->done = true;
@@ -550,11 +720,11 @@ Result<json::Value> Orchestrator::CallServiceOnce(
         state->done = true;
       });
   if (!sent.ok()) {
-    cluster_->simulator().Cancel(deadline);
+    cluster_->simulator().Cancel(backstop);
     return sent.error();
   }
   VP_RETURN_IF_ERROR_R(Await(state->done));
-  cluster_->simulator().Cancel(deadline);
+  cluster_->simulator().Cancel(backstop);
   return std::move(state->value);
 }
 
@@ -747,6 +917,13 @@ void Orchestrator::HandleDeviceCrash(const std::string& device) {
   }
   const size_t replicas = registry_->RetireDevice(device, cluster_->Now());
   const size_t endpoints = fabric_->UnbindDevice(device);
+  // Queued serving requests die with the device: UNAVAILABLE (still
+  // retryable — the caller's PR 1 retry/abandon path takes over).
+  for (auto& [key, sched] : schedulers_) {
+    if (key.first == device) {
+      sched->FailAll(Unavailable("device '" + device + "' is down"));
+    }
+  }
   for (auto it = gateways_.begin(); it != gateways_.end();) {
     if (it->first.first == device) {
       it = gateways_.erase(it);

@@ -10,6 +10,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "services/autoscaler.hpp"
 #include "services/container.hpp"
 #include "services/registry.hpp"
+#include "serving/request_scheduler.hpp"
 #include "sim/cluster.hpp"
 #include "sim/fault_injector.hpp"
 
@@ -53,6 +55,17 @@ struct ServiceCallOptions {
   Duration suspect_duration = Duration::Seconds(1.0);
 };
 
+/// The serving layer (src/serving): per-(device, service) request
+/// schedulers that micro-batch frame-wise calls across pipelines,
+/// order them by priority class + deadline, and shed requests whose
+/// deadline cannot be met. Off by default: the dispatch path is then
+/// byte-identical to the direct PR 1 path (one request at a time to
+/// the least-backlog replica).
+struct ServingOptions {
+  bool enabled = false;
+  serving::SchedulerOptions scheduler;
+};
+
 struct OrchestratorOptions {
   /// Per-event module runtime overhead (context dispatch), ref ms.
   Duration module_event_overhead = Duration::Millis(0.25);
@@ -77,6 +90,7 @@ struct OrchestratorOptions {
   /// timer horizons. <= 0 disables reclamation (everything is kept
   /// until the orchestrator dies, the pre-PR-2 behavior).
   Duration retired_drain_window = Duration::Seconds(30);
+  ServingOptions serving;
   uint64_t seed = 42;
 };
 
@@ -256,6 +270,17 @@ class Orchestrator {
   /// (manual scale-up; the Autoscaler uses the same path).
   Status ScaleService(const std::string& device, const std::string& service);
 
+  /// The serving-layer scheduler for (device, service), lazily created
+  /// on first use. Returns nullptr when the serving layer is disabled.
+  serving::RequestScheduler* scheduler(const std::string& device,
+                                       const std::string& service);
+  /// All live schedulers, keyed (device, service). Empty when disabled.
+  const std::map<std::pair<std::string, std::string>,
+                 std::unique_ptr<serving::RequestScheduler>>&
+  schedulers() const {
+    return schedulers_;
+  }
+
   /// Live-migrate a script module to another device (§7 "automatic
   /// deployment, scheduling"): snapshot its serializable state, ship
   /// it over the network, resume in a fresh context on the target and
@@ -295,7 +320,9 @@ class Orchestrator {
   Result<json::Value> CallServiceOnce(ModuleRuntime& caller,
                                       const std::string& service,
                                       const std::string& host_device,
-                                      const json::Value& payload);
+                                      const json::Value& payload,
+                                      int priority_class,
+                                      std::optional<TimePoint> deadline);
 
   /// Refresh each pipeline's replica_downtime metric from the registry.
   void SyncReplicaDowntime();
@@ -345,6 +372,12 @@ class Orchestrator {
   std::unique_ptr<services::ContainerRuntime> containers_;
   std::unique_ptr<services::ServiceRegistry> registry_;
   std::unique_ptr<services::Autoscaler> autoscaler_;
+  /// Serving-layer schedulers, keyed (device, service). Declared after
+  /// registry_ so they are destroyed first — pending entries hold
+  /// ServiceInstance pointers owned by the registry.
+  std::map<std::pair<std::string, std::string>,
+           std::unique_ptr<serving::RequestScheduler>>
+      schedulers_;
   std::map<std::string, std::unique_ptr<media::FrameStore>> stores_;
   std::map<std::pair<std::string, std::string>, net::Address> gateways_;
   std::vector<std::unique_ptr<PipelineDeployment>> pipelines_;

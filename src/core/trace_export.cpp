@@ -81,6 +81,58 @@ json::Value ChromeTrace(const PipelineDeployment& pipeline) {
   return doc;
 }
 
+json::Value ChromeTrace(const PipelineDeployment& pipeline,
+                        const Orchestrator& orchestrator) {
+  json::Value doc = ChromeTrace(pipeline);
+  json::Value::Array& events = doc["traceEvents"].AsArray();
+  constexpr int kServingPid = 2;
+
+  json::Value process_name = json::Value::MakeObject();
+  process_name["name"] = json::Value("process_name");
+  process_name["ph"] = json::Value("M");
+  process_name["pid"] = json::Value(kServingPid);
+  process_name["args"]["name"] = json::Value("serving");
+  events.push_back(std::move(process_name));
+
+  int tid = 0;
+  for (const auto& [key, sched] : orchestrator.schedulers()) {
+    ++tid;
+    json::Value thread_name = json::Value::MakeObject();
+    thread_name["name"] = json::Value("thread_name");
+    thread_name["ph"] = json::Value("M");
+    thread_name["pid"] = json::Value(kServingPid);
+    thread_name["tid"] = json::Value(tid);
+    thread_name["args"]["name"] = json::Value(key.first + "/" + key.second);
+    events.push_back(std::move(thread_name));
+
+    for (const serving::BatchSpan& span : sched->spans()) {
+      json::Value event = json::Value::MakeObject();
+      event["name"] =
+          json::Value("batch[" + std::to_string(span.size) + "]");
+      event["cat"] = json::Value("serving");
+      event["ph"] = json::Value("X");
+      event["ts"] = json::Value(static_cast<double>(span.dispatch.micros()));
+      event["dur"] = json::Value(
+          static_cast<double>((span.complete - span.dispatch).micros()));
+      event["pid"] = json::Value(kServingPid);
+      event["tid"] = json::Value(tid);
+      event["args"]["batch"] = json::Value(static_cast<double>(span.id));
+      event["args"]["size"] = json::Value(span.size);
+      event["args"]["queued_us"] = json::Value(
+          static_cast<double>((span.dispatch - span.enqueued).micros()));
+      event["args"]["delivered"] = json::Value(span.delivered);
+      for (int c = 0; c < serving::kNumPriorityClasses; ++c) {
+        if (span.per_class[static_cast<size_t>(c)] > 0) {
+          event["args"][serving::PriorityClassName(c)] =
+              json::Value(span.per_class[static_cast<size_t>(c)]);
+        }
+      }
+      events.push_back(std::move(event));
+    }
+  }
+  return doc;
+}
+
 Status WriteChromeTrace(const PipelineDeployment& pipeline,
                         const std::string& path) {
   std::ofstream file(path);

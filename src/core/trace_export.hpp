@@ -15,6 +15,12 @@ namespace vp::core {
 /// the pipeline.
 json::Value ChromeTrace(const PipelineDeployment& pipeline);
 
+/// As above, plus one lane per serving-layer scheduler (pid 2,
+/// "serving") with a slice per dispatched batch — dispatch → complete,
+/// annotated with batch id, size and the per-class composition.
+json::Value ChromeTrace(const PipelineDeployment& pipeline,
+                        const Orchestrator& orchestrator);
+
 /// Write ChromeTrace(pipeline) as JSON to `path`.
 Status WriteChromeTrace(const PipelineDeployment& pipeline,
                         const std::string& path);

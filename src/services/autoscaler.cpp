@@ -24,29 +24,61 @@ void Autoscaler::Check() {
   const TimePoint now = cluster_->Now();
   for (const auto& [device, service] : watched_) {
     auto replicas = registry_->Replicas(device, service);
-    if (replicas.empty() ||
-        static_cast<int>(replicas.size()) >= options_.max_replicas_per_group) {
-      continue;
+    if (replicas.empty()) continue;
+    const auto key = std::make_pair(device, service);
+
+    double load;
+    std::optional<double> probed =
+        load_probe_ ? load_probe_(device, service) : std::nullopt;
+    if (probed.has_value()) {
+      load = *probed;
+    } else {
+      int total_backlog = 0;
+      for (ServiceInstance* replica : replicas) {
+        total_backlog += replica->backlog(now);
+      }
+      load = static_cast<double>(total_backlog) /
+             static_cast<double>(replicas.size());
     }
-    int total_backlog = 0;
-    for (ServiceInstance* replica : replicas) {
-      total_backlog += replica->backlog(now);
-    }
-    const double avg = static_cast<double>(total_backlog) /
-                       static_cast<double>(replicas.size());
-    if (avg > options_.backlog_high_water) {
+
+    if (load > options_.backlog_high_water &&
+        static_cast<int>(replicas.size()) < options_.max_replicas_per_group) {
+      idle_checks_[key] = 0;
       auto instance = containers_->Launch(device, service);
       if (instance.ok()) {
         registry_->Add(std::move(*instance));
         events_.push_back(ScaleEvent{now, device, service,
-                                     static_cast<int>(replicas.size()) + 1});
+                                     static_cast<int>(replicas.size()) + 1,
+                                     +1});
         VP_INFO("autoscaler")
             << "scaled " << service << " on " << device << " to "
-            << replicas.size() + 1 << " replicas (avg backlog " << avg << ")";
+            << replicas.size() + 1 << " replicas (load " << load << ")";
       } else {
         VP_WARN("autoscaler") << "scale-up of " << service << " on " << device
                               << " failed: " << instance.error().ToString();
       }
+      continue;
+    }
+
+    // Scale-down: a sustained idle streak retires one replica at a
+    // time (gracefully — only an idle replica, never below the floor).
+    if (options_.scale_down_grace_checks > 0 &&
+        load < options_.backlog_low_water &&
+        static_cast<int>(replicas.size()) > options_.min_replicas_per_group) {
+      if (++idle_checks_[key] >= options_.scale_down_grace_checks) {
+        idle_checks_[key] = 0;
+        const size_t keep =
+            static_cast<size_t>(options_.min_replicas_per_group);
+        if (registry_->RetireIdleReplica(device, service, keep, now)) {
+          const int after = static_cast<int>(replicas.size()) - 1;
+          events_.push_back(ScaleEvent{now, device, service, after, -1});
+          VP_INFO("autoscaler")
+              << "retired idle replica of " << service << " on " << device
+              << " (now " << after << ", load " << load << ")";
+        }
+      }
+    } else {
+      idle_checks_[key] = 0;
     }
   }
   cluster_->simulator().After(options_.check_interval, [this] { Check(); });

@@ -47,6 +47,12 @@ class PoseDetectorService : public Service {
     return request.frame ? cv::PoseDetectCost(request.frame->image)
                          : Duration::Millis(0.1);
   }
+  Duration BatchCost(const ServiceBatch& batch) const override {
+    // The fixed part of PoseDetectCost is dominated by per-invocation
+    // CNN setup (graph warm-up, weight paging); batched frames share
+    // one setup.
+    return AmortizedBatchCost(*this, batch, Duration::Millis(30));
+  }
   Result<json::Value> Handle(const ServiceRequest& request) override {
     if (!request.frame) {
       return InvalidArgument("pose_detector: request carries no frame");
@@ -131,6 +137,9 @@ class ObjectDetectorService : public Service {
     return request.frame ? cv::ObjectDetectCost(request.frame->image)
                          : Duration::Millis(0.1);
   }
+  Duration BatchCost(const ServiceBatch& batch) const override {
+    return AmortizedBatchCost(*this, batch, Duration::Millis(18));
+  }
   Result<json::Value> Handle(const ServiceRequest& request) override {
     if (!request.frame) {
       return InvalidArgument("object_detector: request carries no frame");
@@ -168,6 +177,9 @@ class FaceDetectorService : public Service {
     return request.frame ? cv::FaceDetectCost(request.frame->image)
                          : Duration::Millis(0.1);
   }
+  Duration BatchCost(const ServiceBatch& batch) const override {
+    return AmortizedBatchCost(*this, batch, Duration::Millis(8));
+  }
   Result<json::Value> Handle(const ServiceRequest& request) override {
     if (const json::Value* pose_json = request.payload.Find("pose");
         pose_json != nullptr) {
@@ -200,6 +212,9 @@ class ImageClassifierService : public Service {
   std::string name() const override { return "image_classifier"; }
   Duration Cost(const ServiceRequest&) const override {
     return cv::ImageClassifier::Cost();
+  }
+  Duration BatchCost(const ServiceBatch& batch) const override {
+    return AmortizedBatchCost(*this, batch, Duration::Millis(5));
   }
   Result<json::Value> Handle(const ServiceRequest& request) override {
     if (!request.frame) {

@@ -51,6 +51,70 @@ void ServiceInstance::Invoke(ServiceRequest request,
   });
 }
 
+void ServiceInstance::InvokeBatch(
+    std::vector<BatchEntry> entries, Duration extra_cost,
+    std::function<void(bool delivered)> batch_done) {
+  stats_.requests += entries.size();
+  ++stats_.batches;
+  if (crashed_) {
+    stats_.refused += entries.size();
+    stats_.errors += entries.size();
+    for (BatchEntry& entry : entries) {
+      if (entry.done) {
+        entry.done(Unavailable("replica of '" + name_ + "' on " + device_ +
+                               " is down"));
+      }
+    }
+    if (batch_done) batch_done(true);
+    return;
+  }
+  ServiceBatch batch;
+  batch.reserve(entries.size());
+  for (const BatchEntry& entry : entries) batch.push_back(&entry.request);
+  Duration cost = impl_->BatchCost(batch) + extra_cost;
+  if (cost_jitter_ > 0.0) {
+    const double factor =
+        std::max(0.5, 1.0 + jitter_rng_.NextGaussian(0.0, cost_jitter_));
+    cost = cost * factor;
+  }
+  stats_.busy += cost;
+  const uint64_t epoch = epoch_;
+  lane_->Run(cost, [this, epoch, entries = std::move(entries),
+                    batch_done = std::move(batch_done)]() mutable {
+    if (wedged_) {
+      stats_.swallowed += entries.size();
+      if (batch_done) batch_done(false);
+      return;
+    }
+    if (epoch != epoch_ || crashed_) {
+      stats_.refused += entries.size();
+      stats_.errors += entries.size();
+      for (BatchEntry& entry : entries) {
+        if (entry.done) {
+          entry.done(Unavailable("replica of '" + name_ + "' on " + device_ +
+                                 " crashed mid-batch"));
+        }
+      }
+      if (batch_done) batch_done(true);
+      return;
+    }
+    ServiceBatch batch;
+    batch.reserve(entries.size());
+    for (const BatchEntry& entry : entries) batch.push_back(&entry.request);
+    std::vector<Result<json::Value>> results = impl_->ExecuteBatch(batch);
+    for (size_t i = 0; i < entries.size(); ++i) {
+      Result<json::Value> result =
+          i < results.size()
+              ? std::move(results[i])
+              : Result<json::Value>(Internal(
+                    "batched '" + name_ + "' returned too few results"));
+      if (!result.ok()) ++stats_.errors;
+      if (entries[i].done) entries[i].done(std::move(result));
+    }
+    if (batch_done) batch_done(true);
+  });
+}
+
 void ServiceInstance::Crash(TimePoint now) {
   if (crashed_) return;
   crashed_ = true;

@@ -34,6 +34,15 @@ struct ServiceInstanceStats {
   uint64_t swallowed = 0;
   /// Requests refused or voided because the replica was crashed.
   uint64_t refused = 0;
+  /// Micro-batches admitted via InvokeBatch.
+  uint64_t batches = 0;
+};
+
+/// One member of a micro-batch: the request plus its caller's
+/// completion callback.
+struct BatchEntry {
+  ServiceRequest request;
+  std::function<void(Result<json::Value>)> done;
 };
 
 class ServiceInstance {
@@ -60,6 +69,20 @@ class ServiceInstance {
   /// refused); a wedged replica accepts the request and never answers.
   void Invoke(ServiceRequest request,
               std::function<void(Result<json::Value>)> done);
+
+  /// Execute several requests as ONE lane admission (micro-batching):
+  /// the batch is charged `impl->BatchCost(batch) + extra_cost`,
+  /// jittered once, so services with per-call setup amortize it.
+  /// Fault semantics mirror Invoke, batch-wide: a crashed replica
+  /// refuses every entry immediately; a wedge swallows the whole batch
+  /// (no entry's `done` fires — callers recover by timeout); a crash
+  /// mid-batch fails every entry with kUnavailable and nothing is
+  /// handled twice. `batch_done(delivered)` fires when the batch
+  /// resolves — `delivered` is false only for the swallowed case, so a
+  /// scheduler can health-mark the replica the way PR 1's gateway
+  /// watchdog does.
+  void InvokeBatch(std::vector<BatchEntry> entries, Duration extra_cost,
+                   std::function<void(bool delivered)> batch_done);
 
   // -- fault surface (driven by the FaultInjector / orchestrator) ------
   /// Hard-kill: in-flight requests die with the process (their `done`

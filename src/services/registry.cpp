@@ -39,6 +39,10 @@ Duration ServiceRegistry::TotalDowntime(TimePoint now) const {
   for (const auto& [key, group] : groups_) {
     for (const auto& instance : group) total += instance->downtime(now);
   }
+  // Replicas retired by RetireDevice keep accruing downtime until their
+  // device's work is relaunched elsewhere — skipping them would make
+  // recovery look cheaper the harder the failure was.
+  for (const auto& instance : graveyard_) total += instance->downtime(now);
   return total;
 }
 
@@ -105,7 +109,43 @@ uint64_t ServiceRegistry::RequestCount(const std::string& device,
   for (ServiceInstance* instance : Replicas(device, service)) {
     total += instance->stats().requests;
   }
+  // Retired replicas served real traffic before their device died (or
+  // before scale-down); the group's request history must keep it.
+  for (const auto& instance : graveyard_) {
+    if (instance->device() == device &&
+        instance->service_name() == service) {
+      total += instance->stats().requests;
+    }
+  }
   return total;
+}
+
+bool ServiceRegistry::RetireIdleReplica(const std::string& device,
+                                        const std::string& service,
+                                        size_t keep, TimePoint now) {
+  auto it = groups_.find(Key{device, service});
+  if (it == groups_.end() || it->second.size() <= keep) return false;
+  // Pick an idle, healthy, containerized replica — never interrupt
+  // in-flight work and never touch native singletons (camera, display).
+  auto& group = it->second;
+  for (auto member = group.begin(); member != group.end(); ++member) {
+    ServiceInstance* candidate = member->get();
+    if (candidate->native() || !candidate->available(now) ||
+        candidate->backlog(now) != 0) {
+      continue;
+    }
+    // Return the container core; the lane object stays alive for any
+    // stale event still referencing it. The instance moves to the
+    // graveyard (not crashed — scale-down is not downtime) so its
+    // request history keeps counting toward the group.
+    if (sim::Device* dev = cluster_->FindDevice(device)) {
+      dev->ReleaseContainerLane(candidate->lane());
+    }
+    graveyard_.push_back(std::move(*member));
+    group.erase(member);
+    return true;
+  }
+  return false;
 }
 
 }  // namespace vp::services

@@ -59,6 +59,16 @@ class ServiceRegistry {
   /// number of replicas retired.
   size_t RetireDevice(const std::string& device, TimePoint now);
 
+  /// Scale-down: gracefully retire one idle containerized replica of
+  /// the group, keeping at least `keep` replicas. The replica must be
+  /// available with an empty lane (no in-flight work is interrupted);
+  /// its container core is released and the instance moves to the
+  /// graveyard (uncrashed — scale-down is not downtime) so the group's
+  /// request history survives. Returns false when no replica fits.
+  bool RetireIdleReplica(const std::string& device,
+                         const std::string& service, size_t keep,
+                         TimePoint now);
+
   size_t retired_instances() const { return graveyard_.size(); }
 
  private:

@@ -2,6 +2,38 @@
 
 namespace vp::services {
 
+Duration Service::BatchCost(const ServiceBatch& batch) const {
+  Duration total;
+  for (const ServiceRequest* request : batch) total += Cost(*request);
+  return total;
+}
+
+std::vector<Result<json::Value>> Service::ExecuteBatch(
+    const ServiceBatch& batch) {
+  std::vector<Result<json::Value>> out;
+  out.reserve(batch.size());
+  for (const ServiceRequest* request : batch) out.push_back(Handle(*request));
+  return out;
+}
+
+Duration AmortizedBatchCost(const Service& service, const ServiceBatch& batch,
+                            Duration setup) {
+  Duration total;
+  bool first = true;
+  for (const ServiceRequest* request : batch) {
+    const Duration cost = service.Cost(*request);
+    if (first) {
+      total += cost;
+      first = false;
+      continue;
+    }
+    const Duration floor = cost * 0.2;
+    const Duration marginal = cost - setup;
+    total += marginal > floor ? marginal : floor;
+  }
+  return total;
+}
+
 Status ServiceCatalog::Register(const std::string& name,
                                 ServiceFactory factory) {
   if (factories_.count(name) != 0) {

@@ -32,6 +32,10 @@ struct ServiceRequest {
   media::FramePtr frame;
 };
 
+/// A micro-batch of requests handed to one replica in a single
+/// admission (non-owning views; the batch lives for the call only).
+using ServiceBatch = std::vector<const ServiceRequest*>;
+
 class Service {
  public:
   virtual ~Service() = default;
@@ -43,7 +47,27 @@ class Service {
 
   /// Pure handler. Runs when the simulated compute completes.
   virtual Result<json::Value> Handle(const ServiceRequest& request) = 0;
+
+  /// Reference-device compute cost of handling `batch` in one
+  /// admission. The default is the unbatched sum — no free lunch.
+  /// Services with per-call setup (model/network warm path, weight
+  /// paging) override this to amortize the setup across the batch; see
+  /// AmortizedBatchCost.
+  virtual Duration BatchCost(const ServiceBatch& batch) const;
+
+  /// Batched execution hook: handle several requests in one admission,
+  /// returning one result per request, in order. The default loops
+  /// over Handle() so every existing service works unmodified.
+  virtual std::vector<Result<json::Value>> ExecuteBatch(
+      const ServiceBatch& batch);
 };
+
+/// Batch-cost helper for services whose per-call cost includes a fixed
+/// `setup` component (load weights, set up the inference graph): the
+/// first request pays full price, each later one saves `setup`, floored
+/// at 20% of its unbatched cost so a batch never becomes free.
+Duration AmortizedBatchCost(const Service& service, const ServiceBatch& batch,
+                            Duration setup);
 
 using ServiceFactory = std::function<std::unique_ptr<Service>()>;
 

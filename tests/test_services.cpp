@@ -458,5 +458,169 @@ TEST(Autoscaler, QuietGroupsStayAtOneReplica) {
   EXPECT_TRUE(autoscaler.events().empty());
 }
 
+
+TEST(Registry, GraveyardKeepsDowntimeAndRequestCounts) {
+  // Regression: TotalDowntime / RequestCount must include RETIRED
+  // replicas — a device crash used to zero the group's history.
+  auto cluster = sim::MakeHomeTestbed();
+  ServiceCatalog catalog = ServiceCatalog::WithBuiltins();
+  ContainerRuntime runtime(cluster.get(), &catalog);
+  ServiceRegistry registry(cluster.get());
+  auto launched = runtime.Launch("desktop", "pose_detector");
+  ASSERT_TRUE(launched.ok());
+  ServiceInstance* replica = launched->get();
+  registry.Add(std::move(*launched));
+  cluster->simulator().RunUntilIdle();
+
+  for (uint64_t seed : {1ULL, 2ULL}) {
+    ServiceRequest request;
+    request.frame = MakeFrame(seed);
+    ASSERT_TRUE(InvokeSync(*cluster, *replica, std::move(request)).ok());
+  }
+  EXPECT_EQ(registry.RequestCount("desktop", "pose_detector"), 2u);
+
+  replica->Crash(cluster->simulator().Now());
+  cluster->simulator().RunUntil(cluster->simulator().Now() +
+                                Duration::Millis(500));
+  const TimePoint now = cluster->simulator().Now();
+  EXPECT_GE(registry.TotalDowntime(now).millis(), 500.0);
+
+  ASSERT_EQ(registry.RetireDevice("desktop", now), 1u);
+  EXPECT_TRUE(registry.Replicas("desktop", "pose_detector").empty());
+  EXPECT_EQ(registry.retired_instances(), 1u);
+  // The history survives retirement…
+  EXPECT_EQ(registry.RequestCount("desktop", "pose_detector"), 2u);
+  EXPECT_GE(registry.TotalDowntime(now).millis(), 500.0);
+  // …and keeps accruing while the corpse stays down.
+  cluster->simulator().RunUntil(now + Duration::Millis(300));
+  EXPECT_GE(registry.TotalDowntime(cluster->simulator().Now()).millis(),
+            800.0);
+}
+
+TEST(Registry, RetireIdleReplicaReleasesCoreAndKeepsHistory) {
+  auto cluster = sim::MakeHomeTestbed();
+  ServiceCatalog catalog = ServiceCatalog::WithBuiltins();
+  ContainerRuntime runtime(cluster.get(), &catalog);
+  ServiceRegistry registry(cluster.get());
+  // The TV has exactly 2 container cores — fill both.
+  std::vector<ServiceInstance*> replicas;
+  for (int i = 0; i < 2; ++i) {
+    auto launched = runtime.Launch("tv", "pose_detector");
+    ASSERT_TRUE(launched.ok());
+    replicas.push_back(launched->get());
+    registry.Add(std::move(*launched));
+  }
+  cluster->simulator().RunUntilIdle();
+  EXPECT_EQ(runtime.Launch("tv", "display").code(),
+            StatusCode::kResourceExhausted);
+  for (ServiceInstance* replica : replicas) {
+    ServiceRequest request;
+    request.frame = MakeFrame(7);
+    ASSERT_TRUE(InvokeSync(*cluster, *replica, std::move(request)).ok());
+  }
+  const TimePoint now = cluster->simulator().Now();
+
+  // The keep floor is honored…
+  EXPECT_FALSE(registry.RetireIdleReplica("tv", "pose_detector", 2, now));
+  // …then one idle replica retires gracefully.
+  EXPECT_TRUE(registry.RetireIdleReplica("tv", "pose_detector", 1, now));
+  EXPECT_EQ(registry.Replicas("tv", "pose_detector").size(), 1u);
+  EXPECT_EQ(registry.retired_instances(), 1u);
+  // Scale-down is not downtime, and the group history is preserved.
+  EXPECT_EQ(registry.TotalDowntime(now), Duration::Zero());
+  EXPECT_EQ(registry.RequestCount("tv", "pose_detector"), 2u);
+  // Its container core is free again.
+  EXPECT_TRUE(runtime.Launch("tv", "display").ok());
+  // Never below the floor.
+  EXPECT_FALSE(registry.RetireIdleReplica("tv", "pose_detector", 1, now));
+}
+
+TEST(Autoscaler, RetiresIdleReplicaAfterSustainedLowWater) {
+  auto cluster = sim::MakeHomeTestbed();
+  ServiceCatalog catalog = ServiceCatalog::WithBuiltins();
+  ContainerRuntime runtime(cluster.get(), &catalog);
+  ServiceRegistry registry(cluster.get());
+  AutoscalerOptions options;
+  options.check_interval = Duration::Millis(200);
+  options.backlog_low_water = 0.1;
+  options.scale_down_grace_checks = 3;
+  Autoscaler autoscaler(cluster.get(), &runtime, &registry, options);
+
+  for (int i = 0; i < 2; ++i) {
+    auto launched = runtime.Launch("desktop", "pose_detector");
+    ASSERT_TRUE(launched.ok());
+    registry.Add(std::move(*launched));
+  }
+  autoscaler.Watch("desktop", "pose_detector");
+  autoscaler.Start();
+  cluster->simulator().RunUntil(TimePoint::FromMicros(5'000'000));
+  autoscaler.Stop();
+
+  // Sustained idleness shrank the group to the floor of one — and the
+  // event log shows the scale-down.
+  EXPECT_EQ(registry.Replicas("desktop", "pose_detector").size(), 1u);
+  ASSERT_FALSE(autoscaler.events().empty());
+  const ScaleEvent& event = autoscaler.events().back();
+  EXPECT_EQ(event.direction, -1);
+  EXPECT_EQ(event.replicas_after, 1);
+  EXPECT_EQ(event.device, "desktop");
+  EXPECT_EQ(event.service, "pose_detector");
+}
+
+// ---------------------------------------------------------- Batching
+
+TEST(ContainerBatch, InvokeBatchDeliversPerEntryResultsAndAmortizes) {
+  auto cluster = sim::MakeHomeTestbed();
+  ServiceCatalog catalog = ServiceCatalog::WithBuiltins();
+  ContainerRuntime runtime(cluster.get(), &catalog);
+  auto launched = runtime.Launch("desktop", "pose_detector");
+  ASSERT_TRUE(launched.ok());
+  ServiceInstance& replica = **launched;
+  cluster->simulator().RunUntilIdle();
+
+  Duration solo_cost;
+  std::vector<BatchEntry> entries;
+  std::vector<Result<json::Value>> results;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    BatchEntry entry;
+    entry.request.frame = MakeFrame(seed);
+    solo_cost += cv::PoseDetectCost(entry.request.frame->image);
+    entry.done = [&results](Result<json::Value> r) {
+      results.push_back(std::move(r));
+    };
+    entries.push_back(std::move(entry));
+  }
+  bool delivered = false;
+  const TimePoint t0 = cluster->simulator().Now();
+  replica.InvokeBatch(std::move(entries), Duration::Zero(),
+                      [&delivered](bool d) { delivered = d; });
+  cluster->simulator().RunUntilIdle();
+
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& result : results) EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(replica.stats().batches, 1u);
+  EXPECT_EQ(replica.stats().requests, 3u);
+  // One lane admission, cheaper than three solo invocations.
+  EXPECT_LT((cluster->simulator().Now() - t0).millis(),
+            solo_cost.millis() * 0.9);
+
+  // A crashed replica refuses the whole batch immediately.
+  replica.Crash(cluster->simulator().Now());
+  std::vector<BatchEntry> refused;
+  int errors = 0;
+  for (uint64_t seed = 4; seed <= 5; ++seed) {
+    BatchEntry entry;
+    entry.request.frame = MakeFrame(seed);
+    entry.done = [&errors](Result<json::Value> r) {
+      if (r.code() == StatusCode::kUnavailable) ++errors;
+    };
+    refused.push_back(std::move(entry));
+  }
+  replica.InvokeBatch(std::move(refused), Duration::Zero(), nullptr);
+  EXPECT_EQ(errors, 2);
+  EXPECT_EQ(replica.stats().refused, 2u);
+}
+
 }  // namespace
 }  // namespace vp::services
