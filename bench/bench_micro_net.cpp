@@ -1,7 +1,15 @@
 // Microbenchmarks: messaging + JSON + the DES kernel itself (events
 // per second the simulator can process).
+//
+// Custom main(): VP_BENCH_SMOKE=1 skips google-benchmark and instead
+// times the message hot paths (ByteSize memoization, encode/decode),
+// writing BENCH_net.json for CI to archive.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+
+#include "harness.hpp"
 #include "json/parse.hpp"
 #include "json/write.hpp"
 #include "net/message.hpp"
@@ -68,4 +76,103 @@ void BM_NetworkSend(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkSend);
 
+// ------------------------------------------------------- smoke mode
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+net::Message SampleMessage() {
+  net::Message m("frame");
+  m.set_sender("pose_detection_module");
+  m.set_seq(42);
+  json::Value payload = json::Value::MakeObject();
+  for (int i = 0; i < 17; ++i) {
+    json::Value kp = json::Value::MakeObject();
+    kp["x"] = json::Value(i * 1.5);
+    kp["y"] = json::Value(i * 2.5);
+    payload["keypoints"].PushBack(std::move(kp));
+  }
+  m.set_payload(std::move(payload));
+  m.AddPart(Bytes(20000, 0x3C));
+  return m;
+}
+
+int SmokeMain() {
+  const int rounds = 5;
+  const int iters = 20000;
+
+  // ByteSize on a message whose cache is warm (the per-send hot path
+  // in Push/Request/Publish) vs. re-encoding the payload every time.
+  const net::Message warm = SampleMessage();
+  (void)warm.ByteSize();
+  double cached_ns = 1e18;
+  for (int r = 0; r < rounds; ++r) {
+    const double start = NowUs();
+    for (int i = 0; i < iters; ++i) {
+      benchmark::DoNotOptimize(warm.ByteSize());
+    }
+    cached_ns = std::min(cached_ns, (NowUs() - start) * 1e3 / iters);
+  }
+  double uncached_ns = 1e18;
+  for (int r = 0; r < rounds; ++r) {
+    net::Message m = SampleMessage();
+    const double start = NowUs();
+    for (int i = 0; i < iters / 20; ++i) {
+      m.payload();  // invalidate (and un-share) like a real mutation
+      benchmark::DoNotOptimize(m.ByteSize());
+    }
+    uncached_ns =
+        std::min(uncached_ns, (NowUs() - start) * 1e3 / (iters / 20));
+  }
+
+  // Fan-out copy cost: what Fabric::Publish pays per subscriber.
+  double copy_ns = 1e18;
+  for (int r = 0; r < rounds; ++r) {
+    const double start = NowUs();
+    for (int i = 0; i < iters; ++i) {
+      net::Message copy = warm;
+      benchmark::DoNotOptimize(copy);
+    }
+    copy_ns = std::min(copy_ns, (NowUs() - start) * 1e3 / iters);
+  }
+
+  // Full wire round trip.
+  double codec_us = 1e18;
+  for (int r = 0; r < rounds; ++r) {
+    const double start = NowUs();
+    for (int i = 0; i < iters / 20; ++i) {
+      const Bytes wire = warm.Encode();
+      auto decoded = net::Message::Decode(wire);
+      benchmark::DoNotOptimize(decoded);
+    }
+    codec_us = std::min(codec_us, (NowUs() - start) / (iters / 20));
+  }
+
+  json::Value doc = json::Value::MakeObject();
+  doc["bench"] = json::Value("micro_net");
+  doc["bytesize_ns_cached"] = json::Value(cached_ns);
+  doc["bytesize_ns_uncached"] = json::Value(uncached_ns);
+  doc["bytesize_speedup"] = json::Value(uncached_ns / cached_ns);
+  doc["copy_ns"] = json::Value(copy_ns);
+  doc["encode_decode_us"] = json::Value(codec_us);
+  bench::WriteBenchJson("net", doc);
+  std::printf(
+      "bytesize: cached %.0f ns, uncached %.0f ns (%.0fx); "
+      "copy %.0f ns; encode+decode %.1f us\n",
+      cached_ns, uncached_ns, uncached_ns / cached_ns, copy_ns, codec_us);
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  if (vp::bench::SmokeMode()) return SmokeMain();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,15 @@
 // Microbenchmarks: the vpscript engine (our Duktape stand-in) — the
 // per-event overhead every module pays.
+//
+// Custom main(): VP_BENCH_SMOKE=1 skips google-benchmark and instead
+// runs a quick manual A/B of the resolver (resolved vs. Environment
+// fallback), writing BENCH_script.json for CI to archive.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+
+#include "harness.hpp"
 #include "script/context.hpp"
 #include "script/convert.hpp"
 #include "script/parser.hpp"
@@ -78,4 +86,85 @@ void BM_JsonToScriptRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_JsonToScriptRoundTrip);
 
+// ------------------------------------------------------- smoke mode
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-event dispatch cost (µs) with the resolver on or off: best of
+/// `rounds` timed rounds of `calls` event_received invocations.
+double MeasureDispatchUs(bool resolve, int rounds, int calls) {
+  script::ContextOptions options;
+  options.resolve = resolve;
+  script::Context context(options);
+  if (!context.Load(kModuleSource).ok()) std::abort();
+  auto message = script::Value::MakeObject();
+  message.AsObject()->Set("value", script::Value(1.5));
+  for (int i = 0; i < 2000; ++i) {  // warm caches / pools
+    (void)context.Call("event_received", {message});
+  }
+  double best = 1e18;
+  for (int r = 0; r < rounds; ++r) {
+    const double start = NowUs();
+    for (int i = 0; i < calls; ++i) {
+      auto result = context.Call("event_received", {message});
+      benchmark::DoNotOptimize(result);
+    }
+    best = std::min(best, (NowUs() - start) / calls);
+  }
+  return best;
+}
+
+/// Context::Load cost (µs): parse + resolve + top-level execution.
+double MeasureLoadUs(bool resolve, int rounds, int loads) {
+  double best = 1e18;
+  for (int r = 0; r < rounds; ++r) {
+    const double start = NowUs();
+    for (int i = 0; i < loads; ++i) {
+      script::ContextOptions options;
+      options.resolve = resolve;
+      script::Context context(options);
+      benchmark::DoNotOptimize(context.Load(kModuleSource));
+    }
+    best = std::min(best, (NowUs() - start) / loads);
+  }
+  return best;
+}
+
+int SmokeMain() {
+  const int rounds = 5;
+  const double resolved_us = MeasureDispatchUs(true, rounds, 5000);
+  const double fallback_us = MeasureDispatchUs(false, rounds, 5000);
+  const double load_resolved_us = MeasureLoadUs(true, rounds, 300);
+  const double load_fallback_us = MeasureLoadUs(false, rounds, 300);
+
+  json::Value doc = json::Value::MakeObject();
+  doc["bench"] = json::Value("micro_script");
+  doc["dispatch_us_resolved"] = json::Value(resolved_us);
+  doc["dispatch_us_fallback"] = json::Value(fallback_us);
+  doc["dispatch_speedup"] = json::Value(fallback_us / resolved_us);
+  doc["load_us_resolved"] = json::Value(load_resolved_us);
+  doc["load_us_fallback"] = json::Value(load_fallback_us);
+  doc["load_overhead"] = json::Value(load_resolved_us / load_fallback_us);
+  bench::WriteBenchJson("script", doc);
+  std::printf(
+      "dispatch: resolved %.2f us, fallback %.2f us (%.2fx); "
+      "load: resolved %.1f us, fallback %.1f us\n",
+      resolved_us, fallback_us, fallback_us / resolved_us,
+      load_resolved_us, load_fallback_us);
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  if (vp::bench::SmokeMode()) return SmokeMain();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -110,7 +110,14 @@ std::string EscapeString(const std::string& s) {
   return out;
 }
 
+namespace {
+uint64_t g_write_calls = 0;
+}
+
+uint64_t WriteCallCountForTest() { return g_write_calls; }
+
 std::string Write(const Value& v, int indent) {
+  ++g_write_calls;
   std::string out;
   WriteImpl(v, indent, 0, out);
   if (indent >= 0) out += '\n';

@@ -11,6 +11,10 @@ namespace vp::json {
 /// print with the given indent width.
 std::string Write(const Value& v, int indent = -1);
 
+/// Number of Write() calls so far in this process. Lets tests assert
+/// that hot paths (Message::ByteSize) don't re-serialize payloads.
+uint64_t WriteCallCountForTest();
+
 /// Escape a string for embedding in JSON (without surrounding quotes).
 std::string EscapeString(const std::string& s);
 

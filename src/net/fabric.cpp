@@ -122,6 +122,8 @@ Status Fabric::Publish(const std::string& from_device,
   const size_t size = m.ByteSize();
   for (const Subscriber& subscriber : it->second) {
     const uint64_t token = subscriber.token;
+    // Cheap: payload and parts are copy-on-write, so the per-subscriber
+    // copy shares them until a subscriber mutates its Message.
     Message copy = m;
     cluster_->network().Send(
         from_device, subscriber.device, size,

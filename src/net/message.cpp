@@ -9,14 +9,51 @@ namespace {
 constexpr uint32_t kMagic = 0x56504D31;  // "VPM1"
 }
 
+const json::Value& Message::NullJson() {
+  static const json::Value kNull;
+  return kNull;
+}
+
+const std::vector<Bytes>& Message::NoParts() {
+  static const std::vector<Bytes> kEmpty;
+  return kEmpty;
+}
+
+json::Value& Message::payload() {
+  if (!payload_) {
+    payload_ = std::make_shared<json::Value>();
+  } else if (payload_.use_count() > 1) {
+    payload_ = std::make_shared<json::Value>(*payload_);  // un-share
+  }
+  payload_bytes_ = kNoSize;  // caller may mutate through the reference
+  return *payload_;
+}
+
+void Message::set_payload(json::Value v) {
+  payload_ = std::make_shared<json::Value>(std::move(v));
+  payload_bytes_ = kNoSize;
+}
+
+std::vector<Bytes>& Message::mutable_parts() {
+  if (!parts_) {
+    parts_ = std::make_shared<std::vector<Bytes>>();
+  } else if (parts_.use_count() > 1) {
+    parts_ = std::make_shared<std::vector<Bytes>>(*parts_);  // un-share
+  }
+  return *parts_;
+}
+
 size_t Message::ByteSize() const {
+  if (payload_bytes_ == kNoSize) {
+    payload_bytes_ = json::Write(payload()).size();
+  }
   size_t size = 4;                       // magic
   size += 4 + type_.size();              // type
   size += 4 + sender_.size();            // sender
   size += 8;                             // seq
-  size += 4 + json::Write(payload_).size();
+  size += 4 + payload_bytes_;            // payload JSON
   size += 4;                             // part count
-  for (const auto& p : parts_) size += 4 + p.size();
+  for (const auto& p : parts()) size += 4 + p.size();
   return size;
 }
 
@@ -26,9 +63,12 @@ Bytes Message::Encode() const {
   w.WriteString(type_);
   w.WriteString(sender_);
   w.WriteU64(seq_);
-  w.WriteString(json::Write(payload_));
-  w.WriteU32(static_cast<uint32_t>(parts_.size()));
-  for (const auto& p : parts_) w.WriteBytes(p);
+  std::string payload_text = json::Write(payload());
+  payload_bytes_ = payload_text.size();  // ByteSize can reuse this
+  w.WriteString(payload_text);
+  const auto& ps = parts();
+  w.WriteU32(static_cast<uint32_t>(ps.size()));
+  for (const auto& p : ps) w.WriteBytes(p);
   return w.Take();
 }
 
@@ -55,14 +95,16 @@ Result<Message> Message::Decode(std::span<const uint8_t> data) {
   if (!payload_text.ok()) return payload_text.error();
   auto payload = json::Parse(*payload_text);
   if (!payload.ok()) return payload.error();
-  m.payload_ = std::move(*payload);
+  // The size cache stays unset: a re-serialization of the parsed value
+  // is not guaranteed byte-identical to the text we just read.
+  m.set_payload(std::move(*payload));
 
   auto count = r.ReadU32();
   if (!count.ok()) return count.error();
   for (uint32_t i = 0; i < *count; ++i) {
     auto part = r.ReadBytes();
     if (!part.ok()) return part.error();
-    m.parts_.push_back(std::move(*part));
+    m.mutable_parts().push_back(std::move(*part));
   }
   if (!r.AtEnd()) return ParseError("trailing bytes after message");
   return m;

@@ -5,9 +5,17 @@
 // frames travel as binary parts so they are sized honestly on the
 // simulated network). Messages have a real binary encoding —
 // round-tripped in tests and used to compute on-wire size.
+//
+// Payload and parts are copy-on-write: copying a Message shares them
+// behind shared_ptrs and only a mutating accessor clones (fan-out in
+// Fabric::Publish copies one Message per subscriber — per-copy cost
+// must not scale with frame size). The encoded-payload size is
+// memoized so ByteSize() — called on every Push/Request/Publish for
+// network accounting — serializes the JSON at most once per payload.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,8 +29,9 @@ class Message {
  public:
   Message() = default;
   explicit Message(std::string type) : type_(std::move(type)) {}
-  Message(std::string type, json::Value payload)
-      : type_(std::move(type)), payload_(std::move(payload)) {}
+  Message(std::string type, json::Value payload) : type_(std::move(type)) {
+    set_payload(std::move(payload));
+  }
 
   const std::string& type() const { return type_; }
   void set_type(std::string t) { type_ = std::move(t); }
@@ -35,16 +44,25 @@ class Message {
   uint64_t seq() const { return seq_; }
   void set_seq(uint64_t s) { seq_ = s; }
 
-  const json::Value& payload() const { return payload_; }
-  json::Value& payload() { return payload_; }
-  void set_payload(json::Value v) { payload_ = std::move(v); }
+  const json::Value& payload() const {
+    return payload_ ? *payload_ : NullJson();
+  }
+  /// Mutable access un-shares the payload and invalidates the
+  /// memoized encoded size.
+  json::Value& payload();
+  void set_payload(json::Value v);
 
-  const std::vector<Bytes>& parts() const { return parts_; }
-  std::vector<Bytes>& mutable_parts() { return parts_; }
-  void AddPart(Bytes part) { parts_.push_back(std::move(part)); }
-  void ClearParts() { parts_.clear(); }
+  const std::vector<Bytes>& parts() const {
+    return parts_ ? *parts_ : NoParts();
+  }
+  /// Mutable access un-shares the parts vector.
+  std::vector<Bytes>& mutable_parts();
+  void AddPart(Bytes part) { mutable_parts().push_back(std::move(part)); }
+  void ClearParts() { parts_.reset(); }
 
-  /// Exact size of Encode()'s output, without encoding.
+  /// Exact size of Encode()'s output, without encoding. The payload's
+  /// serialized size is computed once and cached (shared copies reuse
+  /// it — the payload is immutable while shared).
   size_t ByteSize() const;
 
   /// Binary wire format (little-endian, length-prefixed).
@@ -52,11 +70,18 @@ class Message {
   static Result<Message> Decode(std::span<const uint8_t> data);
 
  private:
+  static const json::Value& NullJson();
+  static const std::vector<Bytes>& NoParts();
+
+  static constexpr size_t kNoSize = static_cast<size_t>(-1);
+
   std::string type_;
   std::string sender_;
   uint64_t seq_ = 0;
-  json::Value payload_;
-  std::vector<Bytes> parts_;
+  std::shared_ptr<json::Value> payload_;
+  std::shared_ptr<std::vector<Bytes>> parts_;
+  /// json::Write(payload).size(), or kNoSize before first use.
+  mutable size_t payload_bytes_ = kNoSize;
 };
 
 }  // namespace vp::net

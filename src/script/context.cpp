@@ -3,10 +3,11 @@
 #include <set>
 
 #include "script/convert.hpp"
+#include "script/resolver.hpp"
 
 namespace vp::script {
 
-Context::Context(ContextOptions options) {
+Context::Context(ContextOptions options) : resolve_(options.resolve) {
   globals_ = std::make_shared<Environment>();
   InstallStdlib(*globals_, options.random_seed);
   interp_ = std::make_unique<Interpreter>(globals_, options.limits);
@@ -24,6 +25,7 @@ Status Context::Load(const std::string& source) {
   auto program = ParseProgram(source);
   if (!program.ok()) return Status(program.error());
   program_ = *program;
+  if (resolve_) ResolveProgram(*program_);
   baseline_globals_ = globals_->LocalNames();
   interp_->ResetBudget();
   auto result = interp_->RunProgram(program_);
@@ -65,7 +67,20 @@ bool Context::HasFunction(const std::string& name) const {
 }
 
 Result<Value> Context::Call(const std::string& name, std::vector<Value> args) {
-  Value* fn = globals_->Find(name);
+  Value* fn = nullptr;
+  if (name == call_cache_name_) {
+    fn = globals_->ValueAtIfId(call_cache_index_, call_cache_id_);
+  }
+  if (fn == nullptr) {
+    const uint32_t id = Interner::Global().Intern(name);
+    const uint32_t index = globals_->LocalIndexById(id);
+    if (index != Environment::kNpos) {
+      fn = globals_->ValueAtIfId(index, id);
+      call_cache_name_ = name;
+      call_cache_id_ = id;
+      call_cache_index_ = index;
+    }
+  }
   if (fn == nullptr || !fn->is_function()) {
     return NotFound("no function '" + name + "' in module");
   }

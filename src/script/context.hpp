@@ -23,6 +23,10 @@ struct ContextOptions {
   InterpreterLimits limits;
   /// Seed for this context's Math.random.
   uint64_t random_seed = 1234;
+  /// Run the resolver pass (resolver.hpp) on loaded programs. Off
+  /// switches the interpreter to its dynamic Environment-only fallback
+  /// — same semantics, slower; kept for A/B tests and benchmarks.
+  bool resolve = true;
 };
 
 class Context {
@@ -63,6 +67,15 @@ class Context {
   Interpreter& interpreter() { return *interp_; }
 
  private:
+  bool resolve_ = true;
+  /// One-entry cache for Call's name→binding lookup: the module
+  /// runtime invokes the same handler (`event_received`) per event, so
+  /// the repeat lookup is a string equality + an index probe instead
+  /// of a hash + scan. Verified against the interned id, so a stale
+  /// entry (redefined global) degrades to the full lookup.
+  std::string call_cache_name_;
+  uint32_t call_cache_id_ = kNoNameId;
+  uint32_t call_cache_index_ = 0;
   std::shared_ptr<Environment> globals_;
   std::unique_ptr<Interpreter> interp_;
   std::shared_ptr<Program> program_;

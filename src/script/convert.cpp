@@ -48,10 +48,10 @@ Result<json::Value> ScriptToJson(const Value& v) {
     }
     case ValueType::kObject: {
       json::Value::Object obj;
-      for (const auto& [k, item] : v.AsObject()->items()) {
-        auto j = ScriptToJson(item);
+      for (const auto& entry : v.AsObject()->items()) {
+        auto j = ScriptToJson(entry.value);
         if (!j.ok()) return j;
-        obj[k] = std::move(*j);
+        obj[entry.key] = std::move(*j);
       }
       return json::Value(std::move(obj));
     }

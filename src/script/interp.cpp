@@ -1,11 +1,53 @@
 #include "script/interp.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
 
 namespace vp::script {
+
+namespace {
+
+/// Fallback mapping for ASTs that never went through the parser's
+/// opcode assignment (hand-built trees); resolved/parsed programs
+/// always carry op_code.
+OpCode BinaryOpFromSpelling(const std::string& op) {
+  if (op == "+") return OpCode::kAdd;
+  if (op == "-") return OpCode::kSub;
+  if (op == "*") return OpCode::kMul;
+  if (op == "/") return OpCode::kDiv;
+  if (op == "%") return OpCode::kMod;
+  if (op == "==") return OpCode::kEq;
+  if (op == "!=") return OpCode::kNe;
+  if (op == "===") return OpCode::kStrictEq;
+  if (op == "!==") return OpCode::kStrictNe;
+  if (op == "<") return OpCode::kLt;
+  if (op == "<=") return OpCode::kLe;
+  if (op == ">") return OpCode::kGt;
+  if (op == ">=") return OpCode::kGe;
+  return OpCode::kNone;
+}
+
+Value MakeFunctionFromStmt(const Stmt& stmt,
+                           const std::shared_ptr<Program>& owner,
+                           const std::shared_ptr<Environment>& closure) {
+  auto fn = std::make_shared<ScriptFunction>();
+  fn->name = stmt.name;
+  fn->params = stmt.params;
+  fn->body = &stmt.body;
+  fn->owner = owner;
+  fn->closure = closure;
+  if (stmt.aux != nullptr && stmt.aux->slot_mode) {
+    fn->slot_mode = true;
+    fn->frame_size = stmt.aux->frame_size;
+    fn->param_slots = &stmt.aux->param_slots;
+  }
+  return Value(std::move(fn));
+}
+
+}  // namespace
 
 Interpreter::Interpreter(std::shared_ptr<Environment> globals,
                          InterpreterLimits limits)
@@ -17,17 +59,28 @@ void Interpreter::Print(const std::string& line) {
   if (print_) print_(line);
 }
 
-Status Interpreter::Charge(int line) {
-  if (++steps_used_ > limits_.max_steps) {
-    return Status(StatusCode::kResourceExhausted,
-                  Format("script:%d: step budget exceeded (%llu steps)", line,
-                         static_cast<unsigned long long>(limits_.max_steps)));
-  }
-  return Status::Ok();
+Status Interpreter::BudgetExhausted(int line) const {
+  return Status(StatusCode::kResourceExhausted,
+                Format("script:%d: step budget exceeded (%llu steps)", line,
+                       static_cast<unsigned long long>(limits_.max_steps)));
 }
 
 Error Interpreter::Raise(int line, const std::string& what) const {
   return ScriptError(Format("script:%d: %s", line, what.c_str()));
+}
+
+std::vector<Value> Interpreter::AcquireFrame(size_t size) {
+  if (frame_pool_.empty()) return std::vector<Value>(size);
+  std::vector<Value> frame = std::move(frame_pool_.back());
+  frame_pool_.pop_back();
+  frame.resize(size);  // values were cleared on release; capacity kept
+  return frame;
+}
+
+void Interpreter::ReleaseFrame(std::vector<Value> frame) {
+  // Drop values now so the pool never pins objects alive between calls.
+  frame.clear();
+  if (frame_pool_.size() < 16) frame_pool_.push_back(std::move(frame));
 }
 
 Result<Value> Interpreter::RunProgram(
@@ -36,19 +89,15 @@ Result<Value> Interpreter::RunProgram(
   // Hoist function declarations.
   for (const StmtPtr& stmt : program->statements) {
     if (stmt->kind == StmtKind::kFunction) {
-      auto fn = std::make_shared<ScriptFunction>();
-      fn->name = stmt->name;
-      fn->params = stmt->params;
-      fn->body = &stmt->body;
-      fn->owner = program;
-      fn->closure = globals_;
-      globals_->Define(stmt->name, Value(std::move(fn)));
+      globals_->Define(stmt->name,
+                       MakeFunctionFromStmt(*stmt, program, globals_));
     }
   }
+  const ScopeCtx ctx{globals_, nullptr};
   Value last;
   for (const StmtPtr& stmt : program->statements) {
     if (stmt->kind == StmtKind::kFunction) continue;  // already hoisted
-    auto r = ExecStmt(*stmt, globals_);
+    auto r = ExecStmt(*stmt, ctx);
     if (!r.ok()) return r.error();
     if (r->flow == Flow::kReturn) return r->value;
     if (r->flow != Flow::kNormal) {
@@ -72,6 +121,24 @@ Result<Value> Interpreter::Call(const Value& fn, std::vector<Value> args) {
                               limits_.max_call_depth));
   }
   const auto& def = fn.AsFunction();
+  if (def->slot_mode && def->param_slots != nullptr) {
+    // Capture-free function: locals live in a pooled flat frame, no
+    // per-call Environment. kEnv references inside the body go
+    // straight to the closure chain (typically the globals).
+    ++slot_frames_used_;
+    std::vector<Value> frame = AcquireFrame(def->frame_size);
+    const std::vector<uint16_t>& slots = *def->param_slots;
+    const size_t n = std::min(args.size(), slots.size());
+    for (size_t i = 0; i < n; ++i) frame[slots[i]] = std::move(args[i]);
+    ++call_depth_;
+    const ScopeCtx ctx{def->closure, &frame};
+    auto r = ExecBlock(*def->body, ctx);
+    --call_depth_;
+    ReleaseFrame(std::move(frame));
+    if (!r.ok()) return r.error();
+    if (r->flow == Flow::kReturn) return std::move(r->value);
+    return Value::Undefined();
+  }
   auto env = std::make_shared<Environment>(def->closure);
   // Named function expressions can refer to themselves by name.
   if (!def->name.empty() && env->Find(def->name) == nullptr) {
@@ -82,7 +149,8 @@ Result<Value> Interpreter::Call(const Value& fn, std::vector<Value> args) {
                 i < args.size() ? std::move(args[i]) : Value::Undefined());
   }
   ++call_depth_;
-  auto r = ExecBlock(*def->body, env);
+  const ScopeCtx ctx{env, nullptr};
+  auto r = ExecBlock(*def->body, ctx);
   --call_depth_;
   if (!r.ok()) return r.error();
   if (r->flow == Flow::kReturn) return r->value;
@@ -90,83 +158,96 @@ Result<Value> Interpreter::Call(const Value& fn, std::vector<Value> args) {
 }
 
 Result<Interpreter::ExecResult> Interpreter::ExecBlock(
-    const std::vector<StmtPtr>& stmts,
-    const std::shared_ptr<Environment>& env) {
-  // Hoist function declarations within the block.
-  for (const StmtPtr& stmt : stmts) {
-    if (stmt->kind == StmtKind::kFunction) {
-      auto fn = std::make_shared<ScriptFunction>();
-      fn->name = stmt->name;
-      fn->params = stmt->params;
-      fn->body = &stmt->body;
-      fn->owner = current_program_;
-      fn->closure = env;
-      env->Define(stmt->name, Value(std::move(fn)));
+    const std::vector<StmtPtr>& stmts, const ScopeCtx& ctx) {
+  // Hoist function declarations within the block. Slot-mode bodies
+  // never contain function declarations (resolver guarantee), so the
+  // scan only runs for environment-backed scopes.
+  if (ctx.frame == nullptr) {
+    for (const StmtPtr& stmt : stmts) {
+      if (stmt->kind == StmtKind::kFunction) {
+        ctx.env->Define(stmt->name,
+                        MakeFunctionFromStmt(*stmt, current_program_, ctx.env));
+      }
     }
   }
   for (const StmtPtr& stmt : stmts) {
     if (stmt->kind == StmtKind::kFunction) continue;
-    auto r = ExecStmt(*stmt, env);
+    auto r = ExecStmt(*stmt, ctx);
     if (!r.ok()) return r;
     if (r->flow != Flow::kNormal) return r;
   }
   return ExecResult{};
 }
 
-Result<Interpreter::ExecResult> Interpreter::ExecStmt(
-    const Stmt& stmt, const std::shared_ptr<Environment>& env) {
+Result<Interpreter::ExecResult> Interpreter::ExecStmt(const Stmt& stmt,
+                                                      const ScopeCtx& ctx) {
   VP_RETURN_IF_ERROR_R(Charge(stmt.line));
   switch (stmt.kind) {
     case StmtKind::kExpr: {
-      auto v = Eval(*stmt.expr, env);
+      auto v = Eval(*stmt.expr, ctx);
       if (!v.ok()) return v.error();
       return ExecResult{Flow::kNormal, std::move(*v)};
     }
     case StmtKind::kVarDecl: {
       Value init;
       if (stmt.expr) {
-        auto v = Eval(*stmt.expr, env);
+        auto v = Eval(*stmt.expr, ctx);
         if (!v.ok()) return v.error();
         init = std::move(*v);
       }
-      env->Define(stmt.name, std::move(init), stmt.is_const);
+      if (stmt.ref == RefKind::kSlot && ctx.frame != nullptr) {
+        (*ctx.frame)[stmt.slot] = std::move(init);
+      } else if (stmt.name_id != kNoNameId) {
+        ctx.env->DefineById(stmt.name_id, std::move(init), stmt.is_const);
+      } else {
+        ctx.env->Define(stmt.name, std::move(init), stmt.is_const);
+      }
       return ExecResult{};
     }
     case StmtKind::kFunction: {
-      // Non-hoisted path (e.g. function declared inside `if`).
-      auto fn = std::make_shared<ScriptFunction>();
-      fn->name = stmt.name;
-      fn->params = stmt.params;
-      fn->body = &stmt.body;
-      fn->owner = current_program_;
-      fn->closure = env;
-      env->Define(stmt.name, Value(std::move(fn)));
+      // Non-hoisted path (e.g. function declared inside `if`). Only
+      // reachable in environment scopes.
+      if (ctx.frame != nullptr) {
+        return Raise(stmt.line,
+                     "function declaration in a slot-resolved scope");
+      }
+      ctx.env->Define(stmt.name,
+                      MakeFunctionFromStmt(stmt, current_program_, ctx.env));
       return ExecResult{};
     }
     case StmtKind::kReturn: {
       Value v;
       if (stmt.expr) {
-        auto r = Eval(*stmt.expr, env);
+        auto r = Eval(*stmt.expr, ctx);
         if (!r.ok()) return r.error();
         v = std::move(*r);
       }
       return ExecResult{Flow::kReturn, std::move(v)};
     }
     case StmtKind::kIf: {
-      auto cond = Eval(*stmt.expr, env);
+      auto cond = Eval(*stmt.expr, ctx);
       if (!cond.ok()) return cond.error();
-      auto scope = std::make_shared<Environment>(env);
-      if (cond->Truthy()) return ExecBlock(stmt.then_branch, scope);
-      return ExecBlock(stmt.else_branch, scope);
+      const auto& branch = cond->Truthy() ? stmt.then_branch
+                                          : stmt.else_branch;
+      if (ctx.frame != nullptr) return ExecBlock(branch, ctx);
+      auto scope = std::make_shared<Environment>(ctx.env);
+      const ScopeCtx inner{scope, nullptr};
+      return ExecBlock(branch, inner);
     }
     case StmtKind::kWhile: {
       while (true) {
         VP_RETURN_IF_ERROR_R(Charge(stmt.line));
-        auto cond = Eval(*stmt.expr, env);
+        auto cond = Eval(*stmt.expr, ctx);
         if (!cond.ok()) return cond.error();
         if (!cond->Truthy()) break;
-        auto scope = std::make_shared<Environment>(env);
-        auto r = ExecBlock(stmt.body, scope);
+        Result<ExecResult> r = ExecResult{};
+        if (ctx.frame != nullptr) {
+          r = ExecBlock(stmt.body, ctx);
+        } else {
+          auto scope = std::make_shared<Environment>(ctx.env);
+          const ScopeCtx inner{scope, nullptr};
+          r = ExecBlock(stmt.body, inner);
+        }
         if (!r.ok()) return r;
         if (r->flow == Flow::kReturn) return r;
         if (r->flow == Flow::kBreak) break;
@@ -174,36 +255,63 @@ Result<Interpreter::ExecResult> Interpreter::ExecStmt(
       return ExecResult{};
     }
     case StmtKind::kFor: {
-      auto loop_env = std::make_shared<Environment>(env);
+      if (ctx.frame != nullptr) {
+        if (stmt.init) {
+          auto r = ExecStmt(*stmt.init, ctx);
+          if (!r.ok()) return r;
+        }
+        while (true) {
+          VP_RETURN_IF_ERROR_R(Charge(stmt.line));
+          if (stmt.condition) {
+            auto cond = Eval(*stmt.condition, ctx);
+            if (!cond.ok()) return cond.error();
+            if (!cond->Truthy()) break;
+          }
+          auto r = ExecBlock(stmt.body, ctx);
+          if (!r.ok()) return r;
+          if (r->flow == Flow::kReturn) return r;
+          if (r->flow == Flow::kBreak) break;
+          if (stmt.step) {
+            auto s = Eval(*stmt.step, ctx);
+            if (!s.ok()) return s.error();
+          }
+        }
+        return ExecResult{};
+      }
+      auto loop_env = std::make_shared<Environment>(ctx.env);
+      const ScopeCtx loop_ctx{loop_env, nullptr};
       if (stmt.init) {
-        auto r = ExecStmt(*stmt.init, loop_env);
+        auto r = ExecStmt(*stmt.init, loop_ctx);
         if (!r.ok()) return r;
       }
       while (true) {
         VP_RETURN_IF_ERROR_R(Charge(stmt.line));
         if (stmt.condition) {
-          auto cond = Eval(*stmt.condition, loop_env);
+          auto cond = Eval(*stmt.condition, loop_ctx);
           if (!cond.ok()) return cond.error();
           if (!cond->Truthy()) break;
         }
         auto scope = std::make_shared<Environment>(loop_env);
-        auto r = ExecBlock(stmt.body, scope);
+        const ScopeCtx iter_ctx{scope, nullptr};
+        auto r = ExecBlock(stmt.body, iter_ctx);
         if (!r.ok()) return r;
         if (r->flow == Flow::kReturn) return r;
         if (r->flow == Flow::kBreak) break;
         if (stmt.step) {
-          auto s = Eval(*stmt.step, loop_env);
+          auto s = Eval(*stmt.step, loop_ctx);
           if (!s.ok()) return s.error();
         }
       }
       return ExecResult{};
     }
     case StmtKind::kForIn: {
-      auto obj = Eval(*stmt.expr, env);
+      auto obj = Eval(*stmt.expr, ctx);
       if (!obj.ok()) return obj.error();
       std::vector<std::string> keys;
       if (obj->is_object()) {
-        for (const auto& [k, v] : obj->AsObject()->items()) keys.push_back(k);
+        for (const auto& entry : obj->AsObject()->items()) {
+          keys.push_back(entry.key);
+        }
       } else if (obj->is_array()) {
         for (size_t i = 0; i < obj->AsArray()->size(); ++i) {
           keys.push_back(Format("%zu", i));
@@ -213,9 +321,20 @@ Result<Interpreter::ExecResult> Interpreter::ExecStmt(
       }
       for (const auto& key : keys) {
         VP_RETURN_IF_ERROR_R(Charge(stmt.line));
-        auto scope = std::make_shared<Environment>(env);
-        scope->Define(stmt.name, Value(key));
-        auto r = ExecBlock(stmt.body, scope);
+        Result<ExecResult> r = ExecResult{};
+        if (stmt.ref == RefKind::kSlot && ctx.frame != nullptr) {
+          (*ctx.frame)[stmt.slot] = Value(key);
+          r = ExecBlock(stmt.body, ctx);
+        } else {
+          auto scope = std::make_shared<Environment>(ctx.env);
+          if (stmt.name_id != kNoNameId) {
+            scope->DefineById(stmt.name_id, Value(key));
+          } else {
+            scope->Define(stmt.name, Value(key));
+          }
+          const ScopeCtx inner{scope, nullptr};
+          r = ExecBlock(stmt.body, inner);
+        }
         if (!r.ok()) return r;
         if (r->flow == Flow::kReturn) return r;
         if (r->flow == Flow::kBreak) break;
@@ -223,49 +342,84 @@ Result<Interpreter::ExecResult> Interpreter::ExecStmt(
       return ExecResult{};
     }
     case StmtKind::kBlock: {
-      auto scope = std::make_shared<Environment>(env);
-      return ExecBlock(stmt.body, scope);
+      if (ctx.frame != nullptr) return ExecBlock(stmt.body, ctx);
+      auto scope = std::make_shared<Environment>(ctx.env);
+      const ScopeCtx inner{scope, nullptr};
+      return ExecBlock(stmt.body, inner);
     }
     case StmtKind::kDoWhile: {
       while (true) {
         VP_RETURN_IF_ERROR_R(Charge(stmt.line));
-        auto scope = std::make_shared<Environment>(env);
-        auto r = ExecBlock(stmt.body, scope);
+        Result<ExecResult> r = ExecResult{};
+        if (ctx.frame != nullptr) {
+          r = ExecBlock(stmt.body, ctx);
+        } else {
+          auto scope = std::make_shared<Environment>(ctx.env);
+          const ScopeCtx inner{scope, nullptr};
+          r = ExecBlock(stmt.body, inner);
+        }
         if (!r.ok()) return r;
         if (r->flow == Flow::kReturn) return r;
         if (r->flow == Flow::kBreak) break;
-        auto cond = Eval(*stmt.expr, env);
+        auto cond = Eval(*stmt.expr, ctx);
         if (!cond.ok()) return cond.error();
         if (!cond->Truthy()) break;
       }
       return ExecResult{};
     }
     case StmtKind::kTry: {
-      auto scope = std::make_shared<Environment>(env);
-      auto r = ExecBlock(stmt.body, scope);
+      Result<ExecResult> r = ExecResult{};
+      if (ctx.frame != nullptr) {
+        r = ExecBlock(stmt.body, ctx);
+      } else {
+        auto scope = std::make_shared<Environment>(ctx.env);
+        const ScopeCtx inner{scope, nullptr};
+        r = ExecBlock(stmt.body, inner);
+      }
       if (r.ok()) return r;
       // Budget/depth exhaustion is not catchable — a runaway module
       // must not catch its own kill signal.
       if (r.error().code() == StatusCode::kResourceExhausted) {
         return r;
       }
-      auto catch_scope = std::make_shared<Environment>(env);
       auto error_object = std::make_shared<ScriptObject>();
       error_object->Set("message", Value(r.error().message()));
       error_object->Set("code",
                         Value(std::string(StatusCodeName(r.error().code()))));
-      catch_scope->Define(stmt.name, Value(std::move(error_object)));
-      return ExecBlock(stmt.else_branch, catch_scope);
+      if (stmt.ref == RefKind::kSlot && ctx.frame != nullptr) {
+        (*ctx.frame)[stmt.slot] = Value(std::move(error_object));
+        return ExecBlock(stmt.else_branch, ctx);
+      }
+      auto catch_scope = std::make_shared<Environment>(ctx.env);
+      if (stmt.name_id != kNoNameId) {
+        catch_scope->DefineById(stmt.name_id, Value(std::move(error_object)));
+      } else {
+        catch_scope->Define(stmt.name, Value(std::move(error_object)));
+      }
+      const ScopeCtx catch_ctx{catch_scope, nullptr};
+      return ExecBlock(stmt.else_branch, catch_ctx);
     }
     case StmtKind::kThrow: {
-      auto value = Eval(*stmt.expr, env);
+      auto value = Eval(*stmt.expr, ctx);
       if (!value.ok()) return value.error();
       return Raise(stmt.line, "uncaught: " + value->ToDisplayString());
     }
     case StmtKind::kSwitch: {
-      auto discriminant = Eval(*stmt.expr, env);
+      auto discriminant = Eval(*stmt.expr, ctx);
       if (!discriminant.ok()) return discriminant.error();
-      auto scope = std::make_shared<Environment>(env);
+      std::shared_ptr<Environment> scope;
+      if (ctx.frame != nullptr) {
+        // Reset case-scope slots so fall-through dispatch never sees
+        // values from a previous execution of the same switch.
+        if (stmt.aux != nullptr) {
+          for (const uint16_t s : stmt.aux->scope_slots) {
+            (*ctx.frame)[s] = Value();
+          }
+        }
+      } else {
+        scope = std::make_shared<Environment>(ctx.env);
+      }
+      const ScopeCtx switch_ctx{scope ? scope : ctx.env, ctx.frame};
       // Find the matching case (strict equality), else default.
       size_t start = stmt.cases.size();
       size_t default_index = stmt.cases.size();
@@ -274,7 +428,7 @@ Result<Interpreter::ExecResult> Interpreter::ExecStmt(
           default_index = i;
           continue;
         }
-        auto test = Eval(*stmt.cases[i].test, scope);
+        auto test = Eval(*stmt.cases[i].test, switch_ctx);
         if (!test.ok()) return test.error();
         if (test->StrictEquals(*discriminant)) {
           start = i;
@@ -284,7 +438,7 @@ Result<Interpreter::ExecResult> Interpreter::ExecStmt(
       if (start == stmt.cases.size()) start = default_index;
       // Fall-through execution until break/return.
       for (size_t i = start; i < stmt.cases.size(); ++i) {
-        auto r = ExecBlock(stmt.cases[i].body, scope);
+        auto r = ExecBlock(stmt.cases[i].body, switch_ctx);
         if (!r.ok()) return r;
         if (r->flow == Flow::kReturn) return r;
         if (r->flow == Flow::kBreak) return ExecResult{};
@@ -308,11 +462,104 @@ Value Interpreter::MakeClosure(const Expr& fn_expr,
   fn->body = &fn_expr.body;
   fn->owner = current_program_;
   fn->closure = env;
+  if (fn_expr.aux != nullptr && fn_expr.aux->slot_mode) {
+    fn->slot_mode = true;
+    fn->frame_size = fn_expr.aux->frame_size;
+    fn->param_slots = &fn_expr.aux->param_slots;
+  }
   return Value(std::move(fn));
 }
 
-Result<Value> Interpreter::Eval(const Expr& expr,
-                                const std::shared_ptr<Environment>& env) {
+Value* Interpreter::LookupEnv(const Expr& expr, Environment& env) const {
+  if (expr.ref == RefKind::kEnv) {
+    // Inline cache: if this expression last resolved as a direct
+    // binding of this same environment, re-use the binding index. The
+    // id check makes a stale hit degrade to a walk, never mis-resolve.
+    if (expr.cache_env == &env) {
+      if (Value* v = env.ValueAtIfId(expr.cache_index, expr.name_id)) {
+        return v;
+      }
+    }
+    const uint32_t index = env.LocalIndexById(expr.name_id);
+    if (index != Environment::kNpos) {
+      expr.cache_env = &env;
+      expr.cache_index = index;
+      return env.ValueAtIfId(index, expr.name_id);
+    }
+    Environment* parent = env.parent().get();
+    return parent ? parent->FindById(expr.name_id) : nullptr;
+  }
+  return env.Find(expr.string_value);
+}
+
+const Value* Interpreter::EvalRef(const Expr& expr, const ScopeCtx& ctx) const {
+  if (expr.kind != ExprKind::kIdentifier) return nullptr;
+  if (expr.ref == RefKind::kSlot && ctx.frame != nullptr) {
+    return &(*ctx.frame)[expr.slot];
+  }
+  return LookupEnv(expr, *ctx.env);
+}
+
+namespace {
+
+/// True when evaluating `e` cannot run user code or mutate any binding
+/// (it may still raise, which aborts the expression) — the condition
+/// under which a pointer obtained from EvalRef before evaluating `e`
+/// stays valid. Property reads qualify: vpscript has no getters.
+bool IsPureOperand(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kNumber:
+    case ExprKind::kString:
+    case ExprKind::kBool:
+    case ExprKind::kNull:
+    case ExprKind::kUndefined:
+    case ExprKind::kIdentifier:
+      return true;
+    case ExprKind::kMember:
+      return IsPureOperand(*e.a);
+    case ExprKind::kIndex:
+      return IsPureOperand(*e.a) && IsPureOperand(*e.b);
+    default:
+      return false;
+  }
+}
+
+uint32_t LengthNameId() {
+  static const uint32_t id = Interner::Global().Intern("length");
+  return id;
+}
+
+/// Inlined double⊕double arithmetic/comparison — the overwhelmingly
+/// common case in module code. Semantics identical to EvalBinaryOp
+/// (for two numbers loose and strict equality coincide, and NaN
+/// compares false either way). Returns false for ops that need the
+/// generic path (string concat, cross-type equality, …).
+inline bool FastNumericBinary(OpCode code, const Value& a, const Value& b,
+                              Value* out) {
+  if (!a.is_number() || !b.is_number()) return false;
+  const double x = a.AsNumber();
+  const double y = b.AsNumber();
+  switch (code) {
+    case OpCode::kAdd: *out = Value(x + y); return true;
+    case OpCode::kSub: *out = Value(x - y); return true;
+    case OpCode::kMul: *out = Value(x * y); return true;
+    case OpCode::kDiv: *out = Value(x / y); return true;
+    case OpCode::kMod: *out = Value(std::fmod(x, y)); return true;
+    case OpCode::kEq:
+    case OpCode::kStrictEq: *out = Value(x == y); return true;
+    case OpCode::kNe:
+    case OpCode::kStrictNe: *out = Value(x != y); return true;
+    case OpCode::kLt: *out = Value(x < y); return true;
+    case OpCode::kLe: *out = Value(x <= y); return true;
+    case OpCode::kGt: *out = Value(x > y); return true;
+    case OpCode::kGe: *out = Value(x >= y); return true;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+Result<Value> Interpreter::Eval(const Expr& expr, const ScopeCtx& ctx) {
   VP_RETURN_IF_ERROR_R(Charge(expr.line));
   switch (expr.kind) {
     case ExprKind::kNumber: return Value(expr.number);
@@ -321,7 +568,10 @@ Result<Value> Interpreter::Eval(const Expr& expr,
     case ExprKind::kNull: return Value(nullptr);
     case ExprKind::kUndefined: return Value::Undefined();
     case ExprKind::kIdentifier: {
-      Value* v = env->Find(expr.string_value);
+      if (expr.ref == RefKind::kSlot && ctx.frame != nullptr) {
+        return (*ctx.frame)[expr.slot];
+      }
+      Value* v = LookupEnv(expr, *ctx.env);
       if (v == nullptr) {
         return Raise(expr.line, "'" + expr.string_value + "' is not defined");
       }
@@ -331,7 +581,7 @@ Result<Value> Interpreter::Eval(const Expr& expr,
       auto arr = std::make_shared<ScriptArray>();
       arr->reserve(expr.elements.size());
       for (const ExprPtr& el : expr.elements) {
-        auto v = Eval(*el, env);
+        auto v = Eval(*el, ctx);
         if (!v.ok()) return v;
         arr->push_back(std::move(*v));
       }
@@ -339,141 +589,309 @@ Result<Value> Interpreter::Eval(const Expr& expr,
     }
     case ExprKind::kObjectLiteral: {
       auto obj = std::make_shared<ScriptObject>();
-      for (const auto& [key, value_expr] : expr.properties) {
-        auto v = Eval(*value_expr, env);
+      for (const auto& prop : expr.properties) {
+        auto v = Eval(*prop.value, ctx);
         if (!v.ok()) return v;
-        obj->Set(key, std::move(*v));
+        if (prop.key_id != kNoNameId) {
+          obj->SetInterned(prop.key_id, prop.key, std::move(*v));
+        } else {
+          obj->Set(prop.key, std::move(*v));
+        }
       }
       return Value(std::move(obj));
     }
     case ExprKind::kUnary: {
-      auto operand = Eval(*expr.a, env);
+      auto operand = Eval(*expr.a, ctx);
       if (!operand.ok()) return operand;
-      if (expr.op == "-") return Value(-operand->ToNumber());
-      if (expr.op == "+") return Value(operand->ToNumber());
-      if (expr.op == "!") return Value(!operand->Truthy());
-      if (expr.op == "typeof") {
-        // JS quirks preserved: typeof null == "object", arrays are
-        // "object".
-        switch (operand->type()) {
-          case ValueType::kArray:
-          case ValueType::kNull:
-            return Value("object");
-          default:
-            return Value(std::string(ValueTypeName(operand->type())));
-        }
+      OpCode code = expr.op_code;
+      if (code == OpCode::kNone) {
+        if (expr.op == "-") code = OpCode::kNeg;
+        else if (expr.op == "+") code = OpCode::kPos;
+        else if (expr.op == "!") code = OpCode::kNot;
+        else if (expr.op == "typeof") code = OpCode::kTypeof;
       }
-      return Raise(expr.line, "unknown unary operator " + expr.op);
+      switch (code) {
+        case OpCode::kNeg: return Value(-operand->ToNumber());
+        case OpCode::kPos: return Value(operand->ToNumber());
+        case OpCode::kNot: return Value(!operand->Truthy());
+        case OpCode::kTypeof:
+          // JS quirks preserved: typeof null == "object", arrays are
+          // "object".
+          switch (operand->type()) {
+            case ValueType::kArray:
+            case ValueType::kNull:
+              return Value("object");
+            default:
+              return Value(std::string(ValueTypeName(operand->type())));
+          }
+        default:
+          return Raise(expr.line, "unknown unary operator " + expr.op);
+      }
     }
     case ExprKind::kUpdate: {
-      auto old_value = Eval(*expr.a, env);
-      if (!old_value.ok()) return old_value;
-      const double old_num = old_value->ToNumber();
-      const double new_num = expr.op == "++" ? old_num + 1 : old_num - 1;
-      auto assigned = Assign(*expr.a, Value(new_num), env, expr.line);
+      double old_num;
+      if (const Value* oldp = EvalRef(*expr.a, ctx)) {
+        VP_RETURN_IF_ERROR_R(Charge(expr.a->line));
+        old_num = oldp->ToNumber();
+      } else {
+        auto old_value = Eval(*expr.a, ctx);
+        if (!old_value.ok()) return old_value;
+        old_num = old_value->ToNumber();
+      }
+      const bool inc = expr.op_code == OpCode::kInc ||
+                       (expr.op_code == OpCode::kNone && expr.op == "++");
+      const double new_num = inc ? old_num + 1 : old_num - 1;
+      auto assigned = Assign(*expr.a, Value(new_num), ctx, expr.line);
       if (!assigned.ok()) return assigned;
       return Value(expr.prefix ? new_num : old_num);
     }
     case ExprKind::kBinary: {
-      auto a = Eval(*expr.a, env);
-      if (!a.ok()) return a;
-      auto b = Eval(*expr.b, env);
-      if (!b.ok()) return b;
-      return EvalBinary(expr.op, *a, *b, expr.line);
+      // Left operand by pointer — only when the right operand cannot
+      // mutate bindings (operands evaluate left-to-right, so the left
+      // value must predate any mutation the right side performs).
+      const Value* ap =
+          IsPureOperand(*expr.b) ? EvalRef(*expr.a, ctx) : nullptr;
+      Value a_storage;
+      if (ap != nullptr) {
+        VP_RETURN_IF_ERROR_R(Charge(expr.a->line));
+      } else {
+        auto a = Eval(*expr.a, ctx);
+        if (!a.ok()) return a;
+        a_storage = std::move(*a);
+        ap = &a_storage;
+      }
+      // The right operand runs last, so a pointer read needs no guard.
+      const Value* bp = EvalRef(*expr.b, ctx);
+      Value b_storage;
+      if (bp != nullptr) {
+        VP_RETURN_IF_ERROR_R(Charge(expr.b->line));
+      } else {
+        auto b = Eval(*expr.b, ctx);
+        if (!b.ok()) return b;
+        b_storage = std::move(*b);
+        bp = &b_storage;
+      }
+      const OpCode code = expr.op_code != OpCode::kNone
+                              ? expr.op_code
+                              : BinaryOpFromSpelling(expr.op);
+      Value fast;
+      if (FastNumericBinary(code, *ap, *bp, &fast)) return fast;
+      auto r = EvalBinaryOp(code, *ap, *bp);
+      if (!r.ok()) {
+        return Raise(expr.line, "unknown binary operator " + expr.op);
+      }
+      return r;
     }
     case ExprKind::kLogical: {
-      auto a = Eval(*expr.a, env);
+      auto a = Eval(*expr.a, ctx);
       if (!a.ok()) return a;
-      if (expr.op == "&&") {
+      const bool is_and = expr.op_code == OpCode::kAndAnd ||
+                          (expr.op_code == OpCode::kNone && expr.op == "&&");
+      if (is_and) {
         if (!a->Truthy()) return a;
-        return Eval(*expr.b, env);
+        return Eval(*expr.b, ctx);
       }
       // ||
       if (a->Truthy()) return a;
-      return Eval(*expr.b, env);
+      return Eval(*expr.b, ctx);
     }
     case ExprKind::kConditional: {
-      auto cond = Eval(*expr.a, env);
+      auto cond = Eval(*expr.a, ctx);
       if (!cond.ok()) return cond;
-      return Eval(cond->Truthy() ? *expr.b : *expr.c, env);
+      return Eval(cond->Truthy() ? *expr.b : *expr.c, ctx);
     }
     case ExprKind::kAssign: {
-      auto value = Eval(*expr.b, env);
+      auto value = Eval(*expr.b, ctx);
       if (!value.ok()) return value;
-      if (expr.op != "=") {
-        // Compound: read old, apply op, write.
-        auto old_value = Eval(*expr.a, env);
-        if (!old_value.ok()) return old_value;
-        const std::string binop = expr.op.substr(0, 1);  // "+=" → "+"
-        auto combined = EvalBinary(binop, *old_value, *value, expr.line);
-        if (!combined.ok()) return combined;
-        value = std::move(combined);
+      OpCode code = expr.op_code;
+      if (code == OpCode::kNone && expr.op.size() > 1 && expr.op != "=" &&
+          expr.op.back() == '=') {
+        code = BinaryOpFromSpelling(expr.op.substr(0, expr.op.size() - 1));
       }
-      auto r = Assign(*expr.a, *value, env, expr.line);
+      if (code != OpCode::kNone) {
+        // Compound: read old (by pointer when addressable — the rhs
+        // already ran, so nothing can move the binding), apply, write.
+        const Value* oldp = EvalRef(*expr.a, ctx);
+        Value old_storage;
+        if (oldp != nullptr) {
+          VP_RETURN_IF_ERROR_R(Charge(expr.a->line));
+        } else {
+          auto old_value = Eval(*expr.a, ctx);
+          if (!old_value.ok()) return old_value;
+          old_storage = std::move(*old_value);
+          oldp = &old_storage;
+        }
+        Value fast;
+        if (FastNumericBinary(code, *oldp, *value, &fast)) {
+          value = std::move(fast);
+        } else {
+          auto combined = EvalBinaryOp(code, *oldp, *value);
+          if (!combined.ok()) {
+            return Raise(expr.line, "unknown binary operator " + expr.op);
+          }
+          value = std::move(combined);
+        }
+      }
+      auto r = Assign(*expr.a, *value, ctx, expr.line);
       if (!r.ok()) return r;
       return value;
     }
     case ExprKind::kMember: {
-      auto obj = Eval(*expr.a, env);
-      if (!obj.ok()) return obj;
-      if (obj->is_nullish()) {
+      // Read the base through a pointer when it is a plain identifier:
+      // `history.length` then copies no shared_ptr at all.
+      const Value* obj_p = EvalRef(*expr.a, ctx);
+      Value obj_storage;
+      if (obj_p != nullptr) {
+        VP_RETURN_IF_ERROR_R(Charge(expr.a->line));
+      } else {
+        auto obj = Eval(*expr.a, ctx);
+        if (!obj.ok()) return obj;
+        obj_storage = std::move(*obj);
+        obj_p = &obj_storage;
+      }
+      const Value& obj = *obj_p;
+      if (obj.is_nullish()) {
         return Raise(expr.line, "cannot read property '" + expr.string_value +
                                     "' of " +
-                                    std::string(ValueTypeName(obj->type())));
+                                    std::string(ValueTypeName(obj.type())));
       }
-      return GetProperty(*obj, expr.string_value, *this);
+      if (obj.is_object() && expr.name_id != kNoNameId) {
+        if (Value* v =
+                obj.AsObject()->FindInterned(expr.name_id, expr.string_value)) {
+          return *v;
+        }
+        return Value::Undefined();
+      }
+      if (obj.is_array() && expr.name_id == LengthNameId()) {
+        return Value(static_cast<double>(obj.AsArray()->size()));
+      }
+      return GetProperty(obj, expr.string_value, *this);
     }
     case ExprKind::kIndex: {
-      auto obj = Eval(*expr.a, env);
-      if (!obj.ok()) return obj;
-      auto index = Eval(*expr.b, env);
-      if (!index.ok()) return index;
-      if (obj->is_array()) {
-        const double d = index->ToNumber();
+      // Pointer-read the base only when evaluating the index cannot
+      // run user code (`a[f()]` could reassign `a`, invalidating a
+      // pointer into its binding — copy in that case, as before).
+      const Value* obj_p =
+          IsPureOperand(*expr.b) ? EvalRef(*expr.a, ctx) : nullptr;
+      Value obj_storage;
+      if (obj_p != nullptr) {
+        VP_RETURN_IF_ERROR_R(Charge(expr.a->line));
+      } else {
+        auto o = Eval(*expr.a, ctx);
+        if (!o.ok()) return o;
+        obj_storage = std::move(*o);
+        obj_p = &obj_storage;
+      }
+      const Value* idx_p = EvalRef(*expr.b, ctx);
+      Value idx_storage;
+      if (idx_p != nullptr) {
+        VP_RETURN_IF_ERROR_R(Charge(expr.b->line));
+      } else {
+        auto index = Eval(*expr.b, ctx);
+        if (!index.ok()) return index;
+        idx_storage = std::move(*index);
+        idx_p = &idx_storage;
+      }
+      const Value& obj = *obj_p;
+      const Value& index_v = *idx_p;
+      if (obj.is_array()) {
+        const double d = index_v.ToNumber();
         if (std::isnan(d)) return Raise(expr.line, "array index is NaN");
         const auto i = static_cast<int64_t>(d);
-        const auto& arr = *obj->AsArray();
+        const auto& arr = *obj.AsArray();
         if (i < 0 || static_cast<size_t>(i) >= arr.size()) {
           return Value::Undefined();
         }
         return arr[static_cast<size_t>(i)];
       }
-      if (obj->is_object()) {
-        const std::string key = index->ToDisplayString();
-        const Value* v = obj->AsObject()->Find(key);
+      if (obj.is_object()) {
+        const std::string key = index_v.ToDisplayString();
+        const Value* v = obj.AsObject()->Find(key);
         return v ? *v : Value::Undefined();
       }
-      if (obj->is_string()) {
-        const auto i = static_cast<int64_t>(index->ToNumber());
-        const std::string& s = obj->AsString();
+      if (obj.is_string()) {
+        const auto i = static_cast<int64_t>(index_v.ToNumber());
+        const std::string& s = obj.AsString();
         if (i < 0 || static_cast<size_t>(i) >= s.size()) {
           return Value::Undefined();
         }
         return Value(std::string(1, s[static_cast<size_t>(i)]));
       }
       return Raise(expr.line, "cannot index a " +
-                                  std::string(ValueTypeName(obj->type())));
+                                  std::string(ValueTypeName(obj.type())));
     }
     case ExprKind::kCall:
-      return EvalCall(expr, env);
+      return EvalCall(expr, ctx);
     case ExprKind::kFunction:
-      return MakeClosure(expr, env);
+      return MakeClosure(expr, ctx.env);
   }
   return Raise(expr.line, "unhandled expression");
 }
 
-Result<Value> Interpreter::EvalCall(const Expr& expr,
-                                    const std::shared_ptr<Environment>& env) {
-  auto callee = Eval(*expr.a, env);
-  if (!callee.ok()) return callee;
-  std::vector<Value> args;
-  args.reserve(expr.elements.size());
+Result<Value> Interpreter::EvalCall(const Expr& expr, const ScopeCtx& ctx) {
+  const Expr& callee_expr = *expr.a;
+  Value callee;
+  std::shared_ptr<ScriptArray> receiver;  // array.method(...) fast path
+  if (callee_expr.kind == ExprKind::kMember &&
+      callee_expr.name_id != kNoNameId) {
+    // Inlined member evaluation so `arr.push(x)` can dispatch straight
+    // to the builtin instead of materializing a bound method Value.
+    // The receiver / callee is copied out of the binding before the
+    // arguments run, so an argument reassigning the base stays safe.
+    VP_RETURN_IF_ERROR_R(Charge(callee_expr.line));
+    const Value* obj_p = EvalRef(*callee_expr.a, ctx);
+    Value obj_storage;
+    if (obj_p != nullptr) {
+      VP_RETURN_IF_ERROR_R(Charge(callee_expr.a->line));
+    } else {
+      auto obj = Eval(*callee_expr.a, ctx);
+      if (!obj.ok()) return obj;
+      obj_storage = std::move(*obj);
+      obj_p = &obj_storage;
+    }
+    const Value& obj = *obj_p;
+    if (obj.is_nullish()) {
+      return Raise(callee_expr.line,
+                   "cannot read property '" + callee_expr.string_value +
+                       "' of " + std::string(ValueTypeName(obj.type())));
+    }
+    if (obj.is_array()) {
+      receiver = obj.AsArray();
+    } else if (obj.is_object()) {
+      Value* v = obj.AsObject()->FindInterned(callee_expr.name_id,
+                                              callee_expr.string_value);
+      if (v != nullptr) callee = *v;
+    } else {
+      auto prop = GetProperty(obj, callee_expr.string_value, *this);
+      if (!prop.ok()) return prop;
+      callee = std::move(*prop);
+    }
+  } else {
+    auto c = Eval(callee_expr, ctx);
+    if (!c.ok()) return c;
+    callee = std::move(*c);
+  }
+  std::vector<Value> args = AcquireArgs(expr.elements.size());
   for (const ExprPtr& arg : expr.elements) {
-    auto v = Eval(*arg, env);
+    auto v = Eval(*arg, ctx);
     if (!v.ok()) return v;
     args.push_back(std::move(*v));
   }
-  auto result = Call(*callee, std::move(args));
+  Result<Value> result = Value::Undefined();
+  if (receiver != nullptr &&
+      CallArrayMethod(receiver, callee_expr.name_id, args, *this, &result)) {
+    // dispatched without a bound-method allocation
+    ReleaseArgs(std::move(args));
+  } else {
+    if (receiver != nullptr) {
+      // Not a builtin method id (e.g. `arr.length()`): fall back to
+      // the property path for seed-identical error behavior.
+      auto prop = GetProperty(Value(receiver), callee_expr.string_value, *this);
+      if (!prop.ok()) return prop;
+      callee = std::move(*prop);
+    }
+    result = Call(callee, std::move(args));
+  }
   if (!result.ok()) {
     // Annotate with the call site line once (keeps traces short), but
     // keep the original status code: a host failure such as UNAVAILABLE
@@ -487,64 +905,90 @@ Result<Value> Interpreter::EvalCall(const Expr& expr,
   return result;
 }
 
-Result<Value> Interpreter::EvalBinary(const std::string& op, const Value& a,
-                                      const Value& b, int line) {
-  if (op == "+") {
-    if (a.is_string() || b.is_string()) {
-      return Value(a.ToDisplayString() + b.ToDisplayString());
+Result<Value> EvalBinaryOp(OpCode op, const Value& a, const Value& b) {
+  switch (op) {
+    case OpCode::kAdd:
+      if (a.is_string() || b.is_string()) {
+        return Value(a.ToDisplayString() + b.ToDisplayString());
+      }
+      return Value(a.ToNumber() + b.ToNumber());
+    case OpCode::kSub: return Value(a.ToNumber() - b.ToNumber());
+    case OpCode::kMul: return Value(a.ToNumber() * b.ToNumber());
+    case OpCode::kDiv: return Value(a.ToNumber() / b.ToNumber());
+    case OpCode::kMod:
+      return Value(std::fmod(a.ToNumber(), b.ToNumber()));
+    case OpCode::kEq: return Value(a.LooseEquals(b));
+    case OpCode::kNe: return Value(!a.LooseEquals(b));
+    case OpCode::kStrictEq: return Value(a.StrictEquals(b));
+    case OpCode::kStrictNe: return Value(!a.StrictEquals(b));
+    case OpCode::kLt:
+    case OpCode::kLe:
+    case OpCode::kGt:
+    case OpCode::kGe: {
+      if (a.is_string() && b.is_string()) {
+        const int cmp = a.AsString().compare(b.AsString());
+        switch (op) {
+          case OpCode::kLt: return Value(cmp < 0);
+          case OpCode::kLe: return Value(cmp <= 0);
+          case OpCode::kGt: return Value(cmp > 0);
+          default: return Value(cmp >= 0);
+        }
+      }
+      const double x = a.ToNumber();
+      const double y = b.ToNumber();
+      switch (op) {
+        case OpCode::kLt: return Value(x < y);
+        case OpCode::kLe: return Value(x <= y);
+        case OpCode::kGt: return Value(x > y);
+        default: return Value(x >= y);
+      }
     }
-    return Value(a.ToNumber() + b.ToNumber());
+    default:
+      return ScriptError("unknown binary operator");
   }
-  if (op == "-") return Value(a.ToNumber() - b.ToNumber());
-  if (op == "*") return Value(a.ToNumber() * b.ToNumber());
-  if (op == "/") return Value(a.ToNumber() / b.ToNumber());
-  if (op == "%") return Value(std::fmod(a.ToNumber(), b.ToNumber()));
-  if (op == "==") return Value(a.LooseEquals(b));
-  if (op == "!=") return Value(!a.LooseEquals(b));
-  if (op == "===") return Value(a.StrictEquals(b));
-  if (op == "!==") return Value(!a.StrictEquals(b));
-  if (op == "<" || op == "<=" || op == ">" || op == ">=") {
-    if (a.is_string() && b.is_string()) {
-      const int cmp = a.AsString().compare(b.AsString());
-      if (op == "<") return Value(cmp < 0);
-      if (op == "<=") return Value(cmp <= 0);
-      if (op == ">") return Value(cmp > 0);
-      return Value(cmp >= 0);
-    }
-    const double x = a.ToNumber();
-    const double y = b.ToNumber();
-    if (op == "<") return Value(x < y);
-    if (op == "<=") return Value(x <= y);
-    if (op == ">") return Value(x > y);
-    return Value(x >= y);
-  }
-  return Raise(line, "unknown binary operator " + op);
 }
 
 Result<Value> Interpreter::Assign(const Expr& target, Value value,
-                                  const std::shared_ptr<Environment>& env,
-                                  int line) {
+                                  const ScopeCtx& ctx, int line) {
   switch (target.kind) {
     case ExprKind::kIdentifier: {
-      Status s = env->Assign(target.string_value, value);
+      if (target.ref == RefKind::kSlot && ctx.frame != nullptr) {
+        if (target.const_slot) {
+          return Raise(line,
+                       "assignment to const '" + target.string_value + "'");
+        }
+        (*ctx.frame)[target.slot] = value;
+        return value;
+      }
+      if (target.ref == RefKind::kEnv) {
+        Status s = ctx.env->AssignById(target.name_id, value);
+        if (!s.ok()) return Raise(line, s.message());
+        return value;
+      }
+      Status s = ctx.env->Assign(target.string_value, value);
       if (!s.ok()) return Raise(line, s.message());
       return value;
     }
     case ExprKind::kMember: {
-      auto obj = Eval(*target.a, env);
+      auto obj = Eval(*target.a, ctx);
       if (!obj.ok()) return obj;
       if (!obj->is_object()) {
         return Raise(line, "cannot set property '" + target.string_value +
                                "' on a " +
                                std::string(ValueTypeName(obj->type())));
       }
-      obj->AsObject()->Set(target.string_value, value);
+      if (target.name_id != kNoNameId) {
+        obj->AsObject()->SetInterned(target.name_id, target.string_value,
+                                     value);
+      } else {
+        obj->AsObject()->Set(target.string_value, value);
+      }
       return value;
     }
     case ExprKind::kIndex: {
-      auto obj = Eval(*target.a, env);
+      auto obj = Eval(*target.a, ctx);
       if (!obj.ok()) return obj;
-      auto index = Eval(*target.b, env);
+      auto index = Eval(*target.b, ctx);
       if (!index.ok()) return index;
       if (obj->is_array()) {
         const double d = index->ToNumber();

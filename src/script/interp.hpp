@@ -1,6 +1,15 @@
 // vpscript tree-walking interpreter.
 //
-// Executes a parsed Program against an Environment chain. Guards:
+// Executes a parsed (and normally resolver-annotated, see
+// resolver.hpp) Program. Scopes come in two flavors, carried by
+// ScopeCtx:
+//   * environment-backed — the shared_ptr<Environment> chain; used for
+//     globals, closures, the unresolved fallback path, and any
+//     function whose locals may be captured;
+//   * slot frames — a pooled flat vector<Value> for functions the
+//     resolver proved capture-free; identifier access is an array
+//     index and scope entry/exit allocates nothing.
+// Guards:
 //   * step budget   — a runaway `while(true)` in module code cannot
 //                     stall the whole device runtime;
 //   * call depth    — unbounded recursion errors out cleanly.
@@ -47,6 +56,10 @@ class Interpreter {
   /// Reset the per-entry budget (Context does this before each event).
   void ResetBudget() { steps_used_ = 0; }
 
+  /// Pooled-frame activations so far — observability: >0 proves the
+  /// resolver's slot path is actually taken.
+  uint64_t slot_frames_used() const { return slot_frames_used_; }
+
  private:
   enum class Flow { kNormal, kReturn, kBreak, kContinue };
   struct ExecResult {
@@ -54,38 +67,97 @@ class Interpreter {
     Value value;
   };
 
-  Result<ExecResult> ExecBlock(const std::vector<StmtPtr>& stmts,
-                               const std::shared_ptr<Environment>& env);
-  Result<ExecResult> ExecStmt(const Stmt& stmt,
-                              const std::shared_ptr<Environment>& env);
-  Result<Value> Eval(const Expr& expr,
-                     const std::shared_ptr<Environment>& env);
-  Result<Value> EvalCall(const Expr& expr,
-                         const std::shared_ptr<Environment>& env);
-  Result<Value> EvalBinary(const std::string& op, const Value& a,
-                           const Value& b, int line);
-  Result<Value> Assign(const Expr& target, Value value,
-                       const std::shared_ptr<Environment>& env, int line);
+  /// The execution scope: `frame` is non-null inside a slot-mode
+  /// function (locals live there); `env` is then the function's
+  /// closure (globals for top-level functions) and serves kEnv refs.
+  struct ScopeCtx {
+    const std::shared_ptr<Environment>& env;
+    std::vector<Value>* frame;
+  };
 
-  Status Charge(int line);
+  Result<ExecResult> ExecBlock(const std::vector<StmtPtr>& stmts,
+                               const ScopeCtx& ctx);
+  Result<ExecResult> ExecStmt(const Stmt& stmt, const ScopeCtx& ctx);
+  Result<Value> Eval(const Expr& expr, const ScopeCtx& ctx);
+  Result<Value> EvalCall(const Expr& expr, const ScopeCtx& ctx);
+  Result<Value> Assign(const Expr& target, Value value, const ScopeCtx& ctx,
+                       int line);
+
+  /// kEnv identifier lookup with a per-expression inline cache.
+  Value* LookupEnv(const Expr& expr, Environment& env) const;
+
+  /// Pointer to the live storage of an addressable, side-effect-free
+  /// expression (slot / environment identifier), or nullptr — the
+  /// caller then falls back to Eval, which also produces the proper
+  /// "'x' is not defined" error. Callers must consume the pointer
+  /// before running any further script code (it aliases a binding that
+  /// an assignment could overwrite); this lets `obj.prop`, `arr[i]`
+  /// and `arr.method(...)` read their base operand without copying a
+  /// Value (each copy is an atomic shared_ptr refcount round-trip).
+  const Value* EvalRef(const Expr& expr, const ScopeCtx& ctx) const;
+
+  /// Step accounting, inlined: one increment + compare per AST node on
+  /// the happy path, budget-exhausted error construction out of line.
+  Status Charge(int line) {
+    if (++steps_used_ <= limits_.max_steps) return Status::Ok();
+    return BudgetExhausted(line);
+  }
+  Status BudgetExhausted(int line) const;
   Error Raise(int line, const std::string& what) const;
 
   Value MakeClosure(const Expr& fn_expr,
                     const std::shared_ptr<Environment>& env);
 
+  std::vector<Value> AcquireFrame(size_t size);
+  void ReleaseFrame(std::vector<Value> frame);
+
+  /// Argument-vector recycling for call sites that keep ownership
+  /// (builtin array methods). Vectors moved into Call() leave the pool.
+  std::vector<Value> AcquireArgs(size_t capacity) {
+    if (args_pool_.empty()) {
+      std::vector<Value> args;
+      args.reserve(capacity);
+      return args;
+    }
+    std::vector<Value> args = std::move(args_pool_.back());
+    args_pool_.pop_back();
+    args.reserve(capacity);
+    return args;
+  }
+  void ReleaseArgs(std::vector<Value> args) {
+    args.clear();
+    if (args_pool_.size() < 16) args_pool_.push_back(std::move(args));
+  }
+
   std::shared_ptr<Environment> globals_;
   InterpreterLimits limits_;
   uint64_t steps_used_ = 0;
   int call_depth_ = 0;
+  uint64_t slot_frames_used_ = 0;
   std::shared_ptr<Program> current_program_;  // keeps closures alive
+  std::vector<std::vector<Value>> frame_pool_;
+  std::vector<std::vector<Value>> args_pool_;
   std::function<void(const std::string&)> print_;
 };
+
+/// Binary operator semantics, shared by the interpreter's hot path and
+/// the resolver's constant folder (so folded results match run-time
+/// results bit for bit). Errors on OpCode::kNone / non-binary codes.
+Result<Value> EvalBinaryOp(OpCode op, const Value& a, const Value& b);
 
 /// Property access on any value (string/array builtins, object
 /// members). Returns undefined for unknown members, an error for
 /// property access on null/undefined.
 Result<Value> GetProperty(const Value& object, const std::string& name,
                           Interpreter& interp);
+
+/// Direct dispatch for `array.method(args)` call sites with a
+/// resolver-interned method id — skips materializing a bound
+/// host-function Value per call. Returns false when `name_id` is not
+/// an array builtin (caller falls back to the property path).
+bool CallArrayMethod(const std::shared_ptr<ScriptArray>& arr, uint32_t name_id,
+                     std::vector<Value>& args, Interpreter& interp,
+                     Result<Value>* out);
 
 /// Install the standard library (console, Math, JSON, Object, Array,
 /// String/Number helpers) into a global environment. `seed` drives

@@ -8,6 +8,38 @@
 namespace vp::script {
 namespace {
 
+/// Token → dense opcode (see ast.hpp). kNone for non-operator tokens.
+OpCode TokenOpCode(TokenType t) {
+  switch (t) {
+    case TokenType::kPlus: return OpCode::kAdd;
+    case TokenType::kMinus: return OpCode::kSub;
+    case TokenType::kStar: return OpCode::kMul;
+    case TokenType::kSlash: return OpCode::kDiv;
+    case TokenType::kPercent: return OpCode::kMod;
+    case TokenType::kEq: return OpCode::kEq;
+    case TokenType::kNe: return OpCode::kNe;
+    case TokenType::kStrictEq: return OpCode::kStrictEq;
+    case TokenType::kStrictNe: return OpCode::kStrictNe;
+    case TokenType::kLt: return OpCode::kLt;
+    case TokenType::kLe: return OpCode::kLe;
+    case TokenType::kGt: return OpCode::kGt;
+    case TokenType::kGe: return OpCode::kGe;
+    case TokenType::kAndAnd: return OpCode::kAndAnd;
+    case TokenType::kOrOr: return OpCode::kOrOr;
+    case TokenType::kNot: return OpCode::kNot;
+    case TokenType::kTypeof: return OpCode::kTypeof;
+    case TokenType::kPlusPlus: return OpCode::kInc;
+    case TokenType::kMinusMinus: return OpCode::kDec;
+    // Compound assignments carry the opcode of their binary part.
+    case TokenType::kPlusAssign: return OpCode::kAdd;
+    case TokenType::kMinusAssign: return OpCode::kSub;
+    case TokenType::kStarAssign: return OpCode::kMul;
+    case TokenType::kSlashAssign: return OpCode::kDiv;
+    case TokenType::kPercentAssign: return OpCode::kMod;
+    default: return OpCode::kNone;
+  }
+}
+
 /// Binary operator precedence (higher binds tighter).
 int Precedence(TokenType t) {
   switch (t) {
@@ -428,6 +460,10 @@ class Parser {
       expr->kind = ExprKind::kAssign;
       expr->line = op.line;
       expr->op = TokenTypeName(op.type);
+      // Plain '=' keeps kNone; compound ops carry their binary part.
+      if (op.type != TokenType::kAssign) {
+        expr->op_code = TokenOpCode(op.type);
+      }
       expr->a = std::move(*left);
       expr->b = std::move(*value);
       return expr;
@@ -471,6 +507,7 @@ class Parser {
                        : ExprKind::kBinary;
       expr->line = op.line;
       expr->op = TokenTypeName(t);
+      expr->op_code = TokenOpCode(t);
       expr->a = std::move(*left);
       expr->b = std::move(*right);
       left = Result<ExprPtr>(std::move(expr));
@@ -488,6 +525,9 @@ class Parser {
       expr->kind = ExprKind::kUnary;
       expr->line = op.line;
       expr->op = TokenTypeName(op.type);
+      expr->op_code = op.type == TokenType::kMinus ? OpCode::kNeg
+                      : op.type == TokenType::kPlus ? OpCode::kPos
+                                                    : TokenOpCode(op.type);
       expr->a = std::move(*operand);
       return expr;
     }
@@ -499,6 +539,7 @@ class Parser {
       expr->kind = ExprKind::kUpdate;
       expr->line = op.line;
       expr->op = TokenTypeName(op.type);
+      expr->op_code = TokenOpCode(op.type);
       expr->prefix = true;
       expr->a = std::move(*operand);
       return expr;
@@ -516,6 +557,7 @@ class Parser {
       update->kind = ExprKind::kUpdate;
       update->line = op.line;
       update->op = TokenTypeName(op.type);
+      update->op_code = TokenOpCode(op.type);
       update->prefix = false;
       update->a = std::move(*expr);
       return Result<ExprPtr>(std::move(update));
@@ -666,7 +708,10 @@ class Parser {
                 Expect(TokenType::kColon, "after property name"));
             auto value = ParseAssignment();
             if (!value.ok()) return value;
-            e->properties.emplace_back(std::move(key), std::move(*value));
+            ObjectProperty prop;
+            prop.key = std::move(key);
+            prop.value = std::move(*value);
+            e->properties.push_back(std::move(prop));
             if (!Match(TokenType::kComma)) break;
             if (Check(TokenType::kRBrace)) break;  // trailing comma
           }

@@ -154,42 +154,71 @@ Result<Value> StringProperty(const std::string& s, const std::string& name) {
   return Value::Undefined();
 }
 
-Result<Value> ArrayProperty(const std::shared_ptr<ScriptArray>& arr,
-                            const std::string& name) {
-  if (name == "length") return Value(static_cast<double>(arr->size()));
-  if (name == "push") {
-    return Method(name, [arr](std::vector<Value>& args,
-                              Interpreter&) -> Result<Value> {
+// Array builtins are dispatched by enum so the interpreter's
+// method-call fast path (CallArrayMethod) can invoke them directly,
+// without materializing a bound host-function Value per access.
+enum class ArrayMethod {
+  kPush, kPop, kShift, kUnshift, kSlice, kJoin, kIndexOf, kConcat,
+  kMap, kFilter, kForEach, kReverse, kIncludes, kSort, kReduce,
+};
+
+struct ArrayMethodEntry {
+  const char* name;
+  uint32_t name_id;
+  ArrayMethod method;
+};
+
+const std::vector<ArrayMethodEntry>& ArrayMethodTable() {
+  static const std::vector<ArrayMethodEntry> table = [] {
+    auto& interner = Interner::Global();
+    std::vector<ArrayMethodEntry> t = {
+        {"push", 0, ArrayMethod::kPush},
+        {"pop", 0, ArrayMethod::kPop},
+        {"shift", 0, ArrayMethod::kShift},
+        {"unshift", 0, ArrayMethod::kUnshift},
+        {"slice", 0, ArrayMethod::kSlice},
+        {"join", 0, ArrayMethod::kJoin},
+        {"indexOf", 0, ArrayMethod::kIndexOf},
+        {"concat", 0, ArrayMethod::kConcat},
+        {"map", 0, ArrayMethod::kMap},
+        {"filter", 0, ArrayMethod::kFilter},
+        {"forEach", 0, ArrayMethod::kForEach},
+        {"reverse", 0, ArrayMethod::kReverse},
+        {"includes", 0, ArrayMethod::kIncludes},
+        {"sort", 0, ArrayMethod::kSort},
+        {"reduce", 0, ArrayMethod::kReduce},
+    };
+    for (auto& e : t) e.name_id = interner.Intern(e.name);
+    return t;
+  }();
+  return table;
+}
+
+Result<Value> InvokeArrayMethod(const std::shared_ptr<ScriptArray>& arr,
+                                ArrayMethod method, std::vector<Value>& args,
+                                Interpreter& interp) {
+  switch (method) {
+    case ArrayMethod::kPush: {
       for (Value& v : args) arr->push_back(std::move(v));
       return Value(static_cast<double>(arr->size()));
-    });
-  }
-  if (name == "pop") {
-    return Method(name, [arr](std::vector<Value>&, Interpreter&) -> Result<Value> {
+    }
+    case ArrayMethod::kPop: {
       if (arr->empty()) return Value::Undefined();
       Value v = std::move(arr->back());
       arr->pop_back();
       return v;
-    });
-  }
-  if (name == "shift") {
-    return Method(name, [arr](std::vector<Value>&, Interpreter&) -> Result<Value> {
+    }
+    case ArrayMethod::kShift: {
       if (arr->empty()) return Value::Undefined();
       Value v = std::move(arr->front());
       arr->erase(arr->begin());
       return v;
-    });
-  }
-  if (name == "unshift") {
-    return Method(name, [arr](std::vector<Value>& args,
-                              Interpreter&) -> Result<Value> {
+    }
+    case ArrayMethod::kUnshift: {
       arr->insert(arr->begin(), args.begin(), args.end());
       return Value(static_cast<double>(arr->size()));
-    });
-  }
-  if (name == "slice") {
-    return Method(name, [arr](std::vector<Value>& args,
-                              Interpreter&) -> Result<Value> {
+    }
+    case ArrayMethod::kSlice: {
       int64_t n = static_cast<int64_t>(arr->size());
       int64_t a = args.size() > 0 ? static_cast<int64_t>(args[0].ToNumber()) : 0;
       int64_t b = args.size() > 1 ? static_cast<int64_t>(args[1].ToNumber()) : n;
@@ -198,36 +227,30 @@ Result<Value> ArrayProperty(const std::shared_ptr<ScriptArray>& arr,
       a = std::clamp<int64_t>(a, 0, n);
       b = std::clamp<int64_t>(b, 0, n);
       auto out = std::make_shared<ScriptArray>();
-      for (int64_t i = a; i < b; ++i) out->push_back((*arr)[static_cast<size_t>(i)]);
+      for (int64_t i = a; i < b; ++i) {
+        out->push_back((*arr)[static_cast<size_t>(i)]);
+      }
       return Value(std::move(out));
-    });
-  }
-  if (name == "join") {
-    return Method(name, [arr](std::vector<Value>& args,
-                              Interpreter&) -> Result<Value> {
-      const std::string sep =
-          args.empty() ? "," : args[0].ToDisplayString();
+    }
+    case ArrayMethod::kJoin: {
+      const std::string sep = args.empty() ? "," : args[0].ToDisplayString();
       std::string out;
       for (size_t i = 0; i < arr->size(); ++i) {
         if (i) out += sep;
         out += (*arr)[i].ToDisplayString();
       }
       return Value(std::move(out));
-    });
-  }
-  if (name == "indexOf") {
-    return Method(name, [arr](std::vector<Value>& args,
-                              Interpreter&) -> Result<Value> {
+    }
+    case ArrayMethod::kIndexOf: {
       if (args.empty()) return Value(-1.0);
       for (size_t i = 0; i < arr->size(); ++i) {
-        if ((*arr)[i].StrictEquals(args[0])) return Value(static_cast<double>(i));
+        if ((*arr)[i].StrictEquals(args[0])) {
+          return Value(static_cast<double>(i));
+        }
       }
       return Value(-1.0);
-    });
-  }
-  if (name == "concat") {
-    return Method(name, [arr](std::vector<Value>& args,
-                              Interpreter&) -> Result<Value> {
+    }
+    case ArrayMethod::kConcat: {
       auto out = std::make_shared<ScriptArray>(*arr);
       for (const Value& v : args) {
         if (v.is_array()) {
@@ -237,15 +260,10 @@ Result<Value> ArrayProperty(const std::shared_ptr<ScriptArray>& arr,
         }
       }
       return Value(std::move(out));
-    });
-  }
-  if (name == "map" || name == "filter" || name == "forEach") {
-    enum class Kind { kMap, kFilter, kForEach };
-    const Kind kind = name == "map"      ? Kind::kMap
-                      : name == "filter" ? Kind::kFilter
-                                         : Kind::kForEach;
-    return Method(name, [arr, kind](std::vector<Value>& args,
-                                    Interpreter& interp) -> Result<Value> {
+    }
+    case ArrayMethod::kMap:
+    case ArrayMethod::kFilter:
+    case ArrayMethod::kForEach: {
       if (args.empty() || !args[0].is_function()) {
         return ScriptError("expected a callback function");
       }
@@ -254,38 +272,29 @@ Result<Value> ArrayProperty(const std::shared_ptr<ScriptArray>& arr,
         auto r = interp.Call(args[0],
                              {(*arr)[i], Value(static_cast<double>(i))});
         if (!r.ok()) return r;
-        switch (kind) {
-          case Kind::kMap: out->push_back(std::move(*r)); break;
-          case Kind::kFilter:
+        switch (method) {
+          case ArrayMethod::kMap: out->push_back(std::move(*r)); break;
+          case ArrayMethod::kFilter:
             if (r->Truthy()) out->push_back((*arr)[i]);
             break;
-          case Kind::kForEach: break;
+          default: break;
         }
       }
-      if (kind == Kind::kForEach) return Value::Undefined();
+      if (method == ArrayMethod::kForEach) return Value::Undefined();
       return Value(std::move(out));
-    });
-  }
-  if (name == "reverse") {
-    return Method(name, [arr](std::vector<Value>&,
-                              Interpreter&) -> Result<Value> {
+    }
+    case ArrayMethod::kReverse: {
       std::reverse(arr->begin(), arr->end());
       return Value(arr);
-    });
-  }
-  if (name == "includes") {
-    return Method(name, [arr](std::vector<Value>& args,
-                              Interpreter&) -> Result<Value> {
+    }
+    case ArrayMethod::kIncludes: {
       if (args.empty()) return Value(false);
       for (const Value& v : *arr) {
         if (v.StrictEquals(args[0])) return Value(true);
       }
       return Value(false);
-    });
-  }
-  if (name == "sort") {
-    return Method(name, [arr](std::vector<Value>& args,
-                              Interpreter& interp) -> Result<Value> {
+    }
+    case ArrayMethod::kSort: {
       Status failure = Status::Ok();
       if (!args.empty() && args[0].is_function()) {
         std::stable_sort(arr->begin(), arr->end(),
@@ -311,11 +320,8 @@ Result<Value> ArrayProperty(const std::shared_ptr<ScriptArray>& arr,
       }
       if (!failure.ok()) return failure.error();
       return Value(arr);
-    });
-  }
-  if (name == "reduce") {
-    return Method(name, [arr](std::vector<Value>& args,
-                              Interpreter& interp) -> Result<Value> {
+    }
+    case ArrayMethod::kReduce: {
       if (args.empty() || !args[0].is_function()) {
         return ScriptError("expected a callback function");
       }
@@ -335,12 +341,40 @@ Result<Value> ArrayProperty(const std::shared_ptr<ScriptArray>& arr,
         acc = std::move(*r);
       }
       return acc;
-    });
+    }
+  }
+  return Value::Undefined();
+}
+
+Result<Value> ArrayProperty(const std::shared_ptr<ScriptArray>& arr,
+                            const std::string& name) {
+  if (name == "length") return Value(static_cast<double>(arr->size()));
+  for (const auto& entry : ArrayMethodTable()) {
+    if (name == entry.name) {
+      const ArrayMethod method = entry.method;
+      return Method(name, [arr, method](std::vector<Value>& args,
+                                        Interpreter& interp) -> Result<Value> {
+        return InvokeArrayMethod(arr, method, args, interp);
+      });
+    }
   }
   return Value::Undefined();
 }
 
 }  // namespace
+
+bool CallArrayMethod(const std::shared_ptr<ScriptArray>& arr, uint32_t name_id,
+                     std::vector<Value>& args, Interpreter& interp,
+                     Result<Value>* out) {
+  if (name_id == kNoNameId) return false;
+  for (const auto& entry : ArrayMethodTable()) {
+    if (entry.name_id == name_id) {
+      *out = InvokeArrayMethod(arr, entry.method, args, interp);
+      return true;
+    }
+  }
+  return false;
+}
 
 Result<Value> GetProperty(const Value& object, const std::string& name,
                           Interpreter& interp) {
@@ -485,9 +519,9 @@ void InstallStdlib(Environment& globals, uint64_t seed) {
                                         Interpreter&) -> Result<Value> {
                                auto out = std::make_shared<ScriptArray>();
                                if (!args.empty() && args[0].is_object()) {
-                                 for (const auto& [k, v] :
+                                 for (const auto& entry :
                                       args[0].AsObject()->items()) {
-                                   out->push_back(Value(k));
+                                   out->push_back(Value(entry.key));
                                  }
                                }
                                return Value(std::move(out));

@@ -21,16 +21,32 @@ const char* ValueTypeName(ValueType t) {
   return "?";
 }
 
+ScriptObject::Entry::Entry(uint32_t id, std::string k, Value v)
+    : key_id(id), key(std::move(k)), value(std::move(v)) {}
+
 Value* ScriptObject::Find(const std::string& key) {
-  for (auto& [k, v] : items_) {
-    if (k == key) return &v;
+  for (auto& e : items_) {
+    if (e.key == key) return &e.value;
   }
   return nullptr;
 }
 
 const Value* ScriptObject::Find(const std::string& key) const {
-  for (const auto& [k, v] : items_) {
-    if (k == key) return &v;
+  for (const auto& e : items_) {
+    if (e.key == key) return &e.value;
+  }
+  return nullptr;
+}
+
+Value* ScriptObject::FindInterned(uint32_t key_id, const std::string& key) {
+  for (auto& e : items_) {
+    if (e.key_id == key_id) return &e.value;
+    // Entry stored without an id (dynamic key / JSON interop): match by
+    // spelling and upgrade so the next lookup is an integer compare.
+    if (e.key_id == kNoNameId && e.key == key) {
+      e.key_id = key_id;
+      return &e.value;
+    }
   }
   return nullptr;
 }
@@ -40,12 +56,21 @@ void ScriptObject::Set(const std::string& key, Value v) {
     *existing = std::move(v);
     return;
   }
-  items_.emplace_back(key, std::move(v));
+  items_.emplace_back(kNoNameId, key, std::move(v));
+}
+
+void ScriptObject::SetInterned(uint32_t key_id, const std::string& key,
+                               Value v) {
+  if (Value* existing = FindInterned(key_id, key)) {
+    *existing = std::move(v);
+    return;
+  }
+  items_.emplace_back(key_id, key, std::move(v));
 }
 
 bool ScriptObject::Erase(const std::string& key) {
   for (auto it = items_.begin(); it != items_.end(); ++it) {
-    if (it->first == key) {
+    if (it->key == key) {
       items_.erase(it);
       return true;
     }
@@ -60,35 +85,15 @@ Value Value::MakeHostFunction(std::string name, HostFunction fn) {
   return Value(std::move(hf));
 }
 
-ValueType Value::type() const {
-  switch (data_.index()) {
-    case 0: return ValueType::kUndefined;
-    case 1: return ValueType::kNull;
-    case 2: return ValueType::kBool;
-    case 3: return ValueType::kNumber;
-    case 4: return ValueType::kString;
-    case 5: return ValueType::kObject;
-    case 6: return ValueType::kArray;
-    case 7: return ValueType::kFunction;
-    default: return ValueType::kHostFunction;
-  }
-}
-
-bool Value::Truthy() const {
+bool Value::TruthySlow() const {
   switch (type()) {
     case ValueType::kUndefined:
     case ValueType::kNull:
       return false;
-    case ValueType::kBool:
-      return AsBool();
-    case ValueType::kNumber: {
-      const double d = AsNumber();
-      return d != 0.0 && !std::isnan(d);
-    }
     case ValueType::kString:
       return !AsString().empty();
     default:
-      return true;
+      return true;  // bool/number handled inline in Truthy()
   }
 }
 
@@ -117,11 +122,12 @@ std::string Value::ToDisplayString() const {
     case ValueType::kObject: {
       std::string out = "{";
       bool first = true;
-      for (const auto& [k, v] : AsObject()->items()) {
+      for (const auto& e : AsObject()->items()) {
         if (!first) out += ", ";
         first = false;
-        out += k + ": " + (v.is_string() ? "\"" + v.AsString() + "\""
-                                         : v.ToDisplayString());
+        out += e.key + ": " +
+               (e.value.is_string() ? "\"" + e.value.AsString() + "\""
+                                    : e.value.ToDisplayString());
       }
       return out + "}";
     }
@@ -144,12 +150,12 @@ std::string Value::ToDisplayString() const {
   return "?";
 }
 
-double Value::ToNumber() const {
+double Value::ToNumberSlow() const {
   switch (type()) {
     case ValueType::kUndefined: return std::nan("");
     case ValueType::kNull: return 0.0;
     case ValueType::kBool: return AsBool() ? 1.0 : 0.0;
-    case ValueType::kNumber: return AsNumber();
+    case ValueType::kNumber: return AsNumber();  // unreachable via ToNumber()
     case ValueType::kString: {
       const std::string& s = AsString();
       if (s.empty()) return 0.0;
@@ -203,51 +209,95 @@ bool Value::LooseEquals(const Value& o) const {
 }
 
 void Environment::Define(const std::string& name, Value v, bool is_const) {
-  for (auto& [n, binding] : bindings_) {
-    if (n == name) {
+  DefineById(Interner::Global().Intern(name), std::move(v), is_const);
+}
+
+void Environment::DefineById(uint32_t name_id, Value v, bool is_const) {
+  for (auto& binding : bindings_) {
+    if (binding.name_id == name_id) {
       binding.value = std::move(v);
       binding.is_const = is_const;
       return;
     }
   }
-  bindings_.emplace_back(name, Binding{std::move(v), is_const});
+  bindings_.push_back(Binding{name_id, std::move(v), is_const});
 }
 
 Value* Environment::Find(const std::string& name) {
-  for (auto& [n, binding] : bindings_) {
-    if (n == name) return &binding.value;
+  // Every Define interns: a name absent from the table is bound
+  // nowhere.
+  const uint32_t id = Interner::Global().Lookup(name);
+  return id == kNoNameId ? nullptr : FindById(id);
+}
+
+Value* Environment::FindById(uint32_t name_id) {
+  for (Environment* env = this; env != nullptr; env = env->parent_.get()) {
+    for (auto& binding : env->bindings_) {
+      if (binding.name_id == name_id) return &binding.value;
+    }
   }
-  return parent_ ? parent_->Find(name) : nullptr;
+  return nullptr;
 }
 
 Status Environment::Assign(const std::string& name, Value v) {
-  for (auto& [n, binding] : bindings_) {
-    if (n == name) {
-      if (binding.is_const) {
-        return Status(StatusCode::kScriptError,
-                      "assignment to const '" + name + "'");
-      }
-      binding.value = std::move(v);
-      return Status::Ok();
-    }
-  }
-  if (parent_) return parent_->Assign(name, std::move(v));
+  const uint32_t id = Interner::Global().Lookup(name);
+  if (id != kNoNameId) return AssignById(id, std::move(v));
   return Status(StatusCode::kScriptError,
                 "assignment to undeclared variable '" + name + "'");
+}
+
+Status Environment::AssignById(uint32_t name_id, Value v) {
+  for (Environment* env = this; env != nullptr; env = env->parent_.get()) {
+    for (auto& binding : env->bindings_) {
+      if (binding.name_id == name_id) {
+        if (binding.is_const) {
+          return Status(StatusCode::kScriptError,
+                        "assignment to const '" +
+                            Interner::Global().NameOf(name_id) + "'");
+        }
+        binding.value = std::move(v);
+        return Status::Ok();
+      }
+    }
+  }
+  return Status(StatusCode::kScriptError,
+                "assignment to undeclared variable '" +
+                    Interner::Global().NameOf(name_id) + "'");
+}
+
+uint32_t Environment::LocalIndexById(uint32_t name_id) const {
+  for (size_t i = 0; i < bindings_.size(); ++i) {
+    if (bindings_[i].name_id == name_id) return static_cast<uint32_t>(i);
+  }
+  return kNpos;
+}
+
+Value* Environment::ValueAtIfId(uint32_t index, uint32_t name_id) {
+  if (index < bindings_.size() && bindings_[index].name_id == name_id) {
+    return &bindings_[index].value;
+  }
+  return nullptr;
 }
 
 std::vector<std::string> Environment::LocalNames() const {
   std::vector<std::string> names;
   names.reserve(bindings_.size());
-  for (const auto& [name, binding] : bindings_) names.push_back(name);
+  for (const auto& binding : bindings_) {
+    names.push_back(Interner::Global().NameOf(binding.name_id));
+  }
   return names;
 }
 
 bool Environment::IsConst(const std::string& name) const {
-  for (const auto& [n, binding] : bindings_) {
-    if (n == name) return binding.is_const;
+  const uint32_t id = Interner::Global().Lookup(name);
+  if (id == kNoNameId) return false;
+  for (const Environment* env = this; env != nullptr;
+       env = env->parent_.get()) {
+    for (const auto& binding : env->bindings_) {
+      if (binding.name_id == id) return binding.is_const;
+    }
   }
-  return parent_ ? parent_->IsConst(name) : false;
+  return false;
 }
 
 }  // namespace vp::script

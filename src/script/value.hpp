@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "script/intern.hpp"
 
 namespace vp::script {
 
@@ -22,21 +23,7 @@ struct Program;
 struct Stmt;
 using StmtPtr = std::unique_ptr<Stmt>;
 
-/// Insertion-ordered property map (for-in iterates in insertion order).
-class ScriptObject {
- public:
-  Value* Find(const std::string& key);
-  const Value* Find(const std::string& key) const;
-  void Set(const std::string& key, Value v);
-  bool Erase(const std::string& key);
-  size_t size() const { return items_.size(); }
-  const std::vector<std::pair<std::string, Value>>& items() const {
-    return items_;
-  }
-
- private:
-  std::vector<std::pair<std::string, Value>> items_;
-};
+class ScriptObject;
 
 using ScriptArray = std::vector<Value>;
 
@@ -48,6 +35,14 @@ struct ScriptFunction {
   const std::vector<StmtPtr>* body = nullptr;
   std::shared_ptr<Program> owner;
   std::shared_ptr<class Environment> closure;
+  /// Resolver verdict (copied from the AST node): slot-mode functions
+  /// execute against a pooled flat frame of `frame_size` values instead
+  /// of a heap Environment chain. Only functions whose locals are
+  /// provably never captured by a closure qualify.
+  bool slot_mode = false;
+  uint16_t frame_size = 0;
+  /// Frame slot for each positional parameter (slot mode only).
+  const std::vector<uint16_t>* param_slots = nullptr;
 };
 
 /// A C++ function exposed to scripts.
@@ -87,7 +82,9 @@ class Value {
   static Value MakeArray() { return Value(std::make_shared<ScriptArray>()); }
   static Value MakeHostFunction(std::string name, HostFunction fn);
 
-  ValueType type() const;
+  /// The variant's alternatives are declared in ValueType order, so
+  /// the tag maps straight through — keep both lists in sync.
+  ValueType type() const { return static_cast<ValueType>(data_.index()); }
   bool is_undefined() const { return type() == ValueType::kUndefined; }
   bool is_null() const { return type() == ValueType::kNull; }
   bool is_nullish() const { return is_undefined() || is_null(); }
@@ -117,14 +114,25 @@ class Value {
     return std::get<std::shared_ptr<HostFunctionValue>>(data_);
   }
 
-  /// JS truthiness.
-  bool Truthy() const;
+  /// JS truthiness. Bool/number inline (loop conditions); the
+  /// remaining types go out of line.
+  bool Truthy() const {
+    if (is_bool()) return AsBool();
+    if (is_number()) {
+      const double d = AsNumber();
+      return d != 0.0 && d == d;  // NaN is falsy
+    }
+    return TruthySlow();
+  }
 
   /// Abstract ToString (used by `+` concatenation and console.log).
   std::string ToDisplayString() const;
 
   /// ToNumber coercion: true→1, "12"→12, null→0, undefined→NaN, …
-  double ToNumber() const;
+  double ToNumber() const {
+    if (is_number()) return AsNumber();
+    return ToNumberSlow();
+  }
 
   /// Strict equality (===). Objects/arrays compare by identity.
   bool StrictEquals(const Value& o) const;
@@ -134,6 +142,9 @@ class Value {
   bool LooseEquals(const Value& o) const;
 
  private:
+  bool TruthySlow() const;
+  double ToNumberSlow() const;
+
   std::variant<std::monostate, std::nullptr_t, bool, double, std::string,
                std::shared_ptr<ScriptObject>, std::shared_ptr<ScriptArray>,
                std::shared_ptr<ScriptFunction>,
@@ -141,22 +152,67 @@ class Value {
       data_;
 };
 
-/// Lexical scope chain.
+/// Insertion-ordered property map (for-in iterates in insertion order).
+/// Properties written through resolved member accesses / object
+/// literals carry an interned key id, so lookups from resolved code
+/// compare integers; dynamically-computed keys (`obj[k] = v`, JSON
+/// interop) stay plain strings and are matched by string comparison.
+class ScriptObject {
+ public:
+  struct Entry {
+    uint32_t key_id = kNoNameId;
+    std::string key;
+    Value value;
+    Entry(uint32_t id, std::string k, Value v);
+  };
+
+  Value* Find(const std::string& key);
+  const Value* Find(const std::string& key) const;
+  /// Fast path for pre-interned keys. `key` is the spelling of
+  /// `key_id`, used to match entries stored without an id.
+  Value* FindInterned(uint32_t key_id, const std::string& key);
+  void Set(const std::string& key, Value v);
+  void SetInterned(uint32_t key_id, const std::string& key, Value v);
+  bool Erase(const std::string& key);
+  size_t size() const { return items_.size(); }
+  const std::vector<Entry>& items() const { return items_; }
+
+ private:
+  std::vector<Entry> items_;
+};
+
+/// Lexical scope chain. Binding names are interned (see intern.hpp),
+/// so lookups from resolved code compare integer ids; the string API
+/// is kept for host code and the unresolved fallback path.
 class Environment : public std::enable_shared_from_this<Environment> {
  public:
+  static constexpr uint32_t kNpos = 0xFFFFFFFFu;
+
   explicit Environment(std::shared_ptr<Environment> parent = nullptr)
       : parent_(std::move(parent)) {}
 
   /// Define in this scope (shadows outer scopes).
   void Define(const std::string& name, Value v, bool is_const = false);
+  void DefineById(uint32_t name_id, Value v, bool is_const = false);
 
   /// Lookup through the chain; nullptr when unbound.
   Value* Find(const std::string& name);
+  Value* FindById(uint32_t name_id);
 
   /// Assign to an existing binding; errors when unbound or const.
   Status Assign(const std::string& name, Value v);
+  Status AssignById(uint32_t name_id, Value v);
 
   bool IsConst(const std::string& name) const;
+
+  /// Index of a binding directly in this scope (not the chain), or
+  /// kNpos. Indices are stable: bindings are never erased.
+  uint32_t LocalIndexById(uint32_t name_id) const;
+  /// Binding value at `index` iff that binding is named `name_id`,
+  /// else nullptr — the verification step of the interpreter's inline
+  /// caches.
+  Value* ValueAtIfId(uint32_t index, uint32_t name_id);
+  bool ConstAt(uint32_t index) const { return bindings_[index].is_const; }
 
   /// Names bound directly in this scope (not the chain), in
   /// definition order — used for module state snapshots.
@@ -166,11 +222,12 @@ class Environment : public std::enable_shared_from_this<Environment> {
 
  private:
   struct Binding {
+    uint32_t name_id;
     Value value;
     bool is_const = false;
   };
   std::shared_ptr<Environment> parent_;
-  std::vector<std::pair<std::string, Binding>> bindings_;
+  std::vector<Binding> bindings_;
 };
 
 }  // namespace vp::script

@@ -2,6 +2,9 @@
 // brokerless fabric (PUSH + REQ/REP) and the brokered alternative.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "json/write.hpp"
 #include "net/broker.hpp"
 #include "net/endpoint.hpp"
 #include "net/fabric.hpp"
@@ -44,6 +47,66 @@ TEST(Message, ByteSizeMatchesEncoding) {
   EXPECT_EQ(m.ByteSize(), m.Encode().size());
   Message empty;
   EXPECT_EQ(empty.ByteSize(), empty.Encode().size());
+}
+
+TEST(Message, ByteSizeMemoizesPayloadSerialization) {
+  const Message m = SampleMessage();
+  const uint64_t before = json::WriteCallCountForTest();
+  const size_t size = m.ByteSize();
+  EXPECT_EQ(json::WriteCallCountForTest(), before + 1);
+  // Repeated ByteSize calls — the hot path on every Push / Request /
+  // Publish — must not re-serialize the payload.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(m.ByteSize(), size);
+  EXPECT_EQ(json::WriteCallCountForTest(), before + 1);
+  // Copies share the cached size along with the payload.
+  const Message copy = m;
+  EXPECT_EQ(copy.ByteSize(), size);
+  EXPECT_EQ(json::WriteCallCountForTest(), before + 1);
+}
+
+TEST(Message, ByteSizeCacheInvalidatedByMutation) {
+  Message m = SampleMessage();
+  const size_t original = m.ByteSize();
+
+  // set_payload installs a new payload: the next ByteSize re-encodes.
+  uint64_t before = json::WriteCallCountForTest();
+  json::Value bigger = json::Value::MakeObject();
+  bigger["text"] = json::Value(std::string(100, 'x'));
+  m.set_payload(std::move(bigger));
+  EXPECT_GT(m.ByteSize(), original);
+  EXPECT_EQ(json::WriteCallCountForTest(), before + 1);
+
+  // Mutable payload access also invalidates, even though the caller
+  // only *may* mutate through the returned reference.
+  before = json::WriteCallCountForTest();
+  const size_t size2 = m.ByteSize();  // cache still warm — no Write
+  EXPECT_EQ(json::WriteCallCountForTest(), before);
+  m.payload()["more"] = json::Value(12345);
+  EXPECT_GT(m.ByteSize(), size2);
+  EXPECT_EQ(json::WriteCallCountForTest(), before + 1);
+
+  // Encode also populates the cache: ByteSize right after Encode is
+  // free, and still equals the encoding's size.
+  before = json::WriteCallCountForTest();
+  const Bytes wire = m.Encode();
+  EXPECT_EQ(m.ByteSize(), wire.size());
+  EXPECT_EQ(json::WriteCallCountForTest(), before + 1);
+}
+
+TEST(Message, CopiesDoNotShareMutations) {
+  // Copying shares payload/parts (copy-on-write); mutating one copy
+  // must not leak into the other.
+  Message a = SampleMessage();
+  Message b = a;
+  b.payload()["frame_id"] = json::Value(99);
+  b.mutable_parts()[0] = Bytes{9, 9};
+  EXPECT_EQ(a.payload().GetInt("frame_id"), 17);
+  EXPECT_EQ(b.payload().GetInt("frame_id"), 99);
+  EXPECT_EQ(a.parts()[0], (Bytes{1, 2, 3, 4, 5}));
+  EXPECT_EQ(b.parts()[0], (Bytes{9, 9}));
+  // The untouched copy still byte-sizes / encodes as before.
+  EXPECT_EQ(a.ByteSize(), a.Encode().size());
+  EXPECT_EQ(b.ByteSize(), b.Encode().size());
 }
 
 TEST(Message, DecodeRejectsBadMagic) {
@@ -213,6 +276,40 @@ TEST_F(FabricTest, LargerMessagesTakeLonger) {
   }
   EXPECT_GT(big_time, small_time);
   EXPECT_GT(big_time, 40.0);  // 500 KB at 80 Mbit/s = 50 ms serialization
+}
+
+TEST_F(FabricTest, PublishFanOutIsolatesSubscribers) {
+  // Publish hands each subscriber its own Message; the copies share
+  // payload/parts copy-on-write, so one subscriber mutating its copy
+  // must not be visible to the others (or to the publisher's message).
+  std::vector<int> seen_frame_ids;
+  fabric_.Subscribe("frames", "desktop", [&](Message m) {
+    // First subscriber scribbles over everything it received.
+    m.payload()["frame_id"] = json::Value(-1);
+    m.mutable_parts().clear();
+    seen_frame_ids.push_back(-1);
+  });
+  fabric_.Subscribe("frames", "tv", [&](Message m) {
+    seen_frame_ids.push_back(m.payload().GetInt("frame_id"));
+    EXPECT_EQ(m.parts().size(), 1u);
+    EXPECT_EQ(m.parts()[0], (Bytes{7, 7, 7}));
+  });
+
+  json::Value payload = json::Value::MakeObject();
+  payload["frame_id"] = json::Value(31);
+  Message m("frame", std::move(payload));
+  m.AddPart(Bytes{7, 7, 7});
+  ASSERT_TRUE(fabric_.Publish("phone", "frames", m).ok());
+  cluster_->simulator().RunUntilIdle();
+
+  // Delivery order across devices is a latency detail — sort.
+  std::sort(seen_frame_ids.begin(), seen_frame_ids.end());
+  ASSERT_EQ(seen_frame_ids.size(), 2u);
+  EXPECT_EQ(seen_frame_ids[0], -1);
+  EXPECT_EQ(seen_frame_ids[1], 31);  // unaffected by subscriber 1
+  // The publisher's original is also untouched.
+  EXPECT_EQ(m.payload().GetInt("frame_id"), 31);
+  ASSERT_EQ(m.parts().size(), 1u);
 }
 
 // --------------------------------------------------------------- Broker

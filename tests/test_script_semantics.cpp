@@ -82,6 +82,73 @@ TEST(Scoping, InnerFunctionsHoistWithinBlocks) {
                    42);
 }
 
+TEST(Scoping, NestedBlocksShadowIndependently) {
+  // Each block level introduces its own binding; exits restore the
+  // outer one — exercised across both slot-resolved and env scopes.
+  EXPECT_EQ(Str(R"(
+    function probe() {
+      var x = "a";
+      var out = x;
+      {
+        var x = "b";
+        out = out + x;
+        {
+          var x = "c";
+          out = out + x;
+        }
+        out = out + x;   // back to the middle binding
+      }
+      out = out + x;     // back to the outermost binding
+      return out;
+    }
+    var result = probe();
+  )"),
+            "abcba");
+}
+
+TEST(Scoping, CatchParameterIsScopedToHandler) {
+  // Thrown values reach the handler wrapped in an error object with
+  // `message`/`code`; the catch binding shadows any same-named outer
+  // binding and rebinding it leaves the outer one untouched.
+  EXPECT_EQ(Str(R"(
+    var e = "outer";
+    var caught = "";
+    try {
+      throw "boom";
+    } catch (e) {
+      caught = e.message.indexOf("boom") >= 0 ? "boom" : "missing";
+      e = "rebound";     // writes the catch binding, not the global
+    }
+    var result = caught + ":" + e;
+  )"),
+            "boom:outer");
+}
+
+TEST(Scoping, CatchScopeInsideFunction) {
+  EXPECT_DOUBLE_EQ(Num(R"(
+    function safeDiv(a, b) {
+      try {
+        if (b == 0) throw "div0";
+        return a / b;
+      } catch (err) {
+        return -1;
+      }
+    }
+    var result = safeDiv(10, 2) * 10 + safeDiv(1, 0);  // 50 - 1
+  )"),
+                   49);
+}
+
+TEST(Scoping, HoistedFunctionCanCallItself) {
+  // A hoisted declaration must see its own binding even when the
+  // recursive call happens before the textual declaration point.
+  EXPECT_DOUBLE_EQ(Num(R"(
+    var result = fib(10);
+    function fib(n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+  )"),
+                   55);
+}
+
 // ------------------------------------------------------------- closures
 
 TEST(Closures, CaptureByReferenceNotValue) {
@@ -108,6 +175,21 @@ TEST(Closures, LoopVariableIsSharedAcrossIterations) {
     var result = fns[0]() + fns[1]() + fns[2]();  // 3 + 3 + 3
   )"),
                    9);
+}
+
+TEST(Closures, LoopBodyLocalsCapturedPerIteration) {
+  // Loop bodies get a fresh scope each iteration, so a body-local
+  // `var` captured by a closure is per-iteration state — unlike the
+  // loop variable itself (see LoopVariableIsSharedAcrossIterations).
+  EXPECT_DOUBLE_EQ(Num(R"(
+    var fns = [];
+    for (var i = 0; i < 3; i++) {
+      var snapshot = i * 10;
+      fns.push(function () { return snapshot; });
+    }
+    var result = fns[0]() + fns[1]() + fns[2]();  // 0 + 10 + 20
+  )"),
+                   30);
 }
 
 TEST(Closures, SurviveTheirDefiningCall) {
@@ -328,6 +410,73 @@ TEST(Corners, JsonRoundTripInsideScript) {
     var result = original.poses[0][0];
   )"),
                    1);
+}
+
+// --------------------------------------------- resolved vs. fallback
+//
+// The resolver (resolver.hpp) is a pure optimization: slot-resolved
+// execution and the dynamic Environment fallback must be observably
+// identical. Run a battery of scope/closure/coercion programs both
+// ways and compare the display form of `result`.
+
+std::string EvalWith(const std::string& body, bool resolve) {
+  ContextOptions options;
+  options.resolve = resolve;
+  Context context(options);
+  Status loaded = context.Load(body);
+  if (!loaded.ok()) return "load error: " + loaded.error().ToString();
+  return context.GetGlobal("result").ToDisplayString();
+}
+
+TEST(ResolverEquivalence, SameResultsWithAndWithoutResolver) {
+  const std::vector<std::string> programs = {
+      // Shadowing across nested blocks.
+      R"(var x = 1; { var x = 2; { var x = 3; } } var result = x;)",
+      // Closure over a loop variable (shared binding).
+      R"(var f = []; for (var i = 0; i < 3; i++) f.push(function () { return i; });
+         var result = f[0]() + f[2]();)",
+      // Catch binding shadows a global of the same name.
+      R"(var e = 7; try { throw 1; } catch (e) { e = e + 1; } var result = e;)",
+      // Hoisted self-reference + recursion.
+      R"(var result = fact(5); function fact(n) { return n < 2 ? 1 : n * fact(n - 1); })",
+      // Named function expression self-reference.
+      R"(var f = function g(n) { return n < 2 ? 1 : n * g(n - 1); }; var result = f(5);)",
+      // Compound assignment / update operators on members and slots.
+      R"(var o = { n: 1 }; var t = 0; for (var i = 0; i < 4; i++) { o.n *= 2; t += o.n; }
+         var result = t * 100 + o.n;)",
+      // Switch with fall-through and block-scoped cases.
+      R"(var out = ""; var k = 1;
+         switch (k) { case 0: out += "a"; case 1: out += "b"; case 2: out += "c"; break;
+                      default: out += "d"; }
+         var result = out;)",
+      // String/number coercion through binary fast paths.
+      R"(var result = "3" * "4" + ("1" + 2) + (0 / 0 == 0 / 0 ? "eq" : "ne");)",
+      // Array methods + length through the interned fast path.
+      R"(var a = [3, 1, 2]; a.sort(); a.push(9); var result = a.join("-") + ":" + a.length;)",
+  };
+  for (const std::string& program : programs) {
+    EXPECT_EQ(EvalWith(program, true), EvalWith(program, false)) << program;
+  }
+}
+
+TEST(ResolverEquivalence, ErrorsMatchAcrossModes) {
+  const std::vector<std::string> programs = {
+      "var result = missing;",             // unbound identifier
+      "var result = missing();",           // unbound call
+      "var o = {}; var result = o.a.b;",   // member of undefined
+  };
+  for (const std::string& program : programs) {
+    ContextOptions on;
+    ContextOptions off;
+    off.resolve = false;
+    Context resolved(on);
+    Context fallback(off);
+    const Status a = resolved.Load(program);
+    const Status b = fallback.Load(program);
+    EXPECT_FALSE(a.ok()) << program;
+    EXPECT_EQ(a.code(), b.code()) << program;
+    EXPECT_EQ(a.message(), b.message()) << program;
+  }
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "core/orchestrator.hpp"
 #include "core/self_healing.hpp"
 #include "json/write.hpp"
+#include "script/context.hpp"
 #include "sim/cluster.hpp"
 #include "sim/fault_injector.hpp"
 
@@ -233,6 +234,66 @@ TEST(SelfHealing, CheckpointedCounterResumesInsteadOfResetting) {
   // top of the rollback — but it must never widen past that, which
   // would mean recovery left the pipeline degraded beyond physics.
   EXPECT_LE(fault_free.end - faulted.end, 110.0);
+}
+
+TEST(SelfHealing, CheckpointRestoreEquivalentAcrossResolverModes) {
+  // Checkpoints carry module state between devices whose contexts may
+  // execute resolved (slot-mode) or fall back to dynamic Environments.
+  // A snapshot taken in either mode must restore into the other and
+  // resume to identical results — otherwise migration would silently
+  // depend on an interpreter implementation detail.
+  const std::string source = R"JS(
+    var count = 0;
+    var history = [];
+    var stats = { sum: 0, max: -1 };
+    function event_received(n) {
+      count = count + 1;
+      stats.sum += n;
+      if (n > stats.max) stats.max = n;
+      history.push(n * 2);
+      return count;
+    }
+    function state_string() {
+      return count + "|" + stats.sum + "|" + stats.max + "|" +
+             history.join(",");
+    }
+  )JS";
+
+  auto make_context = [&](bool resolve) {
+    script::ContextOptions options;
+    options.resolve = resolve;
+    auto context = std::make_unique<script::Context>(options);
+    EXPECT_TRUE(context->Load(source).ok());
+    return context;
+  };
+  auto drive = [](script::Context& context, int from, int to) {
+    for (int i = from; i < to; ++i) {
+      auto r = context.Call("event_received",
+                            {script::Value(static_cast<double>(i * 3))});
+      ASSERT_TRUE(r.ok()) << r.error().ToString();
+    }
+  };
+  auto state_of = [](script::Context& context) {
+    auto r = context.Call("state_string", {});
+    EXPECT_TRUE(r.ok());
+    return r.ok() ? r->ToDisplayString() : "<err>";
+  };
+
+  for (const bool checkpoint_resolved : {true, false}) {
+    for (const bool resume_resolved : {true, false}) {
+      auto first = make_context(checkpoint_resolved);
+      drive(*first, 0, 7);
+      const json::Value snapshot = first->SnapshotState();
+
+      auto second = make_context(resume_resolved);
+      EXPECT_TRUE(second->RestoreState(snapshot).ok());
+      drive(*second, 7, 12);
+      drive(*first, 7, 12);
+      EXPECT_EQ(state_of(*first), state_of(*second))
+          << "checkpoint resolved=" << checkpoint_resolved
+          << " resume resolved=" << resume_resolved;
+    }
+  }
 }
 
 TEST(SelfHealing, SourceDeviceCrashPausesThenRebootResumes) {
