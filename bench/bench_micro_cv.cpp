@@ -37,7 +37,9 @@ void BM_PoseFeatures(benchmark::State& state) {
 BENCHMARK(BM_PoseFeatures);
 
 void BM_ActivityClassify(benchmark::State& state) {
-  const auto& model = services::SharedActivityModel();
+  const auto artifact =
+      services::DefaultArtifactForKind(modelreg::kActivityKind);
+  const cv::ActivityClassifier& model = *artifact->activity;
   const media::Image image = media::RenderScene(media::Pose::Standing(),
                                                 media::SceneOptions{}, 1);
   const cv::DetectedPose pose = cv::DetectPose(image);

@@ -146,6 +146,14 @@ Result<PipelineSpec> ParsePipelineConfig(const json::Value& doc,
   spec.name = doc.GetString("name");
   spec.priority = doc.GetString("priority", "normal");
   spec.deadline_ms = doc.GetDouble("deadline_ms", 0.0);
+  if (const json::Value* rollout = doc.Find("rollout"); rollout != nullptr) {
+    if (!rollout->is_object()) {
+      return ParseError("'rollout' must be an object");
+    }
+    auto policy = modelreg::RolloutPolicy::FromJson(*rollout);
+    if (!policy.ok()) return policy.error();
+    spec.rollout = *policy;
+  }
 
   if (const json::Value* source = doc.Find("source");
       source != nullptr && source->is_object()) {

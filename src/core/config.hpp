@@ -37,6 +37,7 @@
 
 #include "common/error.hpp"
 #include "json/value.hpp"
+#include "modelreg/rollout.hpp"
 #include "net/endpoint.hpp"
 
 namespace vp::core {
@@ -81,6 +82,9 @@ struct PipelineSpec {
   /// Per-frame service-call deadline measured from frame capture (ms);
   /// 0 disables deadline scheduling/shedding for this pipeline.
   double deadline_ms = 0;
+  /// Optional "rollout" block: canary policy applied to every
+  /// model-backed service group this pipeline deploys onto.
+  std::optional<modelreg::RolloutPolicy> rollout;
 
   const ModuleSpec* FindModule(const std::string& name) const;
 };

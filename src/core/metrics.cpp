@@ -22,6 +22,7 @@ LatencySummary Summarize(const std::vector<double>& samples_ms) {
   };
   out.p50_ms = at(0.50);
   out.p95_ms = at(0.95);
+  out.p99_ms = at(0.99);
   return out;
 }
 

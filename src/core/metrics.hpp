@@ -45,6 +45,10 @@ struct LatencySummary {
   double max_ms = 0;
   double p50_ms = 0;
   double p95_ms = 0;
+  /// Tail percentile for the rollout latency gates and SLO reporting.
+  /// From live samples when available; otherwise estimated from the
+  /// RunningStat reservoir like the other percentiles.
+  double p99_ms = 0;
 };
 
 LatencySummary Summarize(const std::vector<double>& samples_ms);

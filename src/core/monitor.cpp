@@ -55,6 +55,26 @@ json::Value MonitorSample::ToJson() const {
     }
     out["serving"] = std::move(serving);
   }
+  if (!model_version.empty()) {
+    json::Value models = json::Value::MakeObject();
+    for (const auto& [group, version] : model_version) {
+      json::Value entry = json::Value::MakeObject();
+      entry["version"] = json::Value(version);
+      if (auto it = rollout_phase.find(group); it != rollout_phase.end()) {
+        entry["phase"] = json::Value(it->second);
+      }
+      if (auto it = replica_model_versions.find(group);
+          it != replica_model_versions.end()) {
+        json::Value list = json::Value::MakeArray();
+        for (const std::string& v : it->second) {
+          list.PushBack(json::Value(v));
+        }
+        entry["replica_versions"] = std::move(list);
+      }
+      models[group] = std::move(entry);
+    }
+    out["models"] = std::move(models);
+  }
   return out;
 }
 
@@ -119,6 +139,17 @@ void PipelineMonitor::Sample() {
       }
     }
     sample.replica_health[key] = std::move(healths);
+    if (orchestrator_->rollout().Manages(device, service)) {
+      sample.model_version[key] =
+          orchestrator_->rollout().stable_version(device, service);
+      sample.rollout_phase[key] = modelreg::RolloutPhaseName(
+          orchestrator_->rollout().phase(device, service));
+      std::vector<std::string> versions;
+      for (services::ServiceInstance* replica : replicas) {
+        versions.push_back(replica->model_version());
+      }
+      sample.replica_model_versions[key] = std::move(versions);
+    }
   }
   if (detector_ != nullptr) {
     for (const auto& [device, health] : detector_->snapshot()) {
@@ -218,6 +249,12 @@ std::string PipelineMonitor::Report() const {
         static_cast<unsigned long long>(
             last.scheduler_sheds.count(group) ? last.scheduler_sheds.at(group)
                                               : 0));
+  }
+  for (const auto& [group, version] : samples_.back().model_version) {
+    const auto& phases = samples_.back().rollout_phase;
+    out += Format("  model    %-24s version = %s (%s)\n", group.c_str(),
+                  version.c_str(),
+                  phases.count(group) ? phases.at(group).c_str() : "stable");
   }
   return out;
 }

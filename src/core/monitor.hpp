@@ -47,6 +47,15 @@ struct MonitorSample {
   /// "device/service" → cumulative shed requests (deadline + stale).
   std::map<std::string, uint64_t> scheduler_sheds;
 
+  // -- model lifecycle (rollout-managed groups only) --------------------
+  /// "device/service" → stable model version (content id).
+  std::map<std::string, std::string> model_version;
+  /// "device/service" → rollout phase ("stable"/"canary"/"rolling_back").
+  std::map<std::string, std::string> rollout_phase;
+  /// "device/service" → live model version per replica (canaries show
+  /// up as a mixed list).
+  std::map<std::string, std::vector<std::string>> replica_model_versions;
+
   json::Value ToJson() const;
 };
 

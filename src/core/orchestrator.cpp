@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "media/codec.hpp"
+#include "services/models.hpp"
 
 namespace vp::core {
 
@@ -89,6 +90,44 @@ Orchestrator::Orchestrator(sim::Cluster* cluster, OrchestratorOptions options)
           return it->second->QueuePressure(cluster_->Now());
         });
   }
+
+  // Model lifecycle: every replica of a model-backed service resolves
+  // its version through the rollout controller, so replicas of one
+  // group can run different versions (canary) and be hot-swapped.
+  models_ = options_.models.registry != nullptr
+                ? options_.models.registry
+                : &modelreg::SharedModelRegistry();
+  rollout_ = std::make_unique<modelreg::RolloutController>(
+      &cluster_->simulator(), registry_.get(), models_);
+  rollout_->set_default_policy(options_.models.rollout);
+  rollout_->set_scheduler_lookup(
+      [this](const std::string& device, const std::string& service) {
+        return scheduler(device, service);
+      });
+  containers_->set_model_resolver(
+      [this](const std::string& device, const std::string& service,
+             const std::string& kind)
+          -> std::shared_ptr<modelreg::ModelHandle> {
+        // A managed group pins new replicas to its stable version
+        // (mid-rollout scale-ups must not widen the canary surface).
+        auto artifact = rollout_->StableArtifact(device, service);
+        if (artifact == nullptr) {
+          auto spec = services::DefaultModelSpecForService(service);
+          if (!spec.has_value()) {
+            return std::make_shared<modelreg::ModelHandle>(
+                services::DefaultArtifactForKind(kind));
+          }
+          auto trained = models_->TrainOrGet(*spec);
+          if (!trained.ok()) {
+            VP_ERROR("orchestrator")
+                << "model for " << device << "/" << service
+                << " failed to train: " << trained.status().ToString();
+            return nullptr;
+          }
+          artifact = *trained;
+        }
+        return std::make_shared<modelreg::ModelHandle>(std::move(artifact));
+      });
 }
 
 serving::RequestScheduler* Orchestrator::scheduler(
@@ -296,7 +335,16 @@ Status Orchestrator::EnsureServiceDeployed(const std::string& device,
   auto instance = native ? containers_->LaunchNative(device, service)
                          : containers_->Launch(device, service);
   if (!instance.ok()) return instance.status();
+  const bool model_backed = (*instance)->model_handle() != nullptr;
+  auto stable = model_backed ? (*instance)->model_handle()->artifact()
+                             : nullptr;
   registry_->Add(std::move(*instance));
+  if (stable != nullptr) {
+    // First replica of a model-backed group: the rollout controller
+    // starts managing it with the replica's version as stable
+    // (idempotent for an already-managed group).
+    VP_RETURN_IF_ERROR(rollout_->AdoptGroup(device, service, stable));
+  }
   VP_INFO("orchestrator") << "launched " << service << " on " << device
                           << (native ? " (native)" : " (container)");
   return Status::Ok();
@@ -312,6 +360,45 @@ Status Orchestrator::ScaleService(const std::string& device,
   if (!instance.ok()) return instance.status();
   registry_->Add(std::move(*instance));
   return Status::Ok();
+}
+
+Status Orchestrator::BeginModelRollout(
+    const std::string& device, const std::string& service,
+    const modelreg::ModelSpec& candidate_spec,
+    std::optional<modelreg::RolloutPolicy> policy) {
+  if (registry_->Find(device, service) == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "no deployed replica of '" + service + "' on " + device);
+  }
+  // Canary needs company: at least one replica keeps the incumbent.
+  while (registry_->Replicas(device, service).size() < 2) {
+    VP_RETURN_IF_ERROR(ScaleService(device, service));
+  }
+  auto candidate = models_->TrainOrGet(candidate_spec);
+  if (!candidate.ok()) return candidate.status();
+  return rollout_->BeginRollout(device, service, *candidate,
+                                std::move(policy));
+}
+
+void Orchestrator::RegisterModelGroupsForFaults(
+    sim::FaultInjector& injector) {
+  for (const auto& [device, service] : rollout_->groups()) {
+    sim::ModelHooks hooks;
+    hooks.poison = [this, device = device, service = service] {
+      auto stable = rollout_->StableArtifact(device, service);
+      if (stable == nullptr) return;
+      const modelreg::ModelSpec bad = modelreg::PoisonedVariant(stable->spec);
+      VP_WARN("orchestrator")
+          << "model poison on " << device << "/" << service
+          << ": staging bad candidate " << bad.ContentId();
+      const Status status = BeginModelRollout(device, service, bad);
+      if (!status.ok()) {
+        VP_ERROR("orchestrator") << "poison rollout failed to start: "
+                                 << status.ToString();
+      }
+    };
+    injector.RegisterModelGroup(device + "/" + service, std::move(hooks));
+  }
 }
 
 Result<PipelineDeployment*> Orchestrator::Deploy(PipelineSpec spec,
@@ -332,6 +419,11 @@ Result<PipelineDeployment*> Orchestrator::Deploy(PipelineSpec spec,
   for (const auto& [service, device] : pplan.service_device) {
     VP_RETURN_IF_ERROR_R(
         EnsureServiceDeployed(device, service, pplan.IsNative(service)));
+    // A config "rollout" block tunes the canary policy of every
+    // model-backed group the pipeline touches.
+    if (pspec.rollout.has_value() && rollout_->Manages(device, service)) {
+      rollout_->SetGroupPolicy(device, service, *pspec.rollout);
+    }
   }
 
   // 2. Module addresses. Configured ports are honored when free;

@@ -20,6 +20,7 @@
 #include "core/module_runtime.hpp"
 #include "core/placement.hpp"
 #include "media/frame_store.hpp"
+#include "modelreg/rollout.hpp"
 #include "net/fabric.hpp"
 #include "services/autoscaler.hpp"
 #include "services/container.hpp"
@@ -66,6 +67,15 @@ struct ServingOptions {
   serving::SchedulerOptions scheduler;
 };
 
+/// Model lifecycle (src/modelreg): the registry that trains and stores
+/// versioned artifacts, and the default canary-rollout policy. A null
+/// registry means the process-wide SharedModelRegistry() — tests pass
+/// their own to isolate training state.
+struct ModelLifecycleOptions {
+  modelreg::ModelRegistry* registry = nullptr;
+  modelreg::RolloutPolicy rollout;
+};
+
 struct OrchestratorOptions {
   /// Per-event module runtime overhead (context dispatch), ref ms.
   Duration module_event_overhead = Duration::Millis(0.25);
@@ -91,6 +101,7 @@ struct OrchestratorOptions {
   /// until the orchestrator dies, the pre-PR-2 behavior).
   Duration retired_drain_window = Duration::Seconds(30);
   ServingOptions serving;
+  ModelLifecycleOptions models;
   uint64_t seed = 42;
 };
 
@@ -211,6 +222,21 @@ class Orchestrator {
   /// heartbeats (FailureDetector → SelfHealer).
   void RegisterDevicesForFaults(sim::FaultInjector& injector);
 
+  /// Wire every rollout-managed model group into `injector` under
+  /// "device/service" labels. The poison hook trains a deliberately
+  /// bad variant of the group's stable spec and stages it through the
+  /// normal canary path — the rollout gates must catch and revert it.
+  void RegisterModelGroupsForFaults(sim::FaultInjector& injector);
+
+  /// Train `candidate_spec` (off the hot path — the registry dedupes)
+  /// and start a canary rollout of it on the (device, service) group,
+  /// scaling the group to ≥ 2 replicas first if needed (at least one
+  /// replica must keep serving the incumbent).
+  Status BeginModelRollout(
+      const std::string& device, const std::string& service,
+      const modelreg::ModelSpec& candidate_spec,
+      std::optional<modelreg::RolloutPolicy> policy = std::nullopt);
+
   // -- self-healing ------------------------------------------------------
 
   /// Last checkpoint of one module's script state, as stored on the
@@ -256,6 +282,9 @@ class Orchestrator {
   services::ContainerRuntime& containers() { return *containers_; }
   services::Autoscaler& autoscaler() { return *autoscaler_; }
   const services::ServiceCatalog& catalog() const { return catalog_; }
+  modelreg::ModelRegistry& models() { return *models_; }
+  modelreg::RolloutController& rollout() { return *rollout_; }
+  const modelreg::RolloutController& rollout() const { return *rollout_; }
   media::FrameStore& store(const std::string& device);
   const OrchestratorOptions& options() const { return options_; }
   const std::vector<std::unique_ptr<PipelineDeployment>>& pipelines() const {
@@ -378,6 +407,11 @@ class Orchestrator {
   std::map<std::pair<std::string, std::string>,
            std::unique_ptr<serving::RequestScheduler>>
       schedulers_;
+  /// Model lifecycle. The registry may be external (options.models);
+  /// the rollout controller holds raw registry_/scheduler pointers, so
+  /// it is declared after them and destroyed first.
+  modelreg::ModelRegistry* models_ = nullptr;
+  std::unique_ptr<modelreg::RolloutController> rollout_;
   std::map<std::string, std::unique_ptr<media::FrameStore>> stores_;
   std::map<std::pair<std::string, std::string>, net::Address> gateways_;
   std::vector<std::unique_ptr<PipelineDeployment>> pipelines_;

@@ -121,6 +121,9 @@ json::Value ChromeTrace(const PipelineDeployment& pipeline,
       event["args"]["queued_us"] = json::Value(
           static_cast<double>((span.dispatch - span.enqueued).micros()));
       event["args"]["delivered"] = json::Value(span.delivered);
+      if (!span.model_version.empty()) {
+        event["args"]["model_version"] = json::Value(span.model_version);
+      }
       for (int c = 0; c < serving::kNumPriorityClasses; ++c) {
         if (span.per_class[static_cast<size_t>(c)] > 0) {
           event["args"][serving::PriorityClassName(c)] =

@@ -1,0 +1,55 @@
+#include "modelreg/artifact.hpp"
+
+#include <cstring>
+#include <span>
+
+#include "common/bytes.hpp"
+#include "common/strings.hpp"
+
+namespace vp::modelreg {
+
+std::string ModelSpec::Canonical() const {
+  // Fixed field order and formatting: this string IS the version
+  // identity, so it must never depend on locale or struct layout.
+  return Format(
+      "kind=%s|train_seed=%llu|samples_per_label=%d|test_fraction=%.6f|"
+      "split_seed=%llu|k=%d|label_noise=%.6f|cost_multiplier=%.6f",
+      kind.c_str(), static_cast<unsigned long long>(train_seed),
+      samples_per_label, test_fraction,
+      static_cast<unsigned long long>(split_seed), k, label_noise,
+      cost_multiplier);
+}
+
+std::string ModelSpec::ContentId() const {
+  const std::string canonical = Canonical();
+  const uint64_t hash = Fnv1a(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(canonical.data()), canonical.size()));
+  return Format("%s@%016llx", kind.c_str(),
+                static_cast<unsigned long long>(hash));
+}
+
+json::Value ModelSpec::ToJson() const {
+  json::Value out = json::Value::MakeObject();
+  out["kind"] = json::Value(kind);
+  out["train_seed"] = json::Value(static_cast<double>(train_seed));
+  out["samples_per_label"] = json::Value(samples_per_label);
+  out["test_fraction"] = json::Value(test_fraction);
+  out["split_seed"] = json::Value(static_cast<double>(split_seed));
+  out["k"] = json::Value(k);
+  out["label_noise"] = json::Value(label_noise);
+  out["cost_multiplier"] = json::Value(cost_multiplier);
+  return out;
+}
+
+json::Value ModelArtifact::Metadata() const {
+  json::Value out = json::Value::MakeObject();
+  out["id"] = json::Value(id);
+  out["spec"] = spec.ToJson();
+  out["test_accuracy"] = json::Value(test_accuracy);
+  out["reference_cost_ms"] = json::Value(reference_cost.millis());
+  out["inference_cost_ms"] = json::Value(InferenceCost().millis());
+  out["holdout_windows"] = json::Value(static_cast<double>(holdout.size()));
+  return out;
+}
+
+}  // namespace vp::modelreg

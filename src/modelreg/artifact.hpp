@@ -1,0 +1,118 @@
+// Versioned model artifacts (model lifecycle subsystem).
+//
+// The paper's services are stateless so replicas can be shared and
+// scaled (§2.2) — but production inference also needs a model
+// *lifecycle*: versioning, upgrade while pipelines run, and backout of
+// a bad version. A ModelSpec is the full training recipe (dataset
+// seed + spec + hyperparameters); its content id is a hash of that
+// recipe, so identical recipes are the same version everywhere and a
+// changed recipe (including a fault-injected poisoned one) is a new
+// version by construction. A ModelArtifact is one trained, immutable
+// version with its metadata; a ModelHandle is a per-replica slot the
+// rollout machinery swaps atomically.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "cv/activity.hpp"
+#include "cv/classifier.hpp"
+#include "cv/dataset.hpp"
+#include "json/value.hpp"
+
+namespace vp::modelreg {
+
+/// Model families the builtin services draw from.
+inline constexpr char kActivityKind[] = "activity_knn";
+inline constexpr char kImageKind[] = "image_nearest_centroid";
+
+/// The full training recipe. Every field participates in the content
+/// id — two specs with the same fields name the same version.
+struct ModelSpec {
+  std::string kind = kActivityKind;
+
+  // -- dataset spec -----------------------------------------------------
+  /// Synthetic dataset generation seed.
+  uint64_t train_seed = 99;
+  /// Windows (activity) or images (image) generated per label.
+  int samples_per_label = 14;
+  /// Withheld-test fraction and split shuffle seed (activity kind).
+  double test_fraction = 0.25;
+  uint64_t split_seed = 7;
+
+  // -- hyperparameters --------------------------------------------------
+  /// kNN neighbours (activity) / thumbnail grid size (image).
+  int k = 3;
+
+  // -- fault-injection knobs --------------------------------------------
+  /// Fraction of training labels replaced with a random wrong label
+  /// (a "bad" version with a real accuracy regression).
+  double label_noise = 0.0;
+  /// Inference-cost inflation relative to the reference model (a "bad"
+  /// version with a latency regression).
+  double cost_multiplier = 1.0;
+
+  /// Canonical serialization of every field — the hash input.
+  std::string Canonical() const;
+  /// Content address: "<kind>@<16-hex FNV-1a of Canonical()>".
+  std::string ContentId() const;
+  json::Value ToJson() const;
+};
+
+/// One trained, immutable model version.
+struct ModelArtifact {
+  std::string id;  // == spec.ContentId()
+  ModelSpec spec;
+  /// Accuracy on the withheld test set, computed at training time
+  /// ("The algorithm is trained on all available labelled data except
+  /// for a withheld test set", §4.1.2).
+  double test_accuracy = 0;
+  /// Reference-device per-inference cost before cost_multiplier.
+  Duration reference_cost;
+  /// Exactly one of these is set, per spec.kind.
+  std::optional<cv::ActivityClassifier> activity;
+  std::optional<cv::ImageClassifier> image;
+  /// Withheld test windows (activity kind) — the rollout controller's
+  /// shadow-scoring probe pool. Labels are the synthetic dataset's
+  /// ground truth.
+  std::vector<cv::LabeledWindow> holdout;
+
+  /// Per-inference cost as served (reference cost × spec inflation).
+  Duration InferenceCost() const {
+    return reference_cost * spec.cost_multiplier;
+  }
+  /// Registry metadata (id, recipe, accuracy, cost).
+  json::Value Metadata() const;
+};
+
+/// A replica's slot for its current model version. Each ServiceInstance
+/// owns one handle, so different replicas of one group can run
+/// different versions (the canary mechanism). Swap is atomic: the
+/// simulation is single-threaded, so a request dispatched before the
+/// swap completes with the old artifact and everything after sees the
+/// new one — never a half-written model.
+class ModelHandle {
+ public:
+  explicit ModelHandle(std::shared_ptr<const ModelArtifact> artifact = nullptr)
+      : artifact_(std::move(artifact)) {}
+
+  const std::shared_ptr<const ModelArtifact>& artifact() const {
+    return artifact_;
+  }
+  void Swap(std::shared_ptr<const ModelArtifact> next) {
+    artifact_ = std::move(next);
+    ++swaps_;
+  }
+  /// Content id of the bound version; "" when unbound.
+  std::string version() const { return artifact_ ? artifact_->id : ""; }
+  uint64_t swaps() const { return swaps_; }
+
+ private:
+  std::shared_ptr<const ModelArtifact> artifact_;
+  uint64_t swaps_ = 0;
+};
+
+}  // namespace vp::modelreg

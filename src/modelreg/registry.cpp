@@ -1,0 +1,183 @@
+#include "modelreg/registry.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "media/renderer.hpp"
+#include "media/video_source.hpp"
+
+namespace vp::modelreg {
+namespace {
+
+/// Replace `label` with a uniformly random *different* label with
+/// probability `noise` — the fault-injected accuracy regression.
+std::string MaybeCorrupt(const std::string& label,
+                         const std::vector<std::string>& labels, double noise,
+                         Rng& rng) {
+  if (noise <= 0.0 || labels.size() < 2 || rng.NextDouble() >= noise) {
+    return label;
+  }
+  std::string corrupted = label;
+  while (corrupted == label) {
+    corrupted = labels[static_cast<size_t>(
+        rng.NextInt(0, static_cast<int64_t>(labels.size()) - 1))];
+  }
+  return corrupted;
+}
+
+Result<std::shared_ptr<ModelArtifact>> TrainActivity(const ModelSpec& spec) {
+  cv::DatasetOptions options;
+  options.samples_per_label = spec.samples_per_label;
+  options.seed = spec.train_seed;
+  auto windows = cv::GenerateActivityDataset(options);
+  auto split =
+      cv::SplitTrainTest(std::move(windows), spec.test_fraction,
+                         spec.split_seed);
+  if (spec.label_noise > 0.0) {
+    Rng noise_rng(spec.train_seed ^ 0xBAD5EEDULL);
+    for (cv::LabeledWindow& window : split.train) {
+      window.label = MaybeCorrupt(window.label, options.labels,
+                                  spec.label_noise, noise_rng);
+    }
+  }
+  auto artifact = std::make_shared<ModelArtifact>();
+  artifact->spec = spec;
+  artifact->id = spec.ContentId();
+  artifact->activity = cv::TrainActivityClassifier(split.train, spec.k);
+  artifact->test_accuracy =
+      cv::EvaluateActivityAccuracy(*artifact->activity, split.test);
+  // The withheld windows double as the rollout controller's shadow-
+  // scoring probe pool: the training pipeline never saw them.
+  artifact->holdout = std::move(split.test);
+  artifact->reference_cost = cv::ActivityClassifier::Cost();
+  return artifact;
+}
+
+Result<std::shared_ptr<ModelArtifact>> TrainImage(const ModelSpec& spec) {
+  cv::ImageClassifier classifier(spec.k);
+  media::SceneOptions scene;
+  Rng noise_rng(spec.train_seed ^ 0xBAD5EEDULL);
+  const std::vector<std::string> labels = {"person_present", "empty_room"};
+
+  // Person present: render idle/squat frames (even frame indices are
+  // the training set; odd ones are withheld for the accuracy eval).
+  auto script =
+      media::MotionScript::Make({{"idle", 4.0, {}}, {"squat", 4.0, {}}});
+  if (!script.ok()) return script.error();
+  media::SyntheticVideoSource with_person(std::move(*script), 10.0, scene,
+                                          spec.train_seed);
+  const int n = spec.samples_per_label;
+  for (int i = 0; i < n; ++i) {
+    classifier.Train(
+        MaybeCorrupt("person_present", labels, spec.label_noise, noise_rng),
+        with_person.CaptureFrame(static_cast<uint64_t>(2 * i)).image);
+  }
+  // Empty room: background + noise only.
+  media::Pose hidden;
+  hidden.visible.fill(false);
+  for (int i = 0; i < n; ++i) {
+    classifier.Train(
+        MaybeCorrupt("empty_room", labels, spec.label_noise, noise_rng),
+        media::RenderScene(hidden, scene, 1000 + static_cast<uint64_t>(i)));
+  }
+
+  auto artifact = std::make_shared<ModelArtifact>();
+  artifact->spec = spec;
+  artifact->id = spec.ContentId();
+  artifact->reference_cost = cv::ImageClassifier::Cost();
+
+  // Withheld eval: odd person frames and a disjoint empty-room seed
+  // range — never shown to Train().
+  const int test_n = std::max(
+      4, static_cast<int>(std::lround(n * spec.test_fraction)));
+  int correct = 0;
+  for (int i = 0; i < test_n; ++i) {
+    auto person = classifier.Classify(
+        with_person.CaptureFrame(static_cast<uint64_t>(2 * i + 1)).image);
+    if (person.ok() && person->label == "person_present") ++correct;
+    auto empty = classifier.Classify(
+        media::RenderScene(hidden, scene, 1500 + static_cast<uint64_t>(i)));
+    if (empty.ok() && empty->label == "empty_room") ++correct;
+  }
+  artifact->test_accuracy =
+      static_cast<double>(correct) / static_cast<double>(2 * test_n);
+  artifact->image = std::move(classifier);
+  return artifact;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const ModelArtifact>> ModelRegistry::TrainOrGet(
+    const ModelSpec& spec) {
+  const std::string id = spec.ContentId();
+  auto it = by_id_.find(id);
+  if (it != by_id_.end()) return it->second;
+
+  Result<std::shared_ptr<ModelArtifact>> trained =
+      spec.kind == kActivityKind ? TrainActivity(spec)
+      : spec.kind == kImageKind
+          ? TrainImage(spec)
+          : Result<std::shared_ptr<ModelArtifact>>(
+                InvalidArgument("unknown model kind '" + spec.kind + "'"));
+  if (!trained.ok()) return trained.error();
+  (*trained)->id = id;
+  ++trainings_;
+  VP_INFO("modelreg") << "trained " << id << ": accuracy "
+                      << (*trained)->test_accuracy * 100.0 << "%, cost "
+                      << (*trained)->InferenceCost().millis() << " ms";
+  std::shared_ptr<const ModelArtifact> artifact = std::move(*trained);
+  by_id_.emplace(id, artifact);
+  order_.push_back(id);
+  return artifact;
+}
+
+std::shared_ptr<const ModelArtifact> ModelRegistry::Find(
+    const std::string& id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+bool ModelRegistry::Contains(const std::string& id) const {
+  return by_id_.count(id) != 0;
+}
+
+ModelSpec DefaultActivitySpec() {
+  ModelSpec spec;
+  spec.kind = kActivityKind;
+  spec.train_seed = 99;
+  spec.samples_per_label = 14;
+  spec.test_fraction = 0.25;
+  spec.split_seed = 7;
+  spec.k = 3;
+  return spec;
+}
+
+ModelSpec DefaultImageSpec() {
+  ModelSpec spec;
+  spec.kind = kImageKind;
+  spec.train_seed = 5;
+  spec.samples_per_label = 20;
+  spec.test_fraction = 0.25;
+  spec.split_seed = 7;
+  spec.k = 12;  // thumbnail grid
+  return spec;
+}
+
+ModelSpec PoisonedVariant(ModelSpec base, double label_noise,
+                          double cost_multiplier) {
+  base.label_noise = label_noise;
+  base.cost_multiplier = cost_multiplier;
+  // A new dataset draw on top of the noise — the bad retrain that
+  // motivated the rollback gate, not a perturbation of the incumbent.
+  base.train_seed += 7777;
+  return base;
+}
+
+ModelRegistry& SharedModelRegistry() {
+  static ModelRegistry registry;
+  return registry;
+}
+
+}  // namespace vp::modelreg

@@ -1,0 +1,68 @@
+// Model registry: content-addressed store of trained model versions.
+//
+// TrainOrGet(spec) is a pure function of the spec: the first call
+// trains (renders the synthetic dataset, fits, evaluates on the
+// withheld split) and caches; later calls with an identical recipe —
+// from any orchestrator, test or bench in the process — return the
+// same immutable artifact. This replaces the old process-global
+// SharedActivityModel()/SharedImageClassifierModel() singletons with
+// something that can hold *many* versions side by side, which is what
+// hot-swap and canary rollout need.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "modelreg/artifact.hpp"
+
+namespace vp::modelreg {
+
+class ModelRegistry {
+ public:
+  /// Resolve `spec` to its trained artifact, training on a cache miss.
+  /// Deterministic: same spec → same content id → same model weights
+  /// and metadata, in every registry.
+  Result<std::shared_ptr<const ModelArtifact>> TrainOrGet(
+      const ModelSpec& spec);
+
+  /// Lookup by content id; nullptr when the version was never trained.
+  std::shared_ptr<const ModelArtifact> Find(const std::string& id) const;
+  bool Contains(const std::string& id) const;
+
+  /// Content ids in insertion (training) order.
+  std::vector<std::string> ids() const { return order_; }
+  size_t size() const { return by_id_.size(); }
+  /// Cache misses — how many artifacts were actually trained here.
+  uint64_t trainings() const { return trainings_; }
+
+ private:
+  std::map<std::string, std::shared_ptr<const ModelArtifact>> by_id_;
+  std::vector<std::string> order_;
+  uint64_t trainings_ = 0;
+};
+
+/// The v0 recipe of the builtin activity kNN — field-for-field the
+/// training the old SharedActivityModel() singleton performed.
+ModelSpec DefaultActivitySpec();
+
+/// The v0 recipe of the builtin image classifier (person_present vs
+/// empty_room nearest-centroid), matching the old singleton.
+ModelSpec DefaultImageSpec();
+
+/// A deliberately bad variant of `base` for fault injection: training
+/// labels are noised (accuracy regression) and inference cost inflated
+/// (latency regression). The changed knobs give it a distinct content
+/// id, so the poisoned model is an ordinary — just bad — new version.
+ModelSpec PoisonedVariant(ModelSpec base, double label_noise = 0.6,
+                          double cost_multiplier = 3.0);
+
+/// Process-wide registry. Content addressing makes sharing safe:
+/// artifacts are immutable and identical recipes train once per
+/// process no matter how many orchestrators/tests run. Orchestrators
+/// use it by default; pass your own registry for isolation.
+ModelRegistry& SharedModelRegistry();
+
+}  // namespace vp::modelreg

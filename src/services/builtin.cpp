@@ -63,14 +63,54 @@ class PoseDetectorService : public Service {
   }
 };
 
-class ActivityClassifierService : public Service {
+/// Base for services that run a versioned model: the container runtime
+/// binds a per-replica ModelHandle at launch (so replicas of one group
+/// can run different versions during a rollout); instances created
+/// outside the container runtime (direct catalog use in unit rigs)
+/// lazily fall back to the v0 artifact — the old singleton behavior.
+class ModelBackedService : public Service {
  public:
+  explicit ModelBackedService(const char* kind) : kind_(kind) {}
+  std::string ModelKind() const override { return kind_; }
+  void BindModel(std::shared_ptr<modelreg::ModelHandle> handle) override {
+    handle_ = std::move(handle);
+  }
+  std::shared_ptr<modelreg::ModelHandle> model_handle() const override {
+    return handle_;
+  }
+
+ protected:
+  std::shared_ptr<const modelreg::ModelArtifact> Artifact() const {
+    if (handle_ == nullptr) {
+      handle_ = std::make_shared<modelreg::ModelHandle>(
+          DefaultArtifactForKind(kind_));
+    }
+    return handle_->artifact();
+  }
+
+ private:
+  std::string kind_;
+  mutable std::shared_ptr<modelreg::ModelHandle> handle_;
+};
+
+class ActivityClassifierService : public ModelBackedService {
+ public:
+  ActivityClassifierService() : ModelBackedService(modelreg::kActivityKind) {}
   std::string name() const override { return "activity_classifier"; }
   Duration Cost(const ServiceRequest&) const override {
-    return cv::ActivityClassifier::Cost();
+    // Per-version cost: a rollout candidate may be heavier than the
+    // incumbent (spec.cost_multiplier), and the latency gate must see
+    // that on real traffic.
+    const auto artifact = Artifact();
+    return artifact ? artifact->InferenceCost()
+                    : cv::ActivityClassifier::Cost();
   }
   Result<json::Value> Handle(const ServiceRequest& request) override {
-    const cv::ActivityClassifier& model = SharedActivityModel();
+    const auto artifact = Artifact();
+    if (!artifact || !artifact->activity.has_value()) {
+      return Internal("activity_classifier: no model bound");
+    }
+    const cv::ActivityClassifier& model = *artifact->activity;
     Result<cv::ActivityPrediction> prediction =
         InvalidArgument("activity_classifier: expected 'window_features' "
                         "or 'poses'");
@@ -207,11 +247,13 @@ class FallDetectorService : public Service {
   }
 };
 
-class ImageClassifierService : public Service {
+class ImageClassifierService : public ModelBackedService {
  public:
+  ImageClassifierService() : ModelBackedService(modelreg::kImageKind) {}
   std::string name() const override { return "image_classifier"; }
   Duration Cost(const ServiceRequest&) const override {
-    return cv::ImageClassifier::Cost();
+    const auto artifact = Artifact();
+    return artifact ? artifact->InferenceCost() : cv::ImageClassifier::Cost();
   }
   Duration BatchCost(const ServiceBatch& batch) const override {
     return AmortizedBatchCost(*this, batch, Duration::Millis(5));
@@ -220,8 +262,11 @@ class ImageClassifierService : public Service {
     if (!request.frame) {
       return InvalidArgument("image_classifier: request carries no frame");
     }
-    auto prediction = SharedImageClassifierModel().Classify(
-        request.frame->image);
+    const auto artifact = Artifact();
+    if (!artifact || !artifact->image.has_value()) {
+      return Internal("image_classifier: no model bound");
+    }
+    auto prediction = artifact->image->Classify(request.frame->image);
     if (!prediction.ok()) return prediction.error();
     json::Value out = json::Value::MakeObject();
     out["label"] = json::Value(prediction->label);

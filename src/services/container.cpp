@@ -168,9 +168,20 @@ Result<std::unique_ptr<ServiceInstance>> ContainerRuntime::LaunchImpl(
   // requests queue behind it.
   lane->Run(native ? options_.native_startup : options_.startup, nullptr);
 
-  return std::make_unique<ServiceInstance>(
+  // Model-backed services get their version resolved per replica, so
+  // different replicas of one group can run different versions (the
+  // rollout controller's canary mechanism).
+  std::shared_ptr<modelreg::ModelHandle> model;
+  const std::string kind = (*impl)->ModelKind();
+  if (model_resolver_ && !kind.empty()) {
+    model = model_resolver_(device, service, kind);
+  }
+
+  auto instance = std::make_unique<ServiceInstance>(
       device, std::move(*impl), lane, native, options_.cost_jitter,
       options_.jitter_seed + ++launch_counter_);
+  if (model != nullptr) instance->BindModel(std::move(model));
+  return instance;
 }
 
 Result<std::unique_ptr<ServiceInstance>> ContainerRuntime::Launch(

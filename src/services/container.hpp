@@ -16,6 +16,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "modelreg/artifact.hpp"
 #include "services/service.hpp"
 #include "sim/cluster.hpp"
 
@@ -104,6 +105,23 @@ class ServiceInstance {
     if (until > suspected_until_) suspected_until_ = until;
   }
 
+  // -- model lifecycle (model-backed services only) ---------------------
+  /// Bind this replica's model slot (and hand it to the impl). The
+  /// rollout machinery swaps the handle's artifact to upgrade/canary/
+  /// roll back this one replica without touching its group.
+  void BindModel(std::shared_ptr<modelreg::ModelHandle> handle) {
+    model_ = handle;
+    impl_->BindModel(std::move(handle));
+  }
+  const std::shared_ptr<modelreg::ModelHandle>& model_handle() const {
+    return model_;
+  }
+  /// Content id of the replica's current model version; "" for
+  /// services without a model.
+  std::string model_version() const {
+    return model_ != nullptr ? model_->version() : "";
+  }
+
   bool crashed() const { return crashed_; }
   bool wedged() const { return wedged_; }
   bool suspected(TimePoint now) const { return now < suspected_until_; }
@@ -127,6 +145,7 @@ class ServiceInstance {
   double cost_jitter_;
   Rng jitter_rng_;
   ServiceInstanceStats stats_;
+  std::shared_ptr<modelreg::ModelHandle> model_;
 
   // Fault state. `epoch_` counts crashes: a lane task captured before
   // a crash observes the mismatch on completion and errors out instead
@@ -168,6 +187,16 @@ class ContainerRuntime {
   Result<std::unique_ptr<ServiceInstance>> LaunchNative(
       const std::string& device, const std::string& service);
 
+  /// Resolves the model version a fresh replica of (device, service)
+  /// must run — supplied by the orchestrator, which consults the
+  /// rollout controller's stable version and the model registry.
+  using ModelResolver = std::function<std::shared_ptr<modelreg::ModelHandle>(
+      const std::string& device, const std::string& service,
+      const std::string& kind)>;
+  void set_model_resolver(ModelResolver resolver) {
+    model_resolver_ = std::move(resolver);
+  }
+
   const ContainerOptions& options() const { return options_; }
 
  private:
@@ -177,6 +206,7 @@ class ContainerRuntime {
   sim::Cluster* cluster_;
   const ServiceCatalog* catalog_;
   ContainerOptions options_;
+  ModelResolver model_resolver_;
   uint64_t launch_counter_ = 0;
   // Lanes for native services; kept alive for the cluster's lifetime.
   std::vector<std::unique_ptr<sim::ExecutionLane>> native_lanes_;

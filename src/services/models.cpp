@@ -1,71 +1,33 @@
 #include "services/models.hpp"
 
-#include <mutex>
-
 #include "common/log.hpp"
-#include "cv/dataset.hpp"
-#include "media/renderer.hpp"
-#include "media/video_source.hpp"
 
 namespace vp::services {
-namespace {
 
-struct ActivityModelBundle {
-  cv::ActivityClassifier classifier;
-  double test_accuracy = 0;
-};
-
-const ActivityModelBundle& ActivityBundle() {
-  static const ActivityModelBundle bundle = [] {
-    cv::DatasetOptions options;
-    options.samples_per_label = 14;
-    options.seed = 99;
-    auto windows = cv::GenerateActivityDataset(options);
-    auto split = cv::SplitTrainTest(std::move(windows), 0.25, 7);
-    ActivityModelBundle out{cv::TrainActivityClassifier(split.train, 3), 0.0};
-    out.test_accuracy = cv::EvaluateActivityAccuracy(out.classifier,
-                                                     split.test);
-    VP_INFO("models") << "activity kNN trained: " << split.train.size()
-                      << " train / " << split.test.size()
-                      << " test windows, accuracy "
-                      << out.test_accuracy * 100.0 << "%";
-    return out;
-  }();
-  return bundle;
+std::optional<modelreg::ModelSpec> DefaultModelSpecForService(
+    const std::string& service) {
+  if (service == "activity_classifier") {
+    return modelreg::DefaultActivitySpec();
+  }
+  if (service == "image_classifier") {
+    return modelreg::DefaultImageSpec();
+  }
+  return std::nullopt;
 }
 
-}  // namespace
-
-const cv::ActivityClassifier& SharedActivityModel() {
-  return ActivityBundle().classifier;
-}
-
-double SharedActivityModelTestAccuracy() {
-  return ActivityBundle().test_accuracy;
-}
-
-const cv::ImageClassifier& SharedImageClassifierModel() {
-  static const cv::ImageClassifier model = [] {
-    cv::ImageClassifier classifier(12);
-    media::SceneOptions scene;
-    // Person present: render idle/squat frames.
-    auto script = media::MotionScript::Make({{"idle", 4.0, {}},
-                                             {"squat", 4.0, {}}});
-    media::SyntheticVideoSource with_person(std::move(*script), 10.0, scene,
-                                            5);
-    for (uint64_t f = 0; f < 40; f += 2) {
-      classifier.Train("person_present", with_person.CaptureFrame(f).image);
-    }
-    // Empty room: background + noise only.
-    media::Pose hidden;
-    hidden.visible.fill(false);
-    for (uint64_t f = 0; f < 20; ++f) {
-      classifier.Train("empty_room",
-                       media::RenderScene(hidden, scene, 1000 + f));
-    }
-    return classifier;
-  }();
-  return model;
+std::shared_ptr<const modelreg::ModelArtifact> DefaultArtifactForKind(
+    const std::string& kind) {
+  const modelreg::ModelSpec spec = kind == modelreg::kImageKind
+                                       ? modelreg::DefaultImageSpec()
+                                       : modelreg::DefaultActivitySpec();
+  auto artifact = modelreg::SharedModelRegistry().TrainOrGet(spec);
+  if (!artifact.ok()) {
+    VP_ERROR("models") << "default model for kind '" << kind
+                       << "' failed to train: "
+                       << artifact.error().ToString();
+    return nullptr;
+  }
+  return *artifact;
 }
 
 }  // namespace vp::services

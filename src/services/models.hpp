@@ -1,27 +1,32 @@
-// Shared pretrained models for the builtin services.
+// Default model recipes for the builtin model-backed services.
 //
 // Stateless replicas must produce identical answers, so every replica
-// of a service shares one deterministic pretrained model (trained
-// once per process on the synthetic dataset with fixed seeds —
-// standing in for the paper's models trained on "all available
-// labelled data").
+// of a service group starts from the same versioned artifact: the v0
+// spec below, resolved through the content-addressed model registry
+// (src/modelreg). The old process-global SharedActivityModel()/
+// SharedImageClassifierModel() singletons are gone — each replica now
+// holds a ModelHandle the rollout machinery can swap independently,
+// which is what makes hot upgrades and canary versions possible.
 #pragma once
 
-#include "cv/activity.hpp"
-#include "cv/classifier.hpp"
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "modelreg/registry.hpp"
 
 namespace vp::services {
 
-/// Activity kNN trained on the 6 gesture/exercise classes (idle,
-/// squat, jumping_jack, lunge, wave, clap). Trained lazily, cached.
-const cv::ActivityClassifier& SharedActivityModel();
+/// The v0 ModelSpec for `service` ("activity_classifier",
+/// "image_classifier"); nullopt for services that carry no model.
+std::optional<modelreg::ModelSpec> DefaultModelSpecForService(
+    const std::string& service);
 
-/// Image classifier over scene thumbnails: "person_present" vs
-/// "empty_room".
-const cv::ImageClassifier& SharedImageClassifierModel();
-
-/// Withheld-test accuracy of the shared activity model (computed at
-/// training time; the paper reports > 90%).
-double SharedActivityModelTestAccuracy();
+/// The v0 artifact for `kind` (modelreg::kActivityKind / kImageKind),
+/// trained on first use in the process-wide shared registry. This is
+/// the fallback for services created without a bound handle (direct
+/// catalog use in unit rigs) — equivalent to the old lazy singletons.
+std::shared_ptr<const modelreg::ModelArtifact> DefaultArtifactForKind(
+    const std::string& kind);
 
 }  // namespace vp::services

@@ -23,6 +23,10 @@
 #include "json/value.hpp"
 #include "media/frame.hpp"
 
+namespace vp::modelreg {
+class ModelHandle;
+}
+
 namespace vp::services {
 
 struct ServiceRequest {
@@ -60,6 +64,22 @@ class Service {
   /// over Handle() so every existing service works unmodified.
   virtual std::vector<Result<json::Value>> ExecuteBatch(
       const ServiceBatch& batch);
+
+  // -- model lifecycle (src/modelreg) -----------------------------------
+  /// Non-empty for model-backed services: the modelreg kind whose
+  /// artifacts this service runs (e.g. modelreg::kActivityKind). The
+  /// container runtime binds a per-replica ModelHandle at launch.
+  virtual std::string ModelKind() const { return ""; }
+  /// Bind the replica's model slot. Model-backed services resolve
+  /// their model through it on every request; the rollout machinery
+  /// swaps its artifact to upgrade/canary/roll back the replica.
+  virtual void BindModel(std::shared_ptr<modelreg::ModelHandle> handle) {
+    (void)handle;
+  }
+  /// The bound handle; nullptr for services without one.
+  virtual std::shared_ptr<modelreg::ModelHandle> model_handle() const {
+    return nullptr;
+  }
 };
 
 /// Batch-cost helper for services whose per-call cost includes a fixed

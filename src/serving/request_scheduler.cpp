@@ -146,20 +146,64 @@ void RequestScheduler::FailAll(const Error& error) {
   }
 }
 
+void RequestScheduler::Quiesce(services::ServiceInstance* replica,
+                               std::function<void()> on_drained) {
+  draining_[replica] = std::move(on_drained);
+  if (busy_replicas_.count(replica) != 0) return;  // fires on completion
+  auto it = draining_.find(replica);
+  std::function<void()> drained = std::move(it->second);
+  it->second = nullptr;  // keep the key: still excluded until Release
+  if (drained) drained();
+}
+
+void RequestScheduler::Release(services::ServiceInstance* replica) {
+  draining_.erase(replica);
+  Pump();
+}
+
+void RequestScheduler::SetTrafficSplit(const std::string& canary_version,
+                                       double share) {
+  split_active_ = true;
+  canary_version_ = canary_version;
+  canary_share_ = std::clamp(share, 0.0, 1.0);
+  canary_batches_ = 0;
+  total_split_batches_ = 0;
+}
+
+void RequestScheduler::ClearTrafficSplit() {
+  split_active_ = false;
+  canary_version_.clear();
+  canary_share_ = 0.0;
+}
+
 services::ServiceInstance* RequestScheduler::PickReplica(
     TimePoint now) const {
-  services::ServiceInstance* best = nullptr;
+  // With a traffic split active the group is two pools, keyed by model
+  // version; least-backlog within each pool.
+  services::ServiceInstance* best_canary = nullptr;
+  services::ServiceInstance* best_rest = nullptr;
   for (services::ServiceInstance* replica :
        registry_->Replicas(device_, service_)) {
     if (!replica->available(now)) continue;
     // One outstanding batch per replica: excess demand queues HERE,
     // where it can coalesce, not on a lane where it cannot.
     if (busy_replicas_.count(replica) != 0) continue;
-    if (best == nullptr || replica->backlog(now) < best->backlog(now)) {
-      best = replica;
+    if (draining_.count(replica) != 0) continue;  // quiesced for a swap
+    const bool canary =
+        split_active_ && replica->model_version() == canary_version_;
+    services::ServiceInstance*& slot = canary ? best_canary : best_rest;
+    if (slot == nullptr || replica->backlog(now) < slot->backlog(now)) {
+      slot = replica;
     }
   }
-  return best;
+  if (!split_active_) return best_rest;
+  // Stride: the canary pool is due whenever it is behind its share.
+  const bool canary_due =
+      static_cast<double>(canary_batches_) <
+      canary_share_ * static_cast<double>(total_split_batches_ + 1);
+  services::ServiceInstance* preferred = canary_due ? best_canary : best_rest;
+  services::ServiceInstance* fallback = canary_due ? best_rest : best_canary;
+  return preferred != nullptr ? preferred : fallback;
 }
 
 int RequestScheduler::PickClass(TimePoint now) const {
@@ -276,6 +320,11 @@ void RequestScheduler::Dispatch(services::ServiceInstance* replica,
 
   const int size = static_cast<int>(entries.size());
   span.size = size;
+  span.model_version = replica->model_version();
+  if (split_active_) {
+    ++total_split_batches_;
+    if (span.model_version == canary_version_) ++canary_batches_;
+  }
   ++stats_.batches;
   stats_.dispatched += static_cast<uint64_t>(size);
   ++stats_.batch_size_histogram[size];
@@ -288,6 +337,14 @@ void RequestScheduler::Dispatch(services::ServiceInstance* replica,
         const TimePoint done_at = simulator_->Now();
         busy_replicas_.erase(replica);
         inflight_requests_ -= size;
+        // A quiesce requested mid-batch is now satisfied: the replica
+        // has zero in-flight frames until Release re-admits it.
+        if (auto drain = draining_.find(replica);
+            drain != draining_.end() && drain->second != nullptr) {
+          std::function<void()> drained = std::move(drain->second);
+          drain->second = nullptr;
+          drained();
+        }
         span.complete = done_at;
         span.delivered = delivered;
         if (!delivered) {

@@ -108,6 +108,10 @@ struct BatchSpan {
   int size = 0;
   bool delivered = true;  // false: the replica swallowed the batch
   std::array<int, kNumPriorityClasses> per_class{};
+  /// Model version the serving replica ran this batch on ("" for
+  /// model-less services) — the rollout controller's live latency
+  /// signal, and a trace annotation.
+  std::string model_version;
 };
 
 struct SchedulerStats {
@@ -163,6 +167,30 @@ class RequestScheduler {
   /// Fail every queued request (device death) with `error`.
   void FailAll(const Error& error);
 
+  // -- model-rollout hooks ----------------------------------------------
+  /// Take `replica` out of dispatch and fire `on_drained` once its
+  /// outstanding batch (if any) completes — immediately when idle. The
+  /// replica stays excluded until Release, which is the window where a
+  /// model swap can happen with zero in-flight frames on the replica.
+  /// A second Quiesce on the same replica replaces the callback.
+  void Quiesce(services::ServiceInstance* replica,
+               std::function<void()> on_drained);
+
+  /// Re-admit a quiesced replica to dispatch and re-pump.
+  void Release(services::ServiceInstance* replica);
+
+  /// Route roughly `share` of dispatched batches to replicas running
+  /// model `canary_version` (stride-style, deterministic), the rest to
+  /// the other replicas. Either pool falls back to the other when it
+  /// has no dispatchable replica — a split never stalls the queue.
+  void SetTrafficSplit(const std::string& canary_version, double share);
+  void ClearTrafficSplit();
+  bool traffic_split_active() const { return split_active_; }
+  const std::string& split_canary_version() const { return canary_version_; }
+
+  /// Replicas currently held out of dispatch by Quiesce.
+  size_t draining_count() const { return draining_.size(); }
+
   int queue_depth() const;
   int inflight_requests() const { return inflight_requests_; }
   const SchedulerStats& stats() const { return stats_; }
@@ -207,6 +235,17 @@ class RequestScheduler {
   /// Replicas with an outstanding scheduler batch (≤1 per replica so
   /// queueing happens here, where batches can form, not on lanes).
   std::set<services::ServiceInstance*> busy_replicas_;
+  /// Quiesced replicas (excluded from PickReplica until Release). The
+  /// callback fires once the replica's outstanding batch completes;
+  /// the key stays until Release so the swap window stays closed.
+  std::map<services::ServiceInstance*, std::function<void()>> draining_;
+  /// Canary traffic split (SetTrafficSplit): stride counters make the
+  /// share exact over any window, not probabilistic.
+  bool split_active_ = false;
+  std::string canary_version_;
+  double canary_share_ = 0.0;
+  uint64_t canary_batches_ = 0;
+  uint64_t total_split_batches_ = 0;
   int inflight_requests_ = 0;
   /// Weighted-fair bookkeeping: dispatch slots served per class.
   std::array<uint64_t, kNumPriorityClasses> served_{};

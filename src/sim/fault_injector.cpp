@@ -146,6 +146,32 @@ Status FaultInjector::RebootDeviceNow(const std::string& name) {
   return Status::Ok();
 }
 
+void FaultInjector::RegisterModelGroup(const std::string& label,
+                                       ModelHooks hooks) {
+  auto it = model_groups_.find(label);
+  if (it == model_groups_.end()) {
+    model_groups_[label] = std::move(hooks);
+    model_order_.push_back(label);
+  } else {
+    it->second = std::move(hooks);
+  }
+}
+
+Status FaultInjector::ScheduleModelPoison(const std::string& label,
+                                          TimePoint at) {
+  if (model_groups_.find(label) == model_groups_.end()) {
+    return Status(StatusCode::kNotFound,
+                  "no registered model group '" + label + "'");
+  }
+  sim_->At(at, [this, label] {
+    auto it = model_groups_.find(label);
+    if (it == model_groups_.end() || !it->second.poison) return;
+    ++stats_.model_poisons;
+    it->second.poison();
+  });
+  return Status::Ok();
+}
+
 Status FaultInjector::ScheduleCrash(const std::string& label, TimePoint at,
                                     Duration downtime) {
   if (FindReplica(label) == nullptr) {

@@ -48,6 +48,15 @@ struct DeviceHooks {
   std::function<void()> reboot;
 };
 
+/// Opaque handle to one model-backed replica group. A model poison is
+/// the ML analogue of a crash: the hook owner (the orchestrator) trains
+/// a deliberately bad candidate version and starts a canary rollout of
+/// it — the rollout gates, not the injector, are responsible for
+/// detecting and reverting it.
+struct ModelHooks {
+  std::function<void()> poison;
+};
+
 /// Knobs for probabilistic fault generation. All draws come from one
 /// seeded Rng in a fixed order, so a given seed always produces the
 /// same fault timeline.
@@ -72,6 +81,7 @@ struct FaultInjectorStats {
   uint64_t link_restores = 0;
   uint64_t device_crashes = 0;
   uint64_t device_reboots = 0;
+  uint64_t model_poisons = 0;
 };
 
 class FaultInjector {
@@ -92,6 +102,11 @@ class FaultInjector {
   void RegisterDevice(const std::string& name, DeviceHooks hooks);
 
   size_t device_count() const { return device_order_.size(); }
+
+  /// Register a model-backed replica group under "device/service".
+  void RegisterModelGroup(const std::string& label, ModelHooks hooks);
+
+  size_t model_group_count() const { return model_order_.size(); }
 
   // -- scheduled (deterministic) faults --------------------------------
   /// Crash `label` at absolute time `at`; restart it `downtime` later.
@@ -117,6 +132,12 @@ class FaultInjector {
   Status ScheduleDeviceCrash(const std::string& name, TimePoint at,
                              Duration downtime);
   Status ScheduleDeviceReboot(const std::string& name, TimePoint at);
+
+  /// Poison the model of group "device/service" at `at`: fires the
+  /// group's poison hook, which stages a bad candidate version through
+  /// the normal canary path. There is no scheduled restore — reverting
+  /// is the rollout controller's job (that is the point of the fault).
+  Status ScheduleModelPoison(const std::string& label, TimePoint at);
 
   /// Immediate variants (same semantics, at Now()).
   Status CrashDeviceNow(const std::string& name, Duration downtime);
@@ -159,6 +180,8 @@ class FaultInjector {
   std::vector<std::string> order_;  // registration order (determinism)
   std::map<std::string, DeviceState> devices_;
   std::vector<std::string> device_order_;
+  std::map<std::string, ModelHooks> model_groups_;
+  std::vector<std::string> model_order_;
   RandomFaultOptions random_options_;
   bool random_running_ = false;
   FaultInjectorStats stats_;

@@ -36,6 +36,50 @@ TEST(Config, ParsesMinimalPipeline) {
   EXPECT_EQ(spec->FindModule("nope"), nullptr);
 }
 
+TEST(Config, ParsesRolloutBlock) {
+  const std::string with_rollout = std::string(R"CFG({
+  "name": "mini",
+  "rollout": { "canary_fraction": 0.5, "traffic_share": 0.4,
+               "decision_window_ms": 3000, "min_probes": 12,
+               "accuracy_margin": 0.05 },
+  "source": { "module": "src", "fps": 10, "width": 64, "height": 48 },
+  "modules": [
+    { "name": "src", "type": "source", "next_module": ["sink"] },
+    { "name": "sink", "code": "function event_received(m) {}",
+      "signal_source": true }
+  ]
+})CFG");
+  auto spec = ParsePipelineConfigText(with_rollout, EmptyResolver());
+  ASSERT_TRUE(spec.ok()) << spec.error().ToString();
+  ASSERT_TRUE(spec->rollout.has_value());
+  EXPECT_DOUBLE_EQ(spec->rollout->canary_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(spec->rollout->traffic_share, 0.4);
+  EXPECT_DOUBLE_EQ(spec->rollout->decision_window.millis(), 3000.0);
+  EXPECT_EQ(spec->rollout->min_probes, 12);
+  EXPECT_DOUBLE_EQ(spec->rollout->accuracy_margin, 0.05);
+  // Unspecified knobs keep their defaults.
+  EXPECT_DOUBLE_EQ(spec->rollout->latency_inflation,
+                   modelreg::RolloutPolicy{}.latency_inflation);
+
+  // No rollout block → no policy override.
+  auto plain = ParsePipelineConfigText(kMinimalConfig, EmptyResolver());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->rollout.has_value());
+
+  // An out-of-range knob is rejected at parse time.
+  const std::string bad = std::string(R"CFG({
+  "name": "mini",
+  "rollout": { "canary_fraction": 1.5 },
+  "source": { "module": "src", "fps": 10, "width": 64, "height": 48 },
+  "modules": [
+    { "name": "src", "type": "source", "next_module": ["sink"] },
+    { "name": "sink", "code": "function event_received(m) {}",
+      "signal_source": true }
+  ]
+})CFG");
+  EXPECT_FALSE(ParsePipelineConfigText(bad, EmptyResolver()).ok());
+}
+
 TEST(Config, ParsesThePaperStyleFitnessConfig) {
   auto spec = apps::fitness::Spec();
   ASSERT_TRUE(spec.ok()) << spec.error().ToString();

@@ -30,8 +30,11 @@ TEST(ActivityAccuracy, WithheldTestSetAbove90Percent) {
   EXPECT_GT(accuracy, 0.90) << "paper reports > 90%";
 }
 
-TEST(ActivityAccuracy, SharedServiceModelMeetsTheClaimToo) {
-  EXPECT_GT(services::SharedActivityModelTestAccuracy(), 0.90);
+TEST(ActivityAccuracy, RegistryDefaultArtifactMeetsTheClaimToo) {
+  auto artifact = modelreg::SharedModelRegistry().TrainOrGet(
+      modelreg::DefaultActivitySpec());
+  ASSERT_TRUE(artifact.ok());
+  EXPECT_GT((*artifact)->test_accuracy, 0.90);
 }
 
 TEST(ActivityAccuracy, TrainingAccuracyIsHigh) {
