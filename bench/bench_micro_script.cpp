@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
+#include <vector>
 
 #include "harness.hpp"
 #include "script/context.hpp"
@@ -57,6 +59,23 @@ void BM_EventDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_EventDispatch);
 
+void BM_EventDispatchEngine(benchmark::State& state) {
+  script::ContextOptions options;
+  options.engine = state.range(0) == 0 ? script::ScriptEngine::kVm
+                                       : script::ScriptEngine::kInterp;
+  script::Context context(options);
+  (void)context.Load(kModuleSource);
+  auto message = script::Value::MakeObject();
+  message.AsObject()->Set("value", script::Value(1.5));
+  for (auto _ : state) {
+    auto result = context.Call("event_received", {message});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EventDispatchEngine)
+    ->Arg(0)   // bytecode VM
+    ->Arg(1);  // tree-walking interpreter (resolver path)
+
 void BM_Fibonacci(benchmark::State& state) {
   script::Context context;
   (void)context.Load(
@@ -94,26 +113,37 @@ double NowUs() {
       .count();
 }
 
-/// Per-event dispatch cost (µs) with the resolver on or off: best of
-/// `rounds` timed rounds of `calls` event_received invocations.
-double MeasureDispatchUs(bool resolve, int rounds, int calls) {
-  script::ContextOptions options;
-  options.resolve = resolve;
-  script::Context context(options);
-  if (!context.Load(kModuleSource).ok()) std::abort();
+/// Per-event dispatch cost (µs) for several engine configurations,
+/// measured together: each round times every configuration back to
+/// back before the next round starts, and each configuration keeps its
+/// best round. Interleaving keeps a host-level noise burst from
+/// landing on one configuration's entire measurement window, which
+/// would skew the speedup ratios; best-of is unbiased because
+/// scheduler noise is strictly additive.
+std::vector<double> MeasureDispatchUs(
+    const std::vector<script::ContextOptions>& configs, int rounds,
+    int calls) {
+  std::vector<std::unique_ptr<script::Context>> contexts;
   auto message = script::Value::MakeObject();
   message.AsObject()->Set("value", script::Value(1.5));
-  for (int i = 0; i < 2000; ++i) {  // warm caches / pools
-    (void)context.Call("event_received", {message});
-  }
-  double best = 1e18;
-  for (int r = 0; r < rounds; ++r) {
-    const double start = NowUs();
-    for (int i = 0; i < calls; ++i) {
-      auto result = context.Call("event_received", {message});
-      benchmark::DoNotOptimize(result);
+  for (const auto& options : configs) {
+    auto context = std::make_unique<script::Context>(options);
+    if (!context->Load(kModuleSource).ok()) std::abort();
+    for (int i = 0; i < 2000; ++i) {  // warm caches / pools
+      (void)context->Call("event_received", {message});
     }
-    best = std::min(best, (NowUs() - start) / calls);
+    contexts.push_back(std::move(context));
+  }
+  std::vector<double> best(configs.size(), 1e18);
+  for (int r = 0; r < rounds; ++r) {
+    for (size_t c = 0; c < contexts.size(); ++c) {
+      const double start = NowUs();
+      for (int i = 0; i < calls; ++i) {
+        auto result = contexts[c]->Call("event_received", {message});
+        benchmark::DoNotOptimize(result);
+      }
+      best[c] = std::min(best[c], (NowUs() - start) / calls);
+    }
   }
   return best;
 }
@@ -135,26 +165,44 @@ double MeasureLoadUs(bool resolve, int rounds, int loads) {
 }
 
 int SmokeMain() {
-  const int rounds = 5;
-  const double resolved_us = MeasureDispatchUs(true, rounds, 5000);
-  const double fallback_us = MeasureDispatchUs(false, rounds, 5000);
+  // Best-of-9: scheduler noise is strictly additive, so more rounds
+  // tighten the minimum without biasing it.
+  const int rounds = 9;
+  // Three engine configurations: the bytecode VM, the tree-walking
+  // interpreter on its resolver path (the PR 4 baseline the VM is
+  // measured against), and the unresolved Environment-chain fallback.
+  script::ContextOptions vm;
+  vm.engine = script::ScriptEngine::kVm;
+  script::ContextOptions interp;
+  interp.engine = script::ScriptEngine::kInterp;
+  script::ContextOptions fallback;
+  fallback.resolve = false;
+  const std::vector<double> dispatch =
+      MeasureDispatchUs({vm, interp, fallback}, rounds, 5000);
+  const double vm_us = dispatch[0];
+  const double resolved_us = dispatch[1];
+  const double fallback_us = dispatch[2];
   const double load_resolved_us = MeasureLoadUs(true, rounds, 300);
   const double load_fallback_us = MeasureLoadUs(false, rounds, 300);
 
   json::Value doc = json::Value::MakeObject();
   doc["bench"] = json::Value("micro_script");
+  doc["dispatch_us_vm"] = json::Value(vm_us);
   doc["dispatch_us_resolved"] = json::Value(resolved_us);
   doc["dispatch_us_fallback"] = json::Value(fallback_us);
   doc["dispatch_speedup"] = json::Value(fallback_us / resolved_us);
+  doc["vm_speedup_vs_resolved"] = json::Value(resolved_us / vm_us);
+  doc["vm_speedup_vs_fallback"] = json::Value(fallback_us / vm_us);
   doc["load_us_resolved"] = json::Value(load_resolved_us);
   doc["load_us_fallback"] = json::Value(load_fallback_us);
   doc["load_overhead"] = json::Value(load_resolved_us / load_fallback_us);
   bench::WriteBenchJson("script", doc);
   std::printf(
-      "dispatch: resolved %.2f us, fallback %.2f us (%.2fx); "
+      "dispatch: vm %.2f us, resolved %.2f us, fallback %.2f us "
+      "(vm %.2fx vs resolved, %.2fx vs fallback); "
       "load: resolved %.1f us, fallback %.1f us\n",
-      resolved_us, fallback_us, fallback_us / resolved_us,
-      load_resolved_us, load_fallback_us);
+      vm_us, resolved_us, fallback_us, resolved_us / vm_us,
+      fallback_us / vm_us, load_resolved_us, load_fallback_us);
   return 0;
 }
 

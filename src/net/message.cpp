@@ -25,13 +25,19 @@ json::Value& Message::payload() {
   } else if (payload_.use_count() > 1) {
     payload_ = std::make_shared<json::Value>(*payload_);  // un-share
   }
-  payload_bytes_ = kNoSize;  // caller may mutate through the reference
+  // The caller may mutate through the returned reference at any later
+  // time — invalidate now and keep the cache disabled (a ByteSize or
+  // Encode between the access and the mutation must not re-memoize a
+  // size the mutation then silently invalidates).
+  payload_bytes_ = kNoSize;
+  payload_ref_outstanding_ = true;
   return *payload_;
 }
 
 void Message::set_payload(json::Value v) {
   payload_ = std::make_shared<json::Value>(std::move(v));
   payload_bytes_ = kNoSize;
+  payload_ref_outstanding_ = false;  // old references point elsewhere now
 }
 
 std::vector<Bytes>& Message::mutable_parts() {
@@ -44,14 +50,16 @@ std::vector<Bytes>& Message::mutable_parts() {
 }
 
 size_t Message::ByteSize() const {
-  if (payload_bytes_ == kNoSize) {
-    payload_bytes_ = json::Write(payload()).size();
+  size_t payload_bytes = payload_bytes_;
+  if (payload_bytes == kNoSize) {
+    payload_bytes = json::Write(payload()).size();
+    if (!payload_ref_outstanding_) payload_bytes_ = payload_bytes;
   }
   size_t size = 4;                       // magic
   size += 4 + type_.size();              // type
   size += 4 + sender_.size();            // sender
   size += 8;                             // seq
-  size += 4 + payload_bytes_;            // payload JSON
+  size += 4 + payload_bytes;             // payload JSON
   size += 4;                             // part count
   for (const auto& p : parts()) size += 4 + p.size();
   return size;
@@ -64,7 +72,10 @@ Bytes Message::Encode() const {
   w.WriteString(sender_);
   w.WriteU64(seq_);
   std::string payload_text = json::Write(payload());
-  payload_bytes_ = payload_text.size();  // ByteSize can reuse this
+  // ByteSize can reuse this — unless a mutable payload reference is
+  // still outstanding, in which case memoizing here would go stale on
+  // the next mutation through that reference.
+  if (!payload_ref_outstanding_) payload_bytes_ = payload_text.size();
   w.WriteString(payload_text);
   const auto& ps = parts();
   w.WriteU32(static_cast<uint32_t>(ps.size()));

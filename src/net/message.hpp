@@ -82,6 +82,11 @@ class Message {
   std::shared_ptr<std::vector<Bytes>> parts_;
   /// json::Write(payload).size(), or kNoSize before first use.
   mutable size_t payload_bytes_ = kNoSize;
+  /// True once payload() handed out a mutable reference: the caller
+  /// can mutate the value at any later point (including after an
+  /// Encode/ByteSize), so the size cache must stay disabled until the
+  /// payload is replaced wholesale via set_payload.
+  bool payload_ref_outstanding_ = false;
 };
 
 }  // namespace vp::net

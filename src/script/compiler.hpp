@@ -1,0 +1,41 @@
+// vpscript bytecode compiler.
+//
+// Single-pass AST → bytecode translation in the clox mold: each
+// function compiles with its own scope tracker (stack-slot locals,
+// lexical upvalue resolution), nested functions compile inline into
+// child FunctionProtos adopted by the Vm.
+//
+// The tree the compiler consumes is the interpreter's: to keep the two
+// engines bit-identical (ResolverEquivalence / ErrorsMatchAcrossModes
+// extend across engines) the compiler re-derives scope layout itself
+// rather than reusing the resolver's slot frames — the resolver only
+// slots capture-free functions, the VM slots everything.
+//
+// Semantics mirrored from interp.cpp, notably:
+//  * `var` is block-scoped; a declaration executes at its statement
+//    (reads earlier in the block resolve outward), so block entry
+//    reserves slots that stay invisible until the declaration runs;
+//  * function declarations hoist per block;
+//  * compound assignment / ++ / -- evaluate their target expression
+//    twice (read then write), exactly as the tree-walker does;
+//  * `const` violations are runtime errors (dead branches may contain
+//    them) — the compiler emits kRuntimeError instead of failing.
+//
+// A compile error (pathological nesting blowing a u16 operand) is
+// returned as a Status; the Context then falls back to the
+// tree-walking interpreter, which has no such limits.
+#pragma once
+
+#include "common/error.hpp"
+#include "script/ast.hpp"
+
+namespace vp::script {
+
+class Vm;
+struct FunctionProto;
+
+/// Compile `program` into `vm` (protos + global slots). Returns the
+/// top-level proto to pass to Vm::RunTopLevel.
+Result<const FunctionProto*> CompileProgram(const Program& program, Vm& vm);
+
+}  // namespace vp::script

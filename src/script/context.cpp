@@ -1,23 +1,53 @@
 #include "script/context.hpp"
 
+#include <cstdlib>
 #include <set>
+#include <string_view>
 
+#include "script/compiler.hpp"
 #include "script/convert.hpp"
 #include "script/resolver.hpp"
 
 namespace vp::script {
 
-Context::Context(ContextOptions options) : resolve_(options.resolve) {
+namespace {
+
+ScriptEngine ResolveEngine(ScriptEngine requested) {
+  if (requested != ScriptEngine::kAuto) return requested;
+  const char* env = std::getenv("VP_SCRIPT_ENGINE");
+  if (env != nullptr && std::string_view(env) == "interp") {
+    return ScriptEngine::kInterp;
+  }
+  return ScriptEngine::kVm;
+}
+
+}  // namespace
+
+Context::Context(ContextOptions options)
+    : resolve_(options.resolve), options_(options) {
   globals_ = std::make_shared<Environment>();
   InstallStdlib(*globals_, options.random_seed);
   interp_ = std::make_unique<Interpreter>(globals_, options.limits);
+  // The VM compiles the resolved AST; without resolution only the
+  // interpreter can run the program.
+  engine_ = resolve_ ? ResolveEngine(options.engine) : ScriptEngine::kInterp;
+}
+
+Context::~Context() {
+  // The interpreter's closures and environments form shared_ptr cycles
+  // (closure → environment → binding → closure); sever them explicitly
+  // so a destroyed context releases its heap immediately.
+  Environment::TearDownChain(globals_);
 }
 
 void Context::RegisterHostFunction(const std::string& name, HostFunction fn) {
-  globals_->Define(name, Value::MakeHostFunction(name, std::move(fn)));
+  Value v = Value::MakeHostFunction(name, std::move(fn));
+  if (vm_ != nullptr) vm_->ImportGlobal(name, v, /*baseline=*/true);
+  globals_->Define(name, std::move(v));
 }
 
 void Context::DefineGlobal(const std::string& name, Value v) {
+  if (vm_ != nullptr) vm_->ImportGlobal(name, v, /*baseline=*/true);
   globals_->Define(name, std::move(v));
 }
 
@@ -27,6 +57,26 @@ Status Context::Load(const std::string& source) {
   program_ = *program;
   if (resolve_) ResolveProgram(*program_);
   baseline_globals_ = globals_->LocalNames();
+
+  if (engine_ == ScriptEngine::kVm) {
+    auto vm = std::make_unique<Vm>(options_.limits, interp_.get());
+    // Baseline first: stdlib + host functions occupy the low global
+    // slots, flagged so snapshots skip them.
+    for (const std::string& name : baseline_globals_) {
+      if (const Value* v = globals_->Find(name)) {
+        vm->ImportGlobal(name, *v, /*baseline=*/true);
+      }
+    }
+    auto top = CompileProgram(*program_, *vm);
+    if (top.ok()) {
+      vm_ = std::move(vm);
+      return vm_->RunTopLevel(*top);
+    }
+    // Compilation failed (program uses something the compiler does not
+    // support): fall back to the interpreter for this context.
+    engine_ = ScriptEngine::kInterp;
+  }
+
   interp_->ResetBudget();
   auto result = interp_->RunProgram(program_);
   if (!result.ok()) return Status(result.error());
@@ -34,6 +84,7 @@ Status Context::Load(const std::string& source) {
 }
 
 json::Value Context::SnapshotState() const {
+  if (vm_ != nullptr) return vm_->SnapshotState();
   json::Value snapshot = json::Value::MakeObject();
   std::set<std::string> baseline(baseline_globals_.begin(),
                                  baseline_globals_.end());
@@ -55,6 +106,10 @@ Status Context::RestoreState(const json::Value& snapshot) {
     return Status(StatusCode::kInvalidArgument,
                   "state snapshot must be an object");
   }
+  if (vm_ != nullptr) {
+    vm_->RestoreState(snapshot);
+    return Status::Ok();
+  }
   for (const auto& [name, value] : snapshot.AsObject()) {
     globals_->Define(name, JsonToScript(value));
   }
@@ -62,11 +117,16 @@ Status Context::RestoreState(const json::Value& snapshot) {
 }
 
 bool Context::HasFunction(const std::string& name) const {
+  if (vm_ != nullptr) return vm_->GlobalIsFunction(name);
   Value* v = globals_->Find(name);
   return v != nullptr && v->is_function();
 }
 
 Result<Value> Context::Call(const std::string& name, std::vector<Value> args) {
+  if (vm_ != nullptr) {
+    vm_->ResetBudget();
+    return vm_->CallGlobal(name, std::move(args));
+  }
   Value* fn = nullptr;
   if (name == call_cache_name_) {
     fn = globals_->ValueAtIfId(call_cache_index_, call_cache_id_);
@@ -89,6 +149,7 @@ Result<Value> Context::Call(const std::string& name, std::vector<Value> args) {
 }
 
 Value Context::GetGlobal(const std::string& name) const {
+  if (vm_ != nullptr) return vm_->GetGlobalBoxed(name);
   Value* v = globals_->Find(name);
   return v ? *v : Value::Undefined();
 }

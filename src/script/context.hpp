@@ -16,8 +16,21 @@
 #include "script/interp.hpp"
 #include "script/parser.hpp"
 #include "script/value.hpp"
+#include "script/vm.hpp"
 
 namespace vp::script {
+
+/// Which engine executes module code.
+enum class ScriptEngine {
+  /// Read VP_SCRIPT_ENGINE from the environment ("vm" / "interp");
+  /// defaults to the bytecode VM when unset or unrecognized.
+  kAuto,
+  /// Bytecode VM with NaN-boxed values and a tracing GC (vm.hpp).
+  kVm,
+  /// Tree-walking interpreter (interp.hpp). Also the automatic
+  /// fallback when resolution is disabled or compilation fails.
+  kInterp,
+};
 
 struct ContextOptions {
   InterpreterLimits limits;
@@ -26,12 +39,16 @@ struct ContextOptions {
   /// Run the resolver pass (resolver.hpp) on loaded programs. Off
   /// switches the interpreter to its dynamic Environment-only fallback
   /// — same semantics, slower; kept for A/B tests and benchmarks.
+  /// The bytecode VM requires resolved programs, so `resolve = false`
+  /// also forces the interpreter engine.
   bool resolve = true;
+  ScriptEngine engine = ScriptEngine::kAuto;
 };
 
 class Context {
  public:
   explicit Context(ContextOptions options = {});
+  ~Context();
 
   /// Expose a host function as a global, e.g. call_service.
   void RegisterHostFunction(const std::string& name, HostFunction fn);
@@ -66,8 +83,20 @@ class Context {
 
   Interpreter& interpreter() { return *interp_; }
 
+  /// Engine actually executing this context's code — resolved from the
+  /// options / VP_SCRIPT_ENGINE after Load (compile failures fall back
+  /// to the interpreter).
+  ScriptEngine engine() const { return engine_; }
+
+  /// The VM backing this context, or nullptr on the interpreter
+  /// engine. Exposed for GC instrumentation in tests and benchmarks.
+  Vm* vm() { return vm_.get(); }
+
  private:
   bool resolve_ = true;
+  ScriptEngine engine_ = ScriptEngine::kInterp;
+  ContextOptions options_;
+  std::unique_ptr<Vm> vm_;
   /// One-entry cache for Call's name→binding lookup: the module
   /// runtime invokes the same handler (`event_received`) per event, so
   /// the repeat lookup is a string equality + an index probe instead

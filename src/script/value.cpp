@@ -1,10 +1,78 @@
 #include "script/value.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <unordered_set>
 
 namespace vp::script {
+
+namespace {
+std::atomic<size_t> g_live_environments{0};
+
+// Registry of every live Environment. Teardown must find closure
+// cycles that are no longer reachable from any root (a module that
+// overwrites registry["x"] orphans the old handler<->dispatch cycle),
+// so walking binding values from the root cannot be complete; instead
+// we enumerate all live environments and select by ownership. Leaked
+// intentionally (function-local static pointer) so environments
+// destroyed during process teardown never race its destruction.
+std::mutex g_env_registry_mutex;
+std::unordered_set<Environment*>& EnvRegistry() {
+  static auto* registry = new std::unordered_set<Environment*>();
+  return *registry;
+}
+}  // namespace
+
+Environment::Environment(std::shared_ptr<Environment> parent)
+    : parent_(std::move(parent)) {
+  g_live_environments.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_env_registry_mutex);
+  EnvRegistry().insert(this);
+}
+
+Environment::~Environment() {
+  g_live_environments.fetch_sub(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_env_registry_mutex);
+  EnvRegistry().erase(this);
+}
+
+size_t Environment::live_count() {
+  return g_live_environments.load(std::memory_order_relaxed);
+}
+
+void Environment::TearDownChain(const std::shared_ptr<Environment>& root) {
+  if (root == nullptr) return;
+  // Phase 1: select every live environment whose parent chain
+  // terminates at `root`. Ownership-by-parent-chain is what makes this
+  // complete: a closure cycle orphaned by an overwrite is unreachable
+  // from root's bindings, but its environments still chain their
+  // parents back to the module scope they were created under.
+  // Environments belonging to other contexts chain to a different root
+  // and are left alone. shared_from_this pins each selection so phase 2
+  // can destroy environments in any order without dangling.
+  std::vector<std::shared_ptr<Environment>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(g_env_registry_mutex);
+    for (Environment* env : EnvRegistry()) {
+      for (Environment* e = env; e != nullptr; e = e->parent_.get()) {
+        if (e == root.get()) {
+          doomed.push_back(env->shared_from_this());
+          break;
+        }
+      }
+    }
+  }
+
+  // Phase 2: sever. Dropping every binding releases the closures those
+  // environments kept alive; clearing parents breaks chain cycles.
+  for (const auto& env : doomed) {
+    env->bindings_.clear();
+    env->parent_.reset();
+  }
+}
 
 const char* ValueTypeName(ValueType t) {
   switch (t) {
@@ -97,7 +165,6 @@ bool Value::TruthySlow() const {
   }
 }
 
-namespace {
 std::string NumberToString(double d) {
   if (std::isnan(d)) return "NaN";
   if (std::isinf(d)) return d > 0 ? "Infinity" : "-Infinity";
@@ -110,7 +177,6 @@ std::string NumberToString(double d) {
   std::snprintf(buf, sizeof(buf), "%g", d);
   return buf;
 }
-}  // namespace
 
 std::string Value::ToDisplayString() const {
   switch (type()) {

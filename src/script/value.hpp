@@ -61,6 +61,11 @@ enum class ValueType {
 
 const char* ValueTypeName(ValueType t);
 
+/// Number formatting shared by every engine ("NaN", "Infinity",
+/// integers up to 1e15 without exponent, %g otherwise) — display
+/// output must be byte-identical across the interpreter and the VM.
+std::string NumberToString(double d);
+
 class Value {
  public:
   Value() : data_(std::monostate{}) {}  // undefined
@@ -188,8 +193,25 @@ class Environment : public std::enable_shared_from_this<Environment> {
  public:
   static constexpr uint32_t kNpos = 0xFFFFFFFFu;
 
-  explicit Environment(std::shared_ptr<Environment> parent = nullptr)
-      : parent_(std::move(parent)) {}
+  explicit Environment(std::shared_ptr<Environment> parent = nullptr);
+  ~Environment();
+
+  /// Environments currently alive in the process. Closure-captured
+  /// environments form shared_ptr cycles the refcount can never
+  /// reclaim; this counter is how tests prove TearDownChain (and the
+  /// VM's tracing GC, which never creates Environments at all)
+  /// actually return the heap to baseline.
+  static size_t live_count();
+
+  /// Explicitly sever every environment owned by the scope chain
+  /// rooted at `root`: each live environment whose parent chain
+  /// terminates at `root` has its bindings and parent link cleared —
+  /// including closure cycles that are no longer reachable from the
+  /// root's bindings (orphaned by overwrites) but still parent-chain
+  /// into it. Called when a Context is destroyed — the values inside
+  /// become unusable, so only tear down a scope chain that nothing
+  /// will touch again.
+  static void TearDownChain(const std::shared_ptr<Environment>& root);
 
   /// Define in this scope (shadows outer scopes).
   void Define(const std::string& name, Value v, bool is_const = false);

@@ -1,0 +1,449 @@
+// vpscript bytecode virtual machine.
+//
+// The VM executes compact bytecode produced by compiler.hpp from the
+// resolved AST. It replaces the boxed, shared_ptr-based Value on its
+// hot path with a NaN-boxed 64-bit representation: doubles are stored
+// verbatim, singletons (undefined/null/true/false) live in the quiet
+// NaN space, and heap objects (strings, arrays, objects, closures,
+// upvalue cells, host-function wrappers) are 48-bit pointers into a
+// VM-owned heap reclaimed by a mark-and-sweep tracing collector.
+//
+// Why: the tree-walking interpreter's closures hold
+// shared_ptr<Environment> while environments hold the Values that own
+// those closures — a reference cycle that reference counting can never
+// reclaim. The tracing GC eliminates that class of leak by
+// construction: anything unreachable from the VM roots (value stack,
+// call frames, globals, open upvalues, host-escaped handles) is
+// reclaimed, cycles included.
+//
+// Determinism: collection is driven purely by allocation pressure
+// (bytes allocated since the last cycle), checked only at instruction
+// boundaries. Wall-clock time never influences when a collection runs,
+// so a GC pause cannot perturb the discrete-event simulator.
+//
+// Host interop: values crossing the host boundary (host functions,
+// GetGlobal, snapshots) are deep-converted to/from the boxed Value.
+// Every host function in the runtime (call_service, Math.*, JSON.*,
+// console.log, …) only reads its arguments and returns plain data, so
+// deep conversion is semantically transparent.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "json/value.hpp"
+#include "script/interp.hpp"
+#include "script/value.hpp"
+
+namespace vp::script {
+
+class Vm;
+
+// ------------------------------------------------------------ values
+
+/// NaN-boxed value: a double, a tagged singleton, or a heap pointer.
+using RawVal = uint64_t;
+
+inline constexpr RawVal kQnan = 0x7ffc000000000000ull;
+inline constexpr RawVal kSignBit = 0x8000000000000000ull;
+inline constexpr RawVal kTagUndefined = kQnan | 1;
+inline constexpr RawVal kTagNull = kQnan | 2;
+inline constexpr RawVal kTagFalse = kQnan | 3;
+inline constexpr RawVal kTagTrue = kQnan | 4;
+/// Global-table slot sentinel: "never defined". Not script-visible.
+inline constexpr RawVal kTagEmpty = kQnan | 5;
+
+enum class GcType : uint8_t {
+  kString, kArray, kObject, kClosure, kUpvalue, kHostFn, kBoundMethod,
+};
+
+struct GcObj {
+  GcType type;
+  bool marked = false;
+  GcObj* next = nullptr;
+  explicit GcObj(GcType t) : type(t) {}
+};
+
+struct VpValue {
+  RawVal bits;
+
+  VpValue() : bits(kTagUndefined) {}
+  explicit VpValue(RawVal raw) : bits(raw) {}
+
+  static VpValue Undefined() { return VpValue(kTagUndefined); }
+  static VpValue Null() { return VpValue(kTagNull); }
+  static VpValue Empty() { return VpValue(kTagEmpty); }
+  static VpValue Boolean(bool b) { return VpValue(b ? kTagTrue : kTagFalse); }
+  static VpValue Number(double d) {
+    RawVal raw;
+    std::memcpy(&raw, &d, sizeof(raw));
+    return VpValue(raw);
+  }
+  static VpValue Heap(GcObj* obj) {
+    return VpValue(kSignBit | kQnan |
+                   static_cast<RawVal>(reinterpret_cast<uintptr_t>(obj)));
+  }
+
+  bool is_number() const { return (bits & kQnan) != kQnan; }
+  bool is_undefined() const { return bits == kTagUndefined; }
+  bool is_null() const { return bits == kTagNull; }
+  bool is_nullish() const { return is_undefined() || is_null(); }
+  bool is_bool() const { return bits == kTagTrue || bits == kTagFalse; }
+  bool is_empty() const { return bits == kTagEmpty; }
+  bool is_heap() const {
+    return (bits & (kSignBit | kQnan)) == (kSignBit | kQnan);
+  }
+
+  double AsNumber() const {
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+  }
+  bool AsBool() const { return bits == kTagTrue; }
+  GcObj* AsHeap() const {
+    return reinterpret_cast<GcObj*>(
+        static_cast<uintptr_t>(bits & ~(kSignBit | kQnan)));
+  }
+  bool IsHeapType(GcType t) const { return is_heap() && AsHeap()->type == t; }
+};
+
+struct GcString : GcObj {
+  std::string text;
+  /// Interned id when this string is used as a property key constant
+  /// (kNoNameId otherwise) — lets property lookups compare integers.
+  uint32_t name_id = kNoNameId;
+  explicit GcString(std::string s) : GcObj(GcType::kString),
+                                     text(std::move(s)) {}
+};
+
+struct GcArray : GcObj {
+  std::vector<VpValue> items;
+  GcArray() : GcObj(GcType::kArray) {}
+};
+
+struct GcObject : GcObj {
+  struct Entry {
+    uint32_t key_id;
+    std::string key;
+    VpValue value;
+  };
+  std::vector<Entry> items;
+  GcObject() : GcObj(GcType::kObject) {}
+
+  VpValue* Find(const std::string& key);
+  VpValue* FindInterned(uint32_t key_id, const std::string& key);
+  void Set(const std::string& key, VpValue v);
+  void SetInterned(uint32_t key_id, const std::string& key, VpValue v);
+};
+
+struct GcUpvalue : GcObj {
+  /// Points into the VM value stack while open, at `closed` after.
+  VpValue* location;
+  VpValue closed;
+  GcUpvalue* next_open = nullptr;  // intrusive open-upvalue list
+  explicit GcUpvalue(VpValue* slot) : GcObj(GcType::kUpvalue),
+                                      location(slot) {}
+};
+
+/// Upvalue capture descriptor, resolved at compile time.
+struct UpvalDesc {
+  bool from_local;  // capture enclosing local vs. enclosing upvalue
+  uint16_t index;
+};
+
+/// A compiled function body — bytecode, constants, line table. Owned
+/// by the Vm (protos_), referenced by closures.
+struct FunctionProto {
+  std::string name;
+  int arity = 0;
+  std::vector<uint8_t> code;
+  /// Source line per code byte (same length as `code`) — exact
+  /// "script:%d:" attribution for every instruction.
+  std::vector<int32_t> lines;
+  std::vector<VpValue> constants;
+  std::vector<UpvalDesc> upvalues;
+};
+
+struct GcClosure : GcObj {
+  const FunctionProto* proto;
+  std::vector<GcUpvalue*> upvalues;
+  explicit GcClosure(const FunctionProto* p) : GcObj(GcType::kClosure),
+                                               proto(p) {}
+};
+
+/// A boxed host function (or a boxed tree-walker closure) exposed to
+/// VM code. Calls deep-convert arguments to boxed Values and the
+/// result back.
+struct GcHostFn : GcObj {
+  std::shared_ptr<HostFunctionValue> host;
+  explicit GcHostFn(std::shared_ptr<HostFunctionValue> h)
+      : GcObj(GcType::kHostFn), host(std::move(h)) {}
+};
+
+/// `array.method` read without being called: a method bound to its
+/// receiver, so a later call still mutates the original array.
+struct GcBoundMethod : GcObj {
+  VpValue receiver;
+  uint8_t method;  // ArrayMethod ordinal (vm.cpp)
+  std::string name;
+  GcBoundMethod() : GcObj(GcType::kBoundMethod) {}
+};
+
+// ------------------------------------------------------------- opcodes
+
+enum class Op : uint8_t {
+  kConst,          // u16 constant index
+  kUndefined, kNull, kTrue, kFalse,
+  kUndefN,         // u16: push n undefined values (block-entry slots)
+  kPop,
+  kPopN,           // u16
+  kDup,            // duplicate top
+  kSwap,           // a b -> b a
+  kRot3,           // a b c -> b c a
+  kGetLocal,       // u16 frame slot
+  kSetLocal,       // u16 (peeks)
+  kGetUpvalue,     // u16
+  kSetUpvalue,     // u16 (peeks)
+  kGetGlobal,      // u16 global slot
+  kSetGlobal,      // u16 (peeks)
+  kDefineGlobal,   // u16 (pops)
+  kDefineGlobalConst,  // u16 (pops)
+  kArray,          // u16 element count (pops elements)
+  kObject,         // u16 property count (pops key/value pairs)
+  kGetProp,        // u16 name constant
+  kSetProp,        // u16 name constant: obj value -> value
+  kGetIndex,       // obj index -> value
+  kSetIndex,       // obj index value -> value
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kStrictEq, kStrictNe,
+  kLt, kLe, kGt, kGe,
+  kNegate, kToNumber, kNot, kTypeof,
+  kInc, kDec,      // number on top -> number ± 1
+  kJump,           // u16 forward offset
+  kJumpIfFalse,    // u16 (pops)
+  kJumpIfTrue,     // u16 (pops)
+  kJumpIfFalsePeek,  // u16 (peeks — logical &&)
+  kJumpIfTruePeek,   // u16 (peeks — logical ||)
+  kLoop,           // u16 backward offset
+  kCall,           // u8 argc
+  kInvoke,         // u16 name constant, u8 argc (obj.method(...) fused)
+  kClosure,        // u16 proto index (upvalue descs live in the proto)
+  kCloseScope,     // u16 n: close upvalues into the top n slots, pop n
+  kReturn,         // pops result
+  kReturnUndef,
+  kPushHandler,    // u16 catch target offset (forward)
+  kPopHandler,
+  kThrow,          // pops thrown value
+  kForInInit,      // pops subject, pushes keys array + index 0
+  kForInNext,      // u16 keys slot, u16 exit offset: push next key or jump
+  kRuntimeError,   // u16 message constant: raise ScriptError here
+};
+
+// ------------------------------------------------------------------ Vm
+
+/// Execution engine + heap. One Vm per Context (the unit of isolation,
+/// mirroring the paper's one-Duktape-context-per-module design).
+class Vm {
+ public:
+  explicit Vm(InterpreterLimits limits, Interpreter* fallback_interp);
+  ~Vm();
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  // -- program loading -------------------------------------------------
+  /// Take ownership of a compiled function body; returns its index
+  /// (the kClosure operand).
+  uint16_t AdoptProto(std::unique_ptr<FunctionProto> proto);
+  const FunctionProto* proto_at(uint16_t index) const {
+    return protos_[index].get();
+  }
+  size_t proto_count() const { return protos_.size(); }
+
+  /// Global-slot bookkeeping (compile time): index for `name`,
+  /// allocating an empty slot on first use.
+  uint16_t GlobalSlot(const std::string& name);
+
+  /// Import a boxed value as a defined global (baseline import from the
+  /// Environment at Load, or a post-Load DefineGlobal).
+  void ImportGlobal(const std::string& name, const Value& v, bool baseline);
+
+  /// Run the top-level proto. Call once per Load.
+  Status RunTopLevel(const FunctionProto* top);
+
+  // -- host entry points ----------------------------------------------
+  bool HasGlobal(const std::string& name) const;
+  bool GlobalIsFunction(const std::string& name) const;
+  Value GetGlobalBoxed(const std::string& name);
+  Result<Value> CallGlobal(const std::string& name, std::vector<Value> args);
+
+  json::Value SnapshotState();
+  void RestoreState(const json::Value& snapshot);
+
+  void ResetBudget() { steps_used_ = 0; }
+
+  // -- GC --------------------------------------------------------------
+  /// Mark-and-sweep collection. Safe whenever the VM is at an
+  /// instruction boundary (including "not running at all").
+  void CollectGarbage();
+  size_t live_objects() const { return live_objects_; }
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  uint64_t gc_cycles() const { return gc_cycles_; }
+
+  // -- heap ------------------------------------------------------------
+  GcString* NewString(std::string s);
+  GcArray* NewArray();
+  GcObject* NewObject();
+  GcClosure* NewClosure(const FunctionProto* proto);
+  GcUpvalue* NewUpvalue(VpValue* slot);
+  GcHostFn* NewHostFn(std::shared_ptr<HostFunctionValue> host);
+  GcBoundMethod* NewBoundMethod(VpValue receiver, uint8_t method,
+                                std::string name);
+
+  // -- value helpers (exact mirrors of the boxed Value semantics) ------
+  static bool Truthy(VpValue v);
+  static double ToNumber(VpValue v);
+  std::string ToDisplayString(VpValue v) const;
+  static bool StrictEquals(VpValue a, VpValue b);
+  static bool LooseEquals(VpValue a, VpValue b);
+  static const char* TypeName(VpValue v);
+
+  /// Deep conversions across the host boundary (cycle-safe).
+  VpValue BoxedToVm(const Value& v);
+  Value VmToBoxed(VpValue v);
+
+  Interpreter* fallback_interpreter() const { return interp_; }
+
+ private:
+  struct Frame {
+    GcClosure* closure;
+    const uint8_t* ip;
+    size_t base;  // stack index of slot 0 (the callee)
+  };
+  struct Handler {
+    size_t frame_index;
+    size_t sp;
+    size_t ip_offset;  // catch target within the frame's proto
+  };
+  struct GlobalSlotData {
+    uint32_t name_id;
+    std::string name;
+    VpValue value = VpValue::Empty();
+    bool is_const = false;
+    bool baseline = false;
+  };
+
+  /// Dispatch loop: runs until the frame stack shrinks back to
+  /// `base_frames`. Reentrant (native array methods calling script
+  /// callbacks re-enter here).
+  Status Run(size_t base_frames);
+
+  /// Push callee+args and execute to completion (reentrant).
+  Result<VpValue> CallValue(VpValue callee, const VpValue* args, int argc,
+                            int line);
+  /// Set up a frame for a closure call; stack already holds
+  /// callee+args starting at `base`.
+  Status PushFrame(VpValue callee, int argc, int line);
+
+  Status Raise(int line, const std::string& what) const {
+    return Status(StatusCode::kScriptError,
+                  FormatScriptError(line, what));
+  }
+  static std::string FormatScriptError(int line, const std::string& what);
+  /// Call-site annotation: prefix "script:%d:" unless already present,
+  /// preserving the status code (host failures stay catchable as-is).
+  static Status AnnotateCallError(Status s, int line);
+
+  int CurrentLine() const;
+  Status BudgetExhausted(int line) const;
+
+  GcUpvalue* CaptureUpvalue(VpValue* slot);
+  void CloseUpvalues(VpValue* from);
+
+  Status InvokeArrayMethod(GcArray* arr, uint8_t method, int argc, int line,
+                           VpValue* out);
+  Status CallHostFn(GcHostFn* host, const VpValue* args, int argc, int line,
+                    VpValue* out);
+  /// Call a non-closure callee (host fn / bound method / error case);
+  /// stack holds [callee, args...], replaced by the result on success.
+  Status CallNonClosure(VpValue callee, int argc, int line);
+  Result<VpValue> GetPropertyVm(VpValue obj, const GcString* name, int line);
+
+  VpValue ImportValueRec(const Value& v);
+  Value ExportValueRec(VpValue v,
+                       std::unordered_map<const GcObj*, Value>& memo);
+
+  void Push(VpValue v) { stack_[sp_++] = v; }
+  VpValue Pop() { return stack_[--sp_]; }
+  VpValue Peek(size_t depth) const { return stack_[sp_ - 1 - depth]; }
+
+  void TrackAllocation(GcObj* obj, size_t bytes);
+  void MarkValue(VpValue v);
+  void MarkObject(GcObj* obj);
+  void TraceReferences();
+  void Sweep();
+
+  InterpreterLimits limits_;
+  Interpreter* interp_;  // print handler + boxed-closure fallback calls
+
+  // Execution state. The stack has fixed capacity so upvalue pointers
+  // into it stay stable.
+  std::vector<VpValue> stack_;
+  size_t sp_ = 0;
+  std::vector<Frame> frames_;
+  std::vector<Handler> handlers_;
+  GcUpvalue* open_upvalues_ = nullptr;
+  uint64_t steps_used_ = 0;
+
+  // Program.
+  std::vector<std::unique_ptr<FunctionProto>> protos_;
+  std::vector<GlobalSlotData> globals_;
+  std::unordered_map<uint32_t, uint16_t> global_index_;  // name_id -> slot
+
+  // Heap.
+  GcObj* heap_head_ = nullptr;
+  size_t live_objects_ = 0;
+  size_t bytes_allocated_ = 0;
+  size_t next_gc_ = 256 * 1024;
+  uint64_t gc_cycles_ = 0;
+  std::vector<GcObj*> gray_;
+  /// Extra roots for native-method temporaries that live across a
+  /// reentrant script callback (map/filter accumulators, …).
+  std::vector<VpValue> temp_roots_;
+  /// Import memo: boxed heap identity -> converted VM object within
+  /// one host-boundary conversion, so shared/cyclic boxed structure
+  /// keeps its shape. Cleared per conversion; no GC can run while a
+  /// conversion is in flight (collection only happens at instruction
+  /// boundaries), so the memo is not a root.
+  std::unordered_map<const void*, VpValue> import_memo_;
+  /// VM closures handed to the host (VmToBoxed wrappers) stay rooted
+  /// here for the life of the Vm — the host-side shared_ptr is
+  /// invisible to the collector.
+  std::vector<VpValue> escaped_;
+  /// Frame count corresponding to interpreter call depth 0 for the
+  /// current entry (1 for RunTopLevel — the script frame is not a
+  /// "call" — 0 for CallGlobal).
+  size_t depth_base_ = 0;
+
+  friend class TempRootScope;
+};
+
+/// RAII root pin for values held in C++ locals across a reentrant
+/// script call (GC safepoints run inside the callee).
+class TempRootScope {
+ public:
+  explicit TempRootScope(Vm& vm) : vm_(vm), base_(vm.temp_roots_.size()) {}
+  ~TempRootScope() { vm_.temp_roots_.resize(base_); }
+  void Pin(VpValue v) { vm_.temp_roots_.push_back(v); }
+
+ private:
+  Vm& vm_;
+  size_t base_;
+};
+
+}  // namespace vp::script

@@ -161,6 +161,38 @@ void RequestScheduler::Release(services::ServiceInstance* replica) {
   Pump();
 }
 
+void RequestScheduler::PurgeRetiredReplicas() {
+  if (draining_.empty() && busy_replicas_.empty()) return;
+  std::set<services::ServiceInstance*> live;
+  for (services::ServiceInstance* replica :
+       registry_->Replicas(device_, service_)) {
+    live.insert(replica);
+  }
+  for (auto it = draining_.begin(); it != draining_.end();) {
+    if (live.count(it->first) != 0) {
+      ++it;
+      continue;
+    }
+    // The replica was retired (autoscaler scale-down, device death)
+    // while quiesced. Without this purge the entry would stay forever:
+    // Release is never called for a replica the rollout controller no
+    // longer sees, and whichever future replica reuses the freed
+    // address would be permanently excluded from dispatch. A retired
+    // replica trivially has zero in-flight frames, so a still-pending
+    // drain callback fires now.
+    std::function<void()> drained = std::move(it->second);
+    it = draining_.erase(it);
+    if (drained) drained();
+  }
+  for (auto it = busy_replicas_.begin(); it != busy_replicas_.end();) {
+    if (live.count(*it) != 0) {
+      ++it;
+    } else {
+      it = busy_replicas_.erase(it);
+    }
+  }
+}
+
 void RequestScheduler::SetTrafficSplit(const std::string& canary_version,
                                        double share) {
   split_active_ = true;
@@ -275,6 +307,7 @@ void RequestScheduler::ArmWindow(TimePoint flush_at) {
 }
 
 void RequestScheduler::Pump() {
+  PurgeRetiredReplicas();
   while (true) {
     const TimePoint now = simulator_->Now();
     ShedExpired(now);

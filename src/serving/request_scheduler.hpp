@@ -218,6 +218,12 @@ class RequestScheduler {
   /// residence exceeded max_queue_wait.
   void ShedExpired(TimePoint now);
   void Shed(Pending pending, bool stale, TimePoint now);
+  /// Drop draining_/busy_replicas_ entries whose replica is no longer
+  /// registered (retired while quiesced or mid-batch) — a retired
+  /// replica can never be Released, and its stale entry would exclude
+  /// whichever future replica reuses the address. Pending drain
+  /// callbacks fire (the replica trivially has nothing in flight).
+  void PurgeRetiredReplicas();
   services::ServiceInstance* PickReplica(TimePoint now) const;
   TimePoint OldestEnqueued() const;
   int TotalPending() const;

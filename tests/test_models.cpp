@@ -200,6 +200,39 @@ TEST_F(SchedulerModelTest, QuiesceOnIdleReplicaFiresImmediately) {
   EXPECT_EQ(sched.draining_count(), 0u);
 }
 
+TEST_F(SchedulerModelTest, QuiescedReplicaRetiredByScaleDownIsPurged) {
+  // Regression: a replica quiesced for a model swap can be retired by
+  // the autoscaler before the rollout controller ever calls Release.
+  // Its draining_ entry used to stay forever — and since the key is a
+  // raw pointer, whichever future replica reused the freed address
+  // would have been permanently excluded from dispatch.
+  services::ServiceInstance* doomed = AddReplica();  // first in group order
+  AddReplica();
+  serving::RequestScheduler sched(&sim(), &registry_, "desktop",
+                                  "pose_detector");
+  bool drained = false;
+  sched.Quiesce(doomed, [&] { drained = true; });
+  EXPECT_TRUE(drained);  // idle → fires immediately
+  EXPECT_EQ(sched.draining_count(), 1u);
+
+  // Scale-down picks the first idle member — the quiesced replica.
+  ASSERT_TRUE(
+      registry_.RetireIdleReplica("desktop", "pose_detector", 1, sim().Now()));
+  for (services::ServiceInstance* live :
+       registry_.Replicas("desktop", "pose_detector")) {
+    ASSERT_NE(live, doomed);
+  }
+  EXPECT_EQ(sched.draining_count(), 1u);  // tombstone still present
+
+  // The next pump purges the tombstone; dispatch proceeds normally on
+  // the surviving replica.
+  sched.Submit(Req("after"));
+  sim().RunUntilIdle();
+  EXPECT_EQ(sched.draining_count(), 0u);
+  EXPECT_TRUE(ok_.at("after"));
+  EXPECT_EQ(sched.stats().dispatched, 1u);
+}
+
 TEST_F(SchedulerModelTest, TrafficSplitRoutesExactShareToCanary) {
   AddReplica("vStable");
   AddReplica("vCanary");

@@ -85,11 +85,50 @@ TEST(Message, ByteSizeCacheInvalidatedByMutation) {
   EXPECT_GT(m.ByteSize(), size2);
   EXPECT_EQ(json::WriteCallCountForTest(), before + 1);
 
-  // Encode also populates the cache: ByteSize right after Encode is
-  // free, and still equals the encoding's size.
+  // Encode also populates the cache — but only once no mutable payload
+  // reference is outstanding (set_payload retires them; the reference
+  // taken above could still be used to mutate later). ByteSize right
+  // after Encode is then free, and still equals the encoding's size.
+  json::Value fresh = json::Value::MakeObject();
+  fresh["text"] = json::Value(std::string(50, 'w'));
+  m.set_payload(std::move(fresh));
   before = json::WriteCallCountForTest();
   const Bytes wire = m.Encode();
   EXPECT_EQ(m.ByteSize(), wire.size());
+  EXPECT_EQ(json::WriteCallCountForTest(), before + 1);
+}
+
+TEST(Message, RetainedPayloadReferenceNeverGoesStale) {
+  // Regression: a caller keeps the reference from payload() alive,
+  // encodes, and mutates through the reference afterwards. Encode used
+  // to re-memoize the payload size unconditionally, so the later
+  // mutation silently invalidated the cache and ByteSize disagreed
+  // with the wire encoding.
+  Message m = SampleMessage();
+  json::Value& p = m.payload();  // outstanding mutable reference
+  const Bytes first = m.Encode();
+  EXPECT_EQ(m.ByteSize(), first.size());
+  p["extra"] = json::Value(std::string(64, 'y'));  // mutate after encode
+  EXPECT_EQ(m.ByteSize(), m.Encode().size());
+  EXPECT_GT(m.ByteSize(), first.size());
+
+  // The same hole through ByteSize instead of Encode: it must not
+  // re-arm the cache while the reference is outstanding.
+  json::Value& q = m.payload();
+  const size_t sized = m.ByteSize();
+  const uint64_t while_outstanding = json::WriteCallCountForTest();
+  EXPECT_EQ(m.ByteSize(), sized);
+  EXPECT_EQ(json::WriteCallCountForTest(), while_outstanding + 1);
+  q["more"] = json::Value(std::string(64, 'z'));
+  EXPECT_GT(m.ByteSize(), sized);
+  EXPECT_EQ(m.ByteSize(), m.Encode().size());
+
+  // set_payload retires outstanding references (they point at the old
+  // shared value), so memoization resumes.
+  m.set_payload(json::Value::MakeObject());
+  const uint64_t before = json::WriteCallCountForTest();
+  const size_t s = m.ByteSize();
+  EXPECT_EQ(m.ByteSize(), s);
   EXPECT_EQ(json::WriteCallCountForTest(), before + 1);
 }
 

@@ -1,0 +1,198 @@
+// Tracing-GC and leak regression tests.
+//
+// The point of the bytecode VM is that module heap usage is bounded by
+// liveness, not by allocation history: closure cycles that reference
+// counting could never reclaim are collected, and a long soak settles
+// into a flat heap profile. The interpreter path gets the complementary
+// guarantee: explicit environment-chain teardown returns the process to
+// its Environment baseline when contexts die.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "json/write.hpp"
+#include "script/context.hpp"
+
+namespace vp::script {
+namespace {
+
+ContextOptions WithEngine(ScriptEngine engine) {
+  ContextOptions options;
+  options.engine = engine;
+  return options;
+}
+
+/// A handler that churns closures, arrays and objects every event —
+/// each call creates garbage (including cyclic structures) that only a
+/// tracing collector can reclaim.
+const char* kChurnModule = R"(
+  var kept = [];
+  var events = 0;
+  function event_received(e) {
+    events += 1;
+    var local = { id: events, buf: [] };
+    for (var i = 0; i < 8; i++) local.buf.push("item-" + i);
+    // A closure cycle: the object holds a closure that captures the
+    // object. Reference counting leaks this; the tracing GC must not.
+    local.self = function () { return local.id; };
+    var squares = local.buf.map(function (s) { return s + "!"; });
+    // Keep a tiny rotating window live so liveness is not trivially zero.
+    kept.push(local.self);
+    if (kept.length > 4) kept.shift();
+    return squares.length;
+  }
+)";
+
+int SoakEvents() {
+  // Full-length soak (1M events) by default; VP_SOAK_EVENTS trims it
+  // for slow instrumented runs if ever needed.
+  if (const char* env = std::getenv("VP_SOAK_EVENTS")) {
+    return std::atoi(env);
+  }
+  return 1'000'000;
+}
+
+TEST(VmGc, AllocationPressureSoakStaysFlat) {
+  Context context(WithEngine(ScriptEngine::kVm));
+  ASSERT_TRUE(context.Load(kChurnModule).ok());
+  ASSERT_EQ(context.engine(), ScriptEngine::kVm);
+  Vm* vm = context.vm();
+  ASSERT_NE(vm, nullptr);
+
+  const int events = SoakEvents();
+  auto e = Value::MakeObject();
+  size_t peak_live = 0;
+  for (int i = 0; i < events; ++i) {
+    auto r = context.Call("event_received", {e});
+    ASSERT_TRUE(r.ok()) << r.error().ToString();
+    if (i % 10'000 == 0) peak_live = std::max(peak_live, vm->live_objects());
+  }
+  EXPECT_GT(vm->gc_cycles(), 0u) << "soak never triggered a collection";
+
+  // Collect and compare against a single event's live footprint: after
+  // a million events the heap must hold the rotating window and the
+  // module globals, not a million dead closures.
+  vm->CollectGarbage();
+  const size_t settled = vm->live_objects();
+  EXPECT_LT(settled, 2'000u) << "heap grew with allocation history";
+  // The observed peak is bounded by the GC trigger threshold, not by
+  // the event count.
+  EXPECT_LT(peak_live, 200'000u);
+
+  // The module still works after heavy collection.
+  auto r = context.Call("event_received", {e});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(context.GetGlobal("events").AsNumber(),
+                   static_cast<double>(events + 1));
+}
+
+TEST(VmGc, CollectionIsDrivenByAllocationPressureOnly) {
+  // Two identical runs must collect at identical points: gc_cycles is
+  // a pure function of the event sequence.
+  std::vector<uint64_t> cycles;
+  std::vector<size_t> live;
+  for (int run = 0; run < 2; ++run) {
+    Context context(WithEngine(ScriptEngine::kVm));
+    ASSERT_TRUE(context.Load(kChurnModule).ok());
+    auto e = Value::MakeObject();
+    for (int i = 0; i < 20'000; ++i) {
+      ASSERT_TRUE(context.Call("event_received", {e}).ok());
+    }
+    cycles.push_back(context.vm()->gc_cycles());
+    live.push_back(context.vm()->live_objects());
+  }
+  EXPECT_EQ(cycles[0], cycles[1]);
+  EXPECT_EQ(live[0], live[1]);
+  EXPECT_GT(cycles[0], 0u);
+}
+
+TEST(VmGc, CheckpointSurvivesCollection) {
+  // checkpoint -> GC -> checkpoint must be byte-identical (collection
+  // must never move or drop reachable state), and a restore after a
+  // forced GC must resume exactly.
+  Context source(WithEngine(ScriptEngine::kVm));
+  ASSERT_TRUE(source.Load(kChurnModule).ok());
+  auto e = Value::MakeObject();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(source.Call("event_received", {e}).ok());
+  }
+  const std::string before = json::Write(source.SnapshotState());
+  source.vm()->CollectGarbage();
+  source.vm()->CollectGarbage();
+  const std::string after = json::Write(source.SnapshotState());
+  EXPECT_EQ(before, after);
+
+  Context target(WithEngine(ScriptEngine::kVm));
+  ASSERT_TRUE(target.Load(kChurnModule).ok());
+  ASSERT_TRUE(target.RestoreState(source.SnapshotState()).ok());
+  target.vm()->CollectGarbage();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(target.Call("event_received", {e}).ok());
+  }
+  EXPECT_DOUBLE_EQ(target.GetGlobal("events").AsNumber(), 600.0);
+}
+
+// --------------------------------------- interpreter-path leak tests
+
+/// Deploy/undeploy a closure-heavy module repeatedly; the live
+/// Environment count must return to its pre-deploy baseline every
+/// time. Before explicit chain teardown this leaked one environment
+/// chain per deploy (closure -> environment -> closure cycles).
+TEST(EnvironmentLifecycle, DeployUndeployChurnReturnsToBaseline) {
+  const char* module = R"(
+    var registry = {};
+    function subscribe(topic) {
+      var queue = [];
+      var handler = function (m) { queue.push(m); return dispatch; };
+      function dispatch(x) { return handler(x); }
+      registry[topic] = { on: handler, dispatch: dispatch, queue: queue };
+      return dispatch;
+    }
+    for (var i = 0; i < 20; i++) subscribe("topic-" + i);
+    function event_received(e) { return subscribe("dyn")("x"); }
+  )";
+  const size_t baseline = Environment::live_count();
+  for (int round = 0; round < 100; ++round) {
+    Context context(WithEngine(ScriptEngine::kInterp));
+    ASSERT_TRUE(context.Load(module).ok());
+    auto e = Value::MakeObject();
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(context.Call("event_received", {e}).ok());
+    }
+    EXPECT_GT(Environment::live_count(), baseline);  // module is live
+  }
+  // Every context destroyed: the chains it created must be gone.
+  EXPECT_EQ(Environment::live_count(), baseline);
+}
+
+TEST(EnvironmentLifecycle, VmEngineCreatesNoEnvironmentsPerEvent) {
+  // The VM never allocates Environments at all on its execution path —
+  // only the baseline (stdlib installation) scope chain exists.
+  Context context(WithEngine(ScriptEngine::kVm));
+  ASSERT_TRUE(context.Load(kChurnModule).ok());
+  const size_t after_load = Environment::live_count();
+  auto e = Value::MakeObject();
+  for (int i = 0; i < 1'000; ++i) {
+    ASSERT_TRUE(context.Call("event_received", {e}).ok());
+  }
+  EXPECT_EQ(Environment::live_count(), after_load);
+}
+
+TEST(EnvironmentLifecycle, TearDownChainHandlesSharedStructure) {
+  // Two contexts sharing values through a snapshot must tear down
+  // independently without double-free or dangling access.
+  const size_t baseline = Environment::live_count();
+  {
+    Context a(WithEngine(ScriptEngine::kInterp));
+    ASSERT_TRUE(a.Load("var state = { xs: [1, 2, 3] };").ok());
+    Context b(WithEngine(ScriptEngine::kInterp));
+    ASSERT_TRUE(b.Load("var state = {};").ok());
+    ASSERT_TRUE(b.RestoreState(a.SnapshotState()).ok());
+  }
+  EXPECT_EQ(Environment::live_count(), baseline);
+}
+
+}  // namespace
+}  // namespace vp::script

@@ -1,0 +1,405 @@
+// Bytecode-VM engine tests: the VM must be byte-for-byte equivalent to
+// the tree-walking interpreter — results, error messages, state
+// snapshots, and checkpoint/restore interop in every direction.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "json/write.hpp"
+#include "script/context.hpp"
+
+namespace vp::script {
+namespace {
+
+ContextOptions WithEngine(ScriptEngine engine, uint64_t seed = 1234) {
+  ContextOptions options;
+  options.engine = engine;
+  options.random_seed = seed;
+  return options;
+}
+
+std::string EvalOn(ScriptEngine engine, const std::string& body) {
+  Context context(WithEngine(engine));
+  Status loaded = context.Load(body);
+  if (!loaded.ok()) return "load error: " + loaded.error().ToString();
+  return context.GetGlobal("result").ToDisplayString();
+}
+
+TEST(VmEngine, DefaultEngineIsTheVm) {
+  // Guards against a silent fallback: if the compiler rejects a plain
+  // module, engine() degrades to kInterp and this fails loudly. The
+  // tier-1 engine matrix pins VP_SCRIPT_ENGINE, which kAuto must
+  // honor — so the expectation follows the pin.
+  const char* pinned = std::getenv("VP_SCRIPT_ENGINE");
+  const ScriptEngine expected =
+      pinned != nullptr && std::string(pinned) == "interp"
+          ? ScriptEngine::kInterp
+          : ScriptEngine::kVm;
+  Context context;
+  ASSERT_TRUE(context
+                  .Load(R"(
+    var xs = [];
+    function make(n) { return function () { return n; }; }
+    for (var i = 0; i < 3; i++) xs.push(make(i));
+    function event_received(e) { return xs[1]() + e.v; }
+  )")
+                  .ok());
+  EXPECT_EQ(context.engine(), expected);
+  if (expected == ScriptEngine::kVm) {
+    ASSERT_NE(context.vm(), nullptr);
+  } else {
+    EXPECT_EQ(context.vm(), nullptr);
+  }
+}
+
+TEST(VmEngine, ResolveOffForcesInterpreter) {
+  ContextOptions options;
+  options.resolve = false;
+  Context context(options);
+  ASSERT_TRUE(context.Load("var result = 1;").ok());
+  EXPECT_EQ(context.engine(), ScriptEngine::kInterp);
+  EXPECT_EQ(context.vm(), nullptr);
+}
+
+// ------------------------------------------------- result equivalence
+
+TEST(VmEquivalence, SameResultsAsInterpreter) {
+  const std::vector<std::string> programs = {
+      // Shadowing across nested blocks.
+      R"(var x = 1; { var x = 2; { var x = 3; } } var result = x;)",
+      // Closure over a loop variable (shared binding).
+      R"(var f = []; for (var i = 0; i < 3; i++) f.push(function () { return i; });
+         var result = f[0]() + f[2]();)",
+      // Per-iteration body locals captured independently.
+      R"(var f = []; for (var i = 0; i < 3; i++) { var k = i * 10; f.push(function () { return k; }); }
+         var result = f[0]() + f[1]() + f[2]();)",
+      // Catch binding shadows a global of the same name.
+      R"(var e = 7; try { throw 1; } catch (e) { e = e + 1; } var result = e;)",
+      // Hoisted self-reference + recursion.
+      R"(var result = fact(5); function fact(n) { return n < 2 ? 1 : n * fact(n - 1); })",
+      // Named function expression self-reference.
+      R"(var f = function g(n) { return n < 2 ? 1 : n * g(n - 1); }; var result = f(5);)",
+      // Compound assignment / update operators on members and slots.
+      R"(var o = { n: 1 }; var t = 0; for (var i = 0; i < 4; i++) { o.n *= 2; t += o.n; }
+         var result = t * 100 + o.n;)",
+      // Switch with fall-through and block-scoped cases.
+      R"(var out = ""; var k = 1;
+         switch (k) { case 0: out += "a"; case 1: out += "b"; case 2: out += "c"; break;
+                      default: out += "d"; }
+         var result = out;)",
+      // String/number coercion through binary fast paths.
+      R"(var result = "3" * "4" + ("1" + 2) + (0 / 0 == 0 / 0 ? "eq" : "ne");)",
+      // Array methods, callbacks re-entering the engine.
+      R"(var a = [5, 3, 8, 1]; var b = a.map(function (x) { return x * 2; })
+            .filter(function (x) { return x > 4; });
+         b.sort(function (x, y) { return x - y; });
+         var result = b.join("-") + ":" + a.length;)",
+      // reduce with and without seed, indexOf/includes/slice/concat.
+      R"(var a = [1, 2, 3, 4];
+         var s1 = a.reduce(function (acc, x) { return acc + x; });
+         var s2 = a.reduce(function (acc, x) { return acc + x; }, 100);
+         var result = s1 + "," + s2 + "," + a.indexOf(3) + "," + a.includes(9)
+                    + "," + a.slice(1, -1).join("") + "," + a.concat([9, [8]]).length;)",
+      // for-in over objects and arrays, key snapshot semantics.
+      R"(var o = { a: 1, b: 2, c: 3 }; var keys = ""; var sum = 0;
+         for (var k in o) { keys += k; sum += o[k]; }
+         var arr = [10, 20]; for (var k in arr) keys += k;
+         var result = keys + ":" + sum;)",
+      // try/catch: catch object shape, nested handlers, rethrow.
+      R"(var log = "";
+         try {
+           try { missing(); } catch (e) { log += e.code + "|"; throw "boom"; }
+         } catch (e) { log += e.message; }
+         var result = log;)",
+      // while / do-while / break / continue.
+      R"(var s = 0; var i = 0;
+         while (true) { i++; if (i % 2 == 0) continue; if (i > 9) break; s += i; }
+         var j = 0; do { j++; } while (j < 3);
+         var result = s * 10 + j;)",
+      // typeof, logical operators returning operands, ternary chains.
+      R"(var result = typeof [] + "," + typeof null + "," + typeof (function () {})
+                    + "," + (0 || "x") + "," + (1 && "y") + "," + (undefined ? 1 : null ? 2 : 3);)",
+      // String methods through the VM's boxed bridge.
+      R"(var s = "  Video,Pipe  ";
+         var result = s.trim().split(",").map(function (w) { return w.toUpperCase(); }).join("+")
+                    + ":" + s.trim().length + ":" + "ab".repeat(3);)",
+      // Object/array display forms, nested structures.
+      R"(var result = { a: [1, "x", { b: null }], c: undefined };)",
+      // JSON round trip + Object.keys + Math.
+      R"(var o = JSON.parse("{\"a\":[1,2],\"b\":{\"c\":3}}");
+         o.b.d = Math.max(4, 2) + Math.floor(2.9);
+         var result = JSON.stringify(o) + ":" + Object.keys(o).join("");)",
+      // Deleting / overwriting keys via dynamic index writes.
+      R"(var o = {}; o["k" + 1] = 10; o.k1 += 5; var result = o.k1;)",
+      // Increment/decrement on members, prefix and postfix.
+      R"(var o = { n: 5 }; var a = o.n++; var b = ++o.n; var result = a * 100 + b * 10 + o.n;)",
+      // NaN-adjacent behaviours through the NaN-boxed representation.
+      R"(var n = 0 / 0;
+         var result = (n == n) + ":" + (n != n) + ":" + NumberHole(n);
+         function NumberHole(x) { return typeof x + ":" + (x ? "t" : "f"); })",
+      // Negative zero, large integers, float formatting.
+      R"(var result = -0 + ":" + 1e15 + ":" + 0.1 + 0.2 + ":" + 123456789012345;)",
+      // Bound array method detached from its receiver.
+      R"(var a = [1]; var push = a.push; push(2, 3); var result = a.join("-");)",
+  };
+  for (const std::string& program : programs) {
+    EXPECT_EQ(EvalOn(ScriptEngine::kVm, program),
+              EvalOn(ScriptEngine::kInterp, program))
+        << program;
+  }
+}
+
+// -------------------------------------------------- error equivalence
+
+TEST(VmEquivalence, ErrorsMatchInterpreterByteForByte) {
+  const std::vector<std::string> programs = {
+      "var result = missing;",
+      "var result = missing();",
+      "var o = {}; var result = o.a.b;",
+      "var result = null.x;",
+      "var result = (5)();",
+      "var a = [1]; var result = a[0 / 0];",
+      "var a = [1]; a[-1] = 2; var result = 1;",
+      "var result = 5[0];",
+      "var n = 3; n.x = 1; var result = 1;",
+      "const c = 1; c = 2; var result = c;",
+      "var result = undefined1 + undefined2;",
+      "for (var k in 5) {} var result = 1;",
+      "function f() { return f(); } var result = f();",
+      "throw { code: 9 }; var result = 1;",
+      "throw \"plain\"; var result = 1;",
+  };
+  for (const std::string& program : programs) {
+    Context vm_ctx(WithEngine(ScriptEngine::kVm));
+    Context interp_ctx(WithEngine(ScriptEngine::kInterp));
+    const Status a = vm_ctx.Load(program);
+    const Status b = interp_ctx.Load(program);
+    EXPECT_EQ(vm_ctx.engine(), ScriptEngine::kVm) << program;
+    EXPECT_FALSE(a.ok()) << program;
+    EXPECT_EQ(a.code(), b.code()) << program;
+    EXPECT_EQ(a.message(), b.message()) << program;
+  }
+}
+
+TEST(VmEquivalence, CallErrorsMatch) {
+  const std::string module = R"(
+    function boom() { return nope(); }
+    function deep(n) { return n == 0 ? worse() : deep(n - 1); }
+  )";
+  for (const std::string& name :
+       {std::string("boom"), std::string("deep"), std::string("absent")}) {
+    Context vm_ctx(WithEngine(ScriptEngine::kVm));
+    Context interp_ctx(WithEngine(ScriptEngine::kInterp));
+    ASSERT_TRUE(vm_ctx.Load(module).ok());
+    ASSERT_TRUE(interp_ctx.Load(module).ok());
+    auto a = vm_ctx.Call(name, {Value(3.0)});
+    auto b = interp_ctx.Call(name, {Value(3.0)});
+    ASSERT_FALSE(a.ok());
+    ASSERT_FALSE(b.ok());
+    EXPECT_EQ(a.error().code(), b.error().code()) << name;
+    EXPECT_EQ(a.error().message(), b.error().message()) << name;
+  }
+}
+
+TEST(VmEquivalence, BudgetAndDepthLimitsMatch) {
+  ContextOptions vm_opts = WithEngine(ScriptEngine::kVm);
+  ContextOptions interp_opts = WithEngine(ScriptEngine::kInterp);
+  vm_opts.limits.max_steps = 10'000;
+  interp_opts.limits.max_steps = 10'000;
+  {
+    Context a(vm_opts);
+    Context b(interp_opts);
+    const std::string loop = "while (true) {}";
+    const Status sa = a.Load(loop);
+    const Status sb = b.Load(loop);
+    ASSERT_FALSE(sa.ok());
+    EXPECT_EQ(sa.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(sa.code(), sb.code());
+    // Step counts differ per engine, so the reported line may too; the
+    // shape of the message is shared.
+    EXPECT_NE(sa.message().find("step budget exceeded (10000 steps)"),
+              std::string::npos)
+        << sa.message();
+    EXPECT_NE(sb.message().find("step budget exceeded (10000 steps)"),
+              std::string::npos);
+  }
+  {
+    Context a(vm_opts);
+    Context b(interp_opts);
+    const std::string deep = "function f(n) { return f(n + 1); } f(0);";
+    const Status sa = a.Load(deep);
+    const Status sb = b.Load(deep);
+    ASSERT_FALSE(sa.ok());
+    EXPECT_EQ(sa.code(), sb.code());
+    EXPECT_EQ(sa.message(), sb.message());
+  }
+  {
+    // The depth limit is catchable — and the budget limit is not —
+    // on both engines.
+    const std::string catches = R"(
+      function f(n) { return f(n + 1); }
+      var result = "no";
+      try { f(0); } catch (e) { result = "caught"; }
+    )";
+    EXPECT_EQ(EvalOn(ScriptEngine::kVm, catches), "caught");
+    EXPECT_EQ(EvalOn(ScriptEngine::kInterp, catches), "caught");
+  }
+}
+
+// ------------------------------------------- host boundary equivalence
+
+TEST(VmEquivalence, HostFunctionsSeeTheSameArguments) {
+  for (ScriptEngine engine : {ScriptEngine::kVm, ScriptEngine::kInterp}) {
+    Context context(WithEngine(engine));
+    std::vector<std::string> seen;
+    context.RegisterHostFunction(
+        "record", [&seen](std::vector<Value>& args,
+                          Interpreter&) -> Result<Value> {
+          std::string all;
+          for (const Value& v : args) all += v.ToDisplayString() + ";";
+          seen.push_back(all);
+          return Value(static_cast<double>(args.size()));
+        });
+    ASSERT_TRUE(context
+                    .Load(R"(
+      var n = record(1, "two", [3, { four: 4 }], null, undefined);
+      function handler(e) { return record(e, e.nested); }
+    )")
+                    .ok());
+    auto e = Value::MakeObject();
+    e.AsObject()->Set("nested", Value::MakeArray());
+    e.AsObject()->Set("k", Value(7.0));
+    ASSERT_TRUE(context.Call("handler", {e}).ok());
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], "1;two;[3, {four: 4}];null;undefined;");
+    EXPECT_EQ(seen[1], "{nested: [], k: 7};[];");
+  }
+}
+
+TEST(VmEquivalence, ScriptClosuresEscapeToTheHostAndBack) {
+  Context context(WithEngine(ScriptEngine::kVm));
+  ASSERT_TRUE(context
+                  .Load(R"(
+    var count = 0;
+    function tick() { count += 1; return count; }
+  )")
+                  .ok());
+  // GetGlobal wraps the VM closure as a callable host value; calling
+  // it must mutate the module's state.
+  Value tick = context.GetGlobal("tick");
+  ASSERT_TRUE(tick.is_function());
+  std::vector<Value> no_args;
+  auto r1 = tick.AsHostFunction()->fn(no_args, context.interpreter());
+  auto r2 = tick.AsHostFunction()->fn(no_args, context.interpreter());
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_DOUBLE_EQ(r2->AsNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(context.GetGlobal("count").AsNumber(), 2.0);
+}
+
+// --------------------------------------- checkpoint / restore interop
+
+const char* kStatefulModule = R"(
+  var counters = { events: 0, total: 0 };
+  var history = [];
+  var ratio = 0;
+  function event_received(e) {
+    counters.events += 1;
+    counters.total += e.value;
+    history.push(e.value * 2);
+    if (history.length > 4) history.shift();
+    ratio = counters.total / counters.events;
+    return counters.events;
+  }
+)";
+
+void Drive(Context& context, int from, int count) {
+  for (int i = from; i < from + count; ++i) {
+    auto e = Value::MakeObject();
+    e.AsObject()->Set("value", Value(static_cast<double>(i)));
+    ASSERT_TRUE(context.Call("event_received", {e}).ok());
+  }
+}
+
+TEST(VmCheckpoint, SnapshotsAreIdenticalAcrossEngines) {
+  Context vm_ctx(WithEngine(ScriptEngine::kVm));
+  Context interp_ctx(WithEngine(ScriptEngine::kInterp));
+  ASSERT_TRUE(vm_ctx.Load(kStatefulModule).ok());
+  ASSERT_TRUE(interp_ctx.Load(kStatefulModule).ok());
+  ASSERT_EQ(vm_ctx.engine(), ScriptEngine::kVm);
+  Drive(vm_ctx, 0, 7);
+  Drive(interp_ctx, 0, 7);
+  EXPECT_EQ(json::Write(vm_ctx.SnapshotState()),
+            json::Write(interp_ctx.SnapshotState()));
+}
+
+TEST(VmCheckpoint, CrossEngineRestoreResumesIdentically) {
+  // All four checkpoint->restore directions must converge on the same
+  // final state: vm->vm, vm->interp, interp->vm, interp->interp.
+  const std::vector<std::pair<ScriptEngine, ScriptEngine>> directions = {
+      {ScriptEngine::kVm, ScriptEngine::kVm},
+      {ScriptEngine::kVm, ScriptEngine::kInterp},
+      {ScriptEngine::kInterp, ScriptEngine::kVm},
+      {ScriptEngine::kInterp, ScriptEngine::kInterp},
+  };
+  std::vector<std::string> finals;
+  for (const auto& [source_engine, target_engine] : directions) {
+    Context source(WithEngine(source_engine));
+    ASSERT_TRUE(source.Load(kStatefulModule).ok());
+    Drive(source, 0, 5);
+    const json::Value checkpoint = source.SnapshotState();
+
+    Context target(WithEngine(target_engine));
+    ASSERT_TRUE(target.Load(kStatefulModule).ok());
+    ASSERT_TRUE(target.RestoreState(checkpoint).ok());
+    Drive(target, 5, 5);
+    finals.push_back(json::Write(target.SnapshotState()));
+  }
+  for (size_t i = 1; i < finals.size(); ++i) {
+    EXPECT_EQ(finals[0], finals[i]) << "direction " << i;
+  }
+  // And the converged state matches an uninterrupted run.
+  Context straight(WithEngine(ScriptEngine::kInterp));
+  ASSERT_TRUE(straight.Load(kStatefulModule).ok());
+  Drive(straight, 0, 10);
+  EXPECT_EQ(finals[0], json::Write(straight.SnapshotState()));
+}
+
+// ------------------------------------------------ seeded determinism
+
+TEST(VmDeterminism, SeededRunsMatchInterpreterBitForBit) {
+  const char* module = R"(
+    var stats = { sum: 0, max: 0, picks: [] };
+    function event_received(e) {
+      var r = Math.random();
+      stats.sum += r;
+      if (r > stats.max) stats.max = r;
+      if (stats.picks.length < 3) stats.picks.push(r);
+      return r;
+    }
+  )";
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Context vm_ctx(WithEngine(ScriptEngine::kVm, seed));
+    Context interp_ctx(WithEngine(ScriptEngine::kInterp, seed));
+    ASSERT_TRUE(vm_ctx.Load(module).ok());
+    ASSERT_TRUE(interp_ctx.Load(module).ok());
+    ASSERT_EQ(vm_ctx.engine(), ScriptEngine::kVm);
+    for (int i = 0; i < 50; ++i) {
+      auto e = Value::MakeObject();
+      auto a = vm_ctx.Call("event_received", {e});
+      auto b = interp_ctx.Call("event_received", {e});
+      ASSERT_TRUE(a.ok() && b.ok());
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(json::Write(json::Value(a->AsNumber())),
+                json::Write(json::Value(b->AsNumber())))
+          << "seed " << seed << " event " << i;
+    }
+    EXPECT_EQ(json::Write(vm_ctx.SnapshotState()),
+              json::Write(interp_ctx.SnapshotState()))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace vp::script
