@@ -38,6 +38,181 @@ struct LoopCtx {
   std::vector<size_t> continue_jumps;    // when !continue_backward
 };
 
+/// Abstract interpretation of a proto's bytecode computing the maximum
+/// value-stack depth (relative to the frame base) any execution of the
+/// body can reach. Stack discipline is static — the depth at every
+/// code offset is a pure function of the instruction stream — so a
+/// worklist walk over the control-flow graph gives an exact bound.
+/// PushFrame checks base + max_stack once per call, which is what
+/// makes every unchecked Push() inside the dispatch loop safe
+/// (including array/object literals of up to 0xffff elements, which
+/// can exceed any fixed per-call headroom).
+uint32_t ComputeMaxStack(const FunctionProto& proto) {
+  const std::vector<uint8_t>& code = proto.code;
+  // Largest depth seen reaching each offset; -1 = not yet visited.
+  // A merge point is re-propagated only when a larger depth arrives,
+  // so the walk terminates with per-point maxima.
+  std::vector<int32_t> depth_at(code.size(), -1);
+  std::vector<size_t> worklist;
+  int32_t max_depth = 1 + proto.arity;  // entry: callee slot + parameters
+  auto schedule = [&](size_t off, int32_t depth) {
+    if (off >= code.size()) return;
+    if (depth_at[off] >= depth) return;
+    depth_at[off] = depth;
+    if (depth > max_depth) max_depth = depth;
+    worklist.push_back(off);
+  };
+  schedule(0, 1 + proto.arity);
+  while (!worklist.empty()) {
+    const size_t off = worklist.back();
+    worklist.pop_back();
+    const int32_t depth = depth_at[off];
+    const Op op = static_cast<Op>(code[off]);
+    auto u16 = [&code](size_t at) {
+      return static_cast<uint16_t>(
+          code[at] | (static_cast<uint16_t>(code[at + 1]) << 8));
+    };
+    size_t next = off + 1;
+    int32_t delta = 0;
+    switch (op) {
+      case Op::kUndefined:
+      case Op::kNull:
+      case Op::kTrue:
+      case Op::kFalse:
+      case Op::kDup:
+      case Op::kForInInit:  // pops the subject, pushes keys + index
+        delta = 1;
+        break;
+      case Op::kConst:
+      case Op::kGetLocal:
+      case Op::kGetUpvalue:
+      case Op::kGetGlobal:
+      case Op::kClosure:
+        delta = 1;
+        next += 2;
+        break;
+      case Op::kUndefN:
+        delta = static_cast<int32_t>(u16(next));
+        next += 2;
+        break;
+      case Op::kPop:
+      case Op::kGetIndex:
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv:
+      case Op::kMod:
+      case Op::kEq:
+      case Op::kNe:
+      case Op::kStrictEq:
+      case Op::kStrictNe:
+      case Op::kLt:
+      case Op::kLe:
+      case Op::kGt:
+      case Op::kGe:
+        delta = -1;
+        break;
+      case Op::kPopN:
+      case Op::kCloseScope:
+        delta = -static_cast<int32_t>(u16(next));
+        next += 2;
+        break;
+      case Op::kSwap:
+      case Op::kRot3:
+      case Op::kNegate:
+      case Op::kToNumber:
+      case Op::kNot:
+      case Op::kTypeof:
+      case Op::kInc:
+      case Op::kDec:
+      case Op::kPopHandler:
+        break;
+      case Op::kSetLocal:
+      case Op::kSetUpvalue:
+      case Op::kSetGlobal:
+      case Op::kGetProp:
+        next += 2;
+        break;
+      case Op::kSetIndex:
+        delta = -2;
+        break;
+      case Op::kDefineGlobal:
+      case Op::kDefineGlobalConst:
+      case Op::kSetProp:
+        delta = -1;
+        next += 2;
+        break;
+      case Op::kArray:
+        delta = 1 - static_cast<int32_t>(u16(next));
+        next += 2;
+        break;
+      case Op::kObject:
+        delta = 1 - 2 * static_cast<int32_t>(u16(next));
+        next += 2;
+        break;
+      case Op::kCall:  // pops callee + argc, pushes the result
+        delta = -static_cast<int32_t>(code[next]);
+        next += 1;
+        break;
+      case Op::kInvoke:  // pops receiver + argc, pushes the result
+        delta = -static_cast<int32_t>(code[next + 2]);
+        next += 3;
+        break;
+      case Op::kJump: {
+        const uint16_t jump = u16(next);
+        next += 2;
+        schedule(next + jump, depth);
+        continue;  // no fallthrough
+      }
+      case Op::kLoop: {
+        const uint16_t jump = u16(next);
+        next += 2;
+        schedule(next - jump, depth);
+        continue;
+      }
+      case Op::kJumpIfFalse:
+      case Op::kJumpIfTrue: {
+        const uint16_t jump = u16(next);
+        next += 2;
+        schedule(next + jump, depth - 1);
+        schedule(next, depth - 1);
+        continue;
+      }
+      case Op::kJumpIfFalsePeek:
+      case Op::kJumpIfTruePeek: {
+        const uint16_t jump = u16(next);
+        next += 2;
+        schedule(next + jump, depth);
+        schedule(next, depth);
+        continue;
+      }
+      case Op::kPushHandler: {
+        // The unwinder restores sp to the handler's recorded depth and
+        // pushes the error object before entering the catch target.
+        const uint16_t jump = u16(next);
+        next += 2;
+        schedule(next + jump, depth + 1);
+        schedule(next, depth);
+        continue;
+      }
+      case Op::kForInNext: {
+        const uint16_t exit = u16(next + 2);
+        next += 4;
+        schedule(next + exit, depth);  // exhausted: nothing pushed
+        schedule(next, depth + 1);     // next key pushed
+        continue;
+      }
+      case Op::kReturn:
+      case Op::kReturnUndef:
+      case Op::kThrow:
+      case Op::kRuntimeError:
+        continue;  // terminal
+    }
+    schedule(next, depth + delta);
+  }
+  return static_cast<uint32_t>(max_depth);
+}
+
 OpCode BinaryFromSpelling(const std::string& op) {
   if (op == "+") return OpCode::kAdd;
   if (op == "-") return OpCode::kSub;
@@ -90,6 +265,7 @@ class FnCompiler {
     for (const UpvalInfo& u : upvals_) {
       proto_->upvalues.push_back(UpvalDesc{u.from_local, u.index});
     }
+    proto_->max_stack = ComputeMaxStack(*proto_);
     return std::move(proto_);
   }
 

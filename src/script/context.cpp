@@ -55,6 +55,11 @@ Status Context::Load(const std::string& source) {
   auto program = ParseProgram(source);
   if (!program.ok()) return Status(program.error());
   program_ = *program;
+  // A reload replaces the whole program. Drop the previous VM now:
+  // if compilation of the new program fails below, execution falls to
+  // the interpreter, and a stale vm_ would otherwise keep routing
+  // Call/GetGlobal/SnapshotState to the old program's state.
+  vm_.reset();
   if (resolve_) ResolveProgram(*program_);
   baseline_globals_ = globals_->LocalNames();
 

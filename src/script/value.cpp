@@ -51,27 +51,45 @@ void Environment::TearDownChain(const std::shared_ptr<Environment>& root) {
   // from root's bindings, but its environments still chain their
   // parents back to the module scope they were created under.
   // Environments belonging to other contexts chain to a different root
-  // and are left alone. shared_from_this pins each selection so phase 2
-  // can destroy environments in any order without dangling.
+  // and are left alone. A shared_ptr pins each selection so phase 2
+  // can sever environments in any order without dangling.
   std::vector<std::shared_ptr<Environment>> doomed;
+  std::vector<Value> scrap;  // binding values, destroyed after unlock
   {
     std::lock_guard<std::mutex> lock(g_env_registry_mutex);
     for (Environment* env : EnvRegistry()) {
       for (Environment* e = env; e != nullptr; e = e->parent_.get()) {
         if (e == root.get()) {
-          doomed.push_back(env->shared_from_this());
+          // lock() instead of shared_from_this: an env whose last
+          // reference dropped on another thread is still registered
+          // while its destructor waits on this mutex; its control
+          // block is already expired.
+          if (auto pinned = env->weak_from_this().lock()) {
+            doomed.push_back(std::move(pinned));
+          }
           break;
         }
       }
     }
-  }
 
-  // Phase 2: sever. Dropping every binding releases the closures those
-  // environments kept alive; clearing parents breaks chain cycles.
-  for (const auto& env : doomed) {
-    env->bindings_.clear();
-    env->parent_.reset();
+    // Phase 2: sever — still under the lock, so a concurrent teardown's
+    // phase-1 chain walk never observes a half-reset parent_. Binding
+    // values are moved out, not destroyed here: their destructors can
+    // release foreign environments whose ~Environment takes this same
+    // mutex. parent_.reset() is safe under the lock — every ancestor of
+    // a doomed env chains to root, so it is pinned in `doomed` (or is
+    // root itself, pinned by the caller).
+    for (const auto& env : doomed) {
+      for (auto& binding : env->bindings_) {
+        scrap.push_back(std::move(binding.value));
+      }
+      env->bindings_.clear();
+      env->parent_.reset();
+    }
   }
+  // Dropping `scrap` releases the closures those environments kept
+  // alive; dropping `doomed` releases the environments themselves —
+  // both outside the lock.
 }
 
 const char* ValueTypeName(ValueType t) {

@@ -69,8 +69,10 @@ void GcObject::SetInterned(uint32_t key_id, const std::string& key,
 namespace {
 
 constexpr size_t kStackCapacity = 1 << 17;
-/// Slots a single frame may need beyond sp_ (locals + temporaries);
-/// checked once per call, not per push.
+/// Defensive slack for host-boundary entry points (CallValue's
+/// callee+args pushes, kUndefN block entry). The authoritative bound
+/// is per-proto: PushFrame checks base + proto->max_stack, computed by
+/// the compiler, which covers every push a frame can make.
 constexpr size_t kStackHeadroom = 4096;
 constexpr size_t kInitialGcThreshold = 256 * 1024;
 
@@ -554,7 +556,12 @@ Status Vm::PushFrame(VpValue callee, int argc, int line) {
                   Format("call depth limit (%d) exceeded",
                          limits_.max_call_depth));
   }
-  if (sp_ + kStackHeadroom > stack_.size()) {
+  // One bounds check per call covers every push the frame can make:
+  // max_stack is the compiler-computed worst-case depth of the body
+  // (locals and literal/argument temporaries included), so a frame can
+  // never outgrow a fixed headroom between checks.
+  const size_t base = sp_ - static_cast<size_t>(argc) - 1;
+  if (base + proto->max_stack > stack_.size()) {
     return Status(StatusCode::kScriptError, "stack overflow");
   }
   // Arity fixup, as the interpreter's positional parameter bind: extra
@@ -1713,6 +1720,9 @@ Result<Value> Vm::CallGlobal(const std::string& name,
 
   const size_t entry_sp = sp_;
   const size_t base_frames = frames_.size();
+  if (sp_ + args.size() + 1 > stack_.size()) {
+    return Error(StatusCode::kScriptError, "stack overflow");
+  }
   Push(fn);
   import_memo_.clear();  // one conversion: boxed arg sharing preserved
   for (const Value& a : args) Push(ImportValueRec(a));

@@ -161,6 +161,14 @@ struct UpvalDesc {
 struct FunctionProto {
   std::string name;
   int arity = 0;
+  /// Maximum value-stack depth any execution of this body can reach,
+  /// relative to the frame base (slot 0 = callee), computed by the
+  /// compiler's abstract interpretation of the bytecode. PushFrame
+  /// checks base + max_stack against the stack capacity once per call,
+  /// so no push inside the frame needs a bounds check — including
+  /// arbitrarily wide array/object literals, which can exceed any
+  /// fixed per-call headroom.
+  uint32_t max_stack = 0;
   std::vector<uint8_t> code;
   /// Source line per code byte (same length as `code`) — exact
   /// "script:%d:" attribution for every instruction.

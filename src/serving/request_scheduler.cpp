@@ -162,12 +162,13 @@ void RequestScheduler::Release(services::ServiceInstance* replica) {
 }
 
 void RequestScheduler::PurgeRetiredReplicas() {
-  if (draining_.empty() && busy_replicas_.empty()) return;
+  if (draining_.empty()) return;
   std::set<services::ServiceInstance*> live;
   for (services::ServiceInstance* replica :
        registry_->Replicas(device_, service_)) {
     live.insert(replica);
   }
+  std::vector<std::function<void()>> fired;
   for (auto it = draining_.begin(); it != draining_.end();) {
     if (live.count(it->first) != 0) {
       ++it;
@@ -177,20 +178,23 @@ void RequestScheduler::PurgeRetiredReplicas() {
     // while quiesced. Without this purge the entry would stay forever:
     // Release is never called for a replica the rollout controller no
     // longer sees, and whichever future replica reuses the freed
-    // address would be permanently excluded from dispatch. A retired
-    // replica trivially has zero in-flight frames, so a still-pending
-    // drain callback fires now.
+    // address would be permanently excluded from dispatch. If a batch
+    // is still in flight the drain has NOT happened yet — leave both
+    // entries alone; the completion callback (which InvokeBatch always
+    // delivers, even for crashed replicas) fires the drain, and the
+    // next purge removes the tombstone.
+    if (busy_replicas_.count(it->first) != 0) {
+      ++it;
+      continue;
+    }
     std::function<void()> drained = std::move(it->second);
     it = draining_.erase(it);
-    if (drained) drained();
+    if (drained) fired.push_back(std::move(drained));
   }
-  for (auto it = busy_replicas_.begin(); it != busy_replicas_.end();) {
-    if (live.count(*it) != 0) {
-      ++it;
-    } else {
-      it = busy_replicas_.erase(it);
-    }
-  }
+  // Fire outside the loop: a drain callback typically swaps and calls
+  // Release, whose Pump re-enters this purge — erasing under the
+  // outer iterator would be UB.
+  for (auto& drained : fired) drained();
 }
 
 void RequestScheduler::SetTrafficSplit(const std::string& canary_version,
@@ -362,13 +366,19 @@ void RequestScheduler::Dispatch(services::ServiceInstance* replica,
   stats_.dispatched += static_cast<uint64_t>(size);
   ++stats_.batch_size_histogram[size];
   inflight_requests_ += size;
-  busy_replicas_.insert(replica);
+  busy_replicas_[replica] = span.id;
 
   replica->InvokeBatch(
       std::move(entries), extra_cost,
       [this, replica, span, size](bool delivered) mutable {
         const TimePoint done_at = simulator_->Now();
-        busy_replicas_.erase(replica);
+        // Guarded by batch id: if this replica was retired mid-batch
+        // and a later replica reused the address, its entry belongs to
+        // a different batch — leave it.
+        if (auto busy = busy_replicas_.find(replica);
+            busy != busy_replicas_.end() && busy->second == span.id) {
+          busy_replicas_.erase(busy);
+        }
         inflight_requests_ -= size;
         // A quiesce requested mid-batch is now satisfied: the replica
         // has zero in-flight frames until Release re-admits it.

@@ -218,11 +218,14 @@ class RequestScheduler {
   /// residence exceeded max_queue_wait.
   void ShedExpired(TimePoint now);
   void Shed(Pending pending, bool stale, TimePoint now);
-  /// Drop draining_/busy_replicas_ entries whose replica is no longer
-  /// registered (retired while quiesced or mid-batch) — a retired
-  /// replica can never be Released, and its stale entry would exclude
-  /// whichever future replica reuses the address. Pending drain
-  /// callbacks fire (the replica trivially has nothing in flight).
+  /// Drop draining_ entries whose replica is no longer registered
+  /// (retired while quiesced) — a retired replica can never be
+  /// Released, and its stale entry would exclude whichever future
+  /// replica reuses the address. Pending drain callbacks fire after
+  /// iteration (a callback may Release→Pump→re-enter this purge).
+  /// A retired replica still mid-batch keeps both entries until its
+  /// completion callback fires: its drain must wait for zero in-flight
+  /// frames, and InvokeBatch always completes eventually.
   void PurgeRetiredReplicas();
   services::ServiceInstance* PickReplica(TimePoint now) const;
   TimePoint OldestEnqueued() const;
@@ -240,7 +243,10 @@ class RequestScheduler {
   bool window_armed_ = false;
   /// Replicas with an outstanding scheduler batch (≤1 per replica so
   /// queueing happens here, where batches can form, not on lanes).
-  std::set<services::ServiceInstance*> busy_replicas_;
+  /// Value is the outstanding batch's id: the completion callback only
+  /// erases when the id still matches, so a stale completion cannot
+  /// evict the entry of a later replica that reused the address.
+  std::map<services::ServiceInstance*, uint64_t> busy_replicas_;
   /// Quiesced replicas (excluded from PickReplica until Release). The
   /// callback fires once the replica's outstanding batch completes;
   /// the key stays until Release so the swap window stays closed.

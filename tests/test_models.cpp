@@ -233,6 +233,59 @@ TEST_F(SchedulerModelTest, QuiescedReplicaRetiredByScaleDownIsPurged) {
   EXPECT_EQ(sched.stats().dispatched, 1u);
 }
 
+TEST_F(SchedulerModelTest, RetiredMidBatchDrainWaitsForCompletion) {
+  // Regression: a replica retired while its batch was still in flight
+  // used to have its drain callback fired by the purge (while frames
+  // were in flight) and its busy entry dropped (so the later batch
+  // completion could evict an address-reusing successor's entry). The
+  // drain must wait for the completion callback, which InvokeBatch
+  // always delivers — even for crashed replicas.
+  services::ServiceInstance* a = AddReplica();
+  services::ServiceInstance* b = AddReplica();
+  serving::SchedulerOptions options;
+  options.max_batch_size = 1;  // one batch per replica → both go busy
+  serving::RequestScheduler sched(&sim(), &registry_, "desktop",
+                                  "pose_detector", options);
+  sched.Submit(Req("a1"));
+  sched.Submit(Req("b1"));
+  ASSERT_EQ(sched.stats().batches, 2u);
+  ASSERT_TRUE(completions_.empty());  // both in flight
+
+  bool drained_a = false;
+  bool drained_b = false;
+  // Release from inside the drain re-enters Pump → purge; with two
+  // simultaneous drains this used to advance an invalidated iterator.
+  sched.Quiesce(a, [&] {
+    drained_a = true;
+    sched.Release(a);
+  });
+  sched.Quiesce(b, [&] {
+    drained_b = true;
+    sched.Release(b);
+  });
+  EXPECT_FALSE(drained_a);
+  EXPECT_FALSE(drained_b);
+
+  // Device death retires both replicas mid-batch. The next pump must
+  // NOT fire the drains: their batches have not completed yet.
+  registry_.RetireDevice("desktop", sim().Now());
+  sched.Submit(Req("stranded"));  // pumps (and purges)
+  EXPECT_FALSE(drained_a);
+  EXPECT_FALSE(drained_b);
+  EXPECT_EQ(sched.draining_count(), 2u);
+
+  // The crashed batches complete (epoch mismatch); only then do the
+  // drains fire, each Release-ing reentrantly.
+  sim().RunUntilIdle();
+  EXPECT_TRUE(drained_a);
+  EXPECT_TRUE(drained_b);
+  EXPECT_EQ(sched.draining_count(), 0u);
+  EXPECT_EQ(sched.inflight_requests(), 0);
+  EXPECT_FALSE(ok_.at("a1"));
+  EXPECT_FALSE(ok_.at("b1"));
+  EXPECT_EQ(sched.queue_depth(), 1);  // "stranded": no replicas left
+}
+
 TEST_F(SchedulerModelTest, TrafficSplitRoutesExactShareToCanary) {
   AddReplica("vStable");
   AddReplica("vCanary");

@@ -401,5 +401,69 @@ TEST(VmDeterminism, SeededRunsMatchInterpreterBitForBit) {
   }
 }
 
+TEST(VmStackLimits, DeepFramesWithWideLiteralOverflowGracefully) {
+  // Regression: pushes inside a frame used to be unchecked beyond a
+  // fixed 4096-slot call-entry headroom, so recursion with fat frames
+  // plus one wide array literal wrote past the end of the VM value
+  // stack (heap corruption). The compiler now computes each proto's
+  // worst-case stack depth and PushFrame rejects a call that cannot
+  // fit, surfacing an ordinary catchable script error instead.
+  std::string source = "function deep(n) {\n";
+  for (int i = 0; i < 1200; ++i) {
+    source += "  var l" + std::to_string(i) + " = n;\n";
+  }
+  source += "  if (n > 0) return deep(n - 1);\n  var wide = [";
+  for (int i = 0; i < 8000; ++i) source += "0,";
+  source += "0];\n  return wide.length;\n}\nvar result = deep(200);\n";
+
+  Context context(WithEngine(ScriptEngine::kVm));
+  Status loaded = context.Load(source);
+  ASSERT_EQ(context.engine(), ScriptEngine::kVm);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().ToString().find("stack overflow"),
+            std::string::npos)
+      << loaded.error().ToString();
+}
+
+TEST(VmStackLimits, WideLiteralsBeyondTheOldHeadroomStillEvaluate) {
+  // A single wide literal at shallow depth fits comfortably and must
+  // not be rejected by the per-proto bound (6001 > the old 4096-slot
+  // headroom, so this also exercises the unchecked-push path the
+  // max_stack check now covers).
+  std::string source = "var result = [";
+  for (int i = 0; i < 6000; ++i) source += "1,";
+  source += "1].length;\n";
+  EXPECT_EQ(EvalOn(ScriptEngine::kVm, source), "6001");
+}
+
+TEST(VmContextReload, CompileFallbackOnReloadDropsStaleVm) {
+  // Regression: a second Load whose compilation fails falls back to the
+  // interpreter; the first Load's VM used to survive, so HasFunction /
+  // Call / GetGlobal kept answering from the OLD program's state.
+  Context context(WithEngine(ScriptEngine::kVm));
+  ASSERT_TRUE(
+      context.Load("function probe() { return 1; } var result = 7;").ok());
+  ASSERT_EQ(context.engine(), ScriptEngine::kVm);
+  ASSERT_TRUE(context.HasFunction("probe"));
+
+  // 256 call arguments exceed the compiler's u8 argc operand → compile
+  // fails → interpreter fallback (extra args are simply unbound there).
+  std::string args = "0";
+  for (int i = 1; i < 256; ++i) args += ", 0";
+  const std::string second = "function fresh() { return 42; }\n"
+                             "function wide() { return 9; }\n"
+                             "var result = wide(" + args + ");\n";
+  ASSERT_TRUE(context.Load(second).ok());
+  EXPECT_EQ(context.engine(), ScriptEngine::kInterp);
+
+  // Only the new program's globals are visible.
+  EXPECT_FALSE(context.HasFunction("probe"));
+  EXPECT_TRUE(context.HasFunction("fresh"));
+  EXPECT_EQ(context.GetGlobal("result").ToDisplayString(), "9");
+  auto out = context.Call("fresh", {});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->ToDisplayString(), "42");
+}
+
 }  // namespace
 }  // namespace vp::script
