@@ -69,6 +69,10 @@ class CameraDriver {
 
   bool running() const { return running_; }
   bool has_outstanding() const { return outstanding_seq_ >= 0; }
+  /// Free admission slots (§2.3 single-slot invariant: for a running,
+  /// paced camera, credits() + has_outstanding() == 1 at every event
+  /// boundary — the chaos InvariantChecker asserts this).
+  int credits() const { return credits_; }
 
   uint64_t frames_emitted() const { return emitted_; }
   uint64_t frames_dropped() const { return dropped_; }

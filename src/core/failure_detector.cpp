@@ -81,8 +81,10 @@ void FailureDetector::OnHeartbeat(const std::string& device) {
   if (it->second.health == DeviceHealth::kDown) {
     ++stats_.revivals;
     it->second.health = DeviceHealth::kHealthy;
+    ++it->second.generation;
     VP_INFO("detector") << "device '" << device
-                        << "' is heartbeating again";
+                        << "' is heartbeating again (generation "
+                        << it->second.generation << ")";
     if (on_up_) on_up_(device);
   } else {
     it->second.health = DeviceHealth::kHealthy;
@@ -124,6 +126,11 @@ DeviceHealth FailureDetector::health(const std::string& device) const {
 TimePoint FailureDetector::last_heard(const std::string& device) const {
   auto it = entries_.find(device);
   return it == entries_.end() ? TimePoint() : it->second.last_heard;
+}
+
+uint64_t FailureDetector::generation(const std::string& device) const {
+  auto it = entries_.find(device);
+  return it == entries_.end() ? 1 : it->second.generation;
 }
 
 std::map<std::string, DeviceHealth> FailureDetector::snapshot() const {

@@ -85,6 +85,13 @@ class FailureDetector {
   /// Current health of every tracked device (for the monitor).
   std::map<std::string, DeviceHealth> snapshot() const;
 
+  /// Generation of the device as seen by the detector: starts at 1 and
+  /// increments each time the device comes back from kDown. Recovery
+  /// actions taken against generation g are stale once the device
+  /// reaches g+1 — the fencing epochs bumped on restore are the
+  /// per-module projection of this counter.
+  uint64_t generation(const std::string& device) const;
+
   const FailureDetectorOptions& options() const { return options_; }
   const FailureDetectorStats& stats() const { return stats_; }
 
@@ -92,6 +99,7 @@ class FailureDetector {
   struct Entry {
     TimePoint last_heard;
     DeviceHealth health = DeviceHealth::kHealthy;
+    uint64_t generation = 1;  // bumped on each revival from kDown
   };
 
   void OnHeartbeat(const std::string& device);

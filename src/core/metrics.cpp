@@ -77,7 +77,12 @@ void PipelineMetrics::OnStageEnd(uint64_t seq, const std::string& module,
 
 void PipelineMetrics::OnCompleted(uint64_t seq, TimePoint when) {
   FrameTrace& trace = traces_[seq];
-  if (trace.completed.has_value()) return;
+  if (trace.completed.has_value()) {
+    // Effectively-once accounting: a frame finishing the sink twice
+    // means the transport's dedup or the epoch fence leaked.
+    ++duplicate_completions_;
+    return;
+  }
   trace.completed = when;
   ++completed_;
   if (!first_completion_) first_completion_ = when;

@@ -116,6 +116,17 @@ class PipelineMetrics {
         std::max(last_checkpoint_staleness_, staleness_ms);
   }
 
+  // -- partition tolerance recording ------------------------------------
+  /// A message from a stale-epoch (zombie) runtime was fenced (dropped)
+  /// at a receiver, or a zombie runtime was shut down at reconnect.
+  void OnZombieFenced() { ++zombies_fenced_; }
+  /// A stale-epoch message was accepted because fencing is disabled —
+  /// the split-brain exposure the fence exists to close.
+  void OnZombieServed() { ++zombies_served_; }
+  /// The self-healer refused a checkpoint older than the module's
+  /// current placement epoch.
+  void OnCheckpointRejectedStale() { ++checkpoints_rejected_stale_; }
+
   // -- retention --------------------------------------------------------
   /// Cap live per-frame traces; excess oldest traces fold into the
   /// running summaries. Must be ≥ the frames concurrently in flight
@@ -143,6 +154,14 @@ class PipelineMetrics {
   double recovery_time_ms() const { return last_recovery_time_; }
   uint64_t frames_lost_to_failure() const { return frames_lost_to_failure_; }
   uint64_t checkpoints_restored() const { return checkpoints_restored_; }
+  /// Sink completions for a frame already completed (must stay 0 when
+  /// the dedup window and epoch fences hold).
+  uint64_t duplicate_completions() const { return duplicate_completions_; }
+  uint64_t zombies_fenced() const { return zombies_fenced_; }
+  uint64_t zombies_served() const { return zombies_served_; }
+  uint64_t checkpoints_rejected_stale() const {
+    return checkpoints_rejected_stale_;
+  }
   /// Worst checkpoint age at restore across recoveries (ms); 0 when no
   /// checkpointed state was ever restored.
   double checkpoint_staleness_ms() const { return last_checkpoint_staleness_; }
@@ -199,6 +218,10 @@ class PipelineMetrics {
   uint64_t frames_lost_to_failure_ = 0;
   uint64_t checkpoints_restored_ = 0;
   double last_checkpoint_staleness_ = 0;
+  uint64_t duplicate_completions_ = 0;
+  uint64_t zombies_fenced_ = 0;
+  uint64_t zombies_served_ = 0;
+  uint64_t checkpoints_rejected_stale_ = 0;
   std::optional<TimePoint> first_completion_;
   std::optional<TimePoint> last_completion_;
 };

@@ -136,6 +136,30 @@ void ModuleRuntime::OnMessage(net::Message message) {
     ++stats_.dropped_device_down;
     return;
   }
+  // A fenced runtime is administratively dead: recovery superseded it
+  // while its device was partitioned away. Nothing it would do now is
+  // authoritative.
+  if (fenced_) {
+    ++stats_.dropped_fenced;
+    return;
+  }
+  // Epoch fence: a message stamped with a placement epoch older than
+  // the sender module's current epoch comes from a zombie instance —
+  // one that recovery already replaced. Serving it would double-serve
+  // the frame against the replacement's output.
+  if (message.fence_epoch() != 0 && pipeline_ != nullptr) {
+    const uint64_t current = pipeline_->module_epoch(message.sender());
+    if (message.fence_epoch() < current) {
+      if (orchestrator_->options().epoch_fencing) {
+        ++stats_.dropped_stale_epoch;
+        pipeline_->metrics().OnZombieFenced();
+        return;
+      }
+      // Fencing disabled (bench comparison): count the split-brain
+      // exposure but process anyway.
+      pipeline_->metrics().OnZombieServed();
+    }
+  }
   drain_deadline_ =
       std::max(drain_deadline_, orchestrator_->cluster().Now());
   if (busy_) {

@@ -42,6 +42,11 @@ struct ModuleRuntimeStats {
   uint64_t frames_abandoned = 0;
   /// Events discarded because this runtime's device was down.
   uint64_t dropped_device_down = 0;
+  /// Events discarded because this runtime was fenced (stale epoch).
+  uint64_t dropped_fenced = 0;
+  /// Events discarded because the sender's placement epoch was stale
+  /// (a zombie runtime still emitting after recovery superseded it).
+  uint64_t dropped_stale_epoch = 0;
 };
 
 class ModuleRuntime {
@@ -69,6 +74,19 @@ class ModuleRuntime {
 
   /// Sequence number of the event currently being handled.
   uint64_t current_seq() const { return current_seq_; }
+
+  /// Placement epoch of this runtime instance. Bumped by the
+  /// orchestrator each time the module is re-placed after a failure;
+  /// outgoing frames are stamped with it so receivers can fence
+  /// messages from superseded (zombie) instances.
+  uint64_t epoch() const { return epoch_; }
+  void set_epoch(uint64_t e) { epoch_ = e; }
+
+  /// Fence the runtime: it stops accepting and emitting events. Called
+  /// by the orchestrator when a reconnecting device still hosts an
+  /// instance that recovery has superseded.
+  void Fence() { fenced_ = true; }
+  bool fenced() const { return fenced_; }
 
   /// Whether an event is currently being handled (or parked behind one).
   bool busy() const { return busy_; }
@@ -104,6 +122,8 @@ class ModuleRuntime {
   net::Address address_;
   std::unique_ptr<script::Context> context_;
 
+  uint64_t epoch_ = 1;
+  bool fenced_ = false;
   bool busy_ = false;
   std::optional<net::Message> parked_;
   TimePoint drain_deadline_;

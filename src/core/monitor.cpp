@@ -34,6 +34,16 @@ json::Value MonitorSample::ToJson() const {
   }
   out["device_health"] = std::move(devices);
   out["network_bytes"] = json::Value(static_cast<double>(network_bytes));
+  json::Value faults = json::Value::MakeObject();
+  faults["partitions"] = json::Value(static_cast<double>(partitions));
+  faults["duplicates_delivered"] =
+      json::Value(static_cast<double>(duplicates_delivered));
+  faults["reorders"] = json::Value(static_cast<double>(reorders));
+  faults["corruptions_dropped"] =
+      json::Value(static_cast<double>(corruptions_dropped));
+  faults["zombies_fenced"] =
+      json::Value(static_cast<double>(zombies_fenced));
+  out["faults"] = std::move(faults);
   if (!scheduler_queue_depth.empty()) {
     json::Value serving = json::Value::MakeObject();
     for (const auto& [group, depth] : scheduler_queue_depth) {
@@ -166,6 +176,19 @@ void PipelineMonitor::Sample() {
     last_busy_[device->name()] = busy;
   }
   sample.network_bytes = orchestrator_->cluster().network().stats().bytes;
+
+  const sim::NetworkStats& net_stats =
+      orchestrator_->cluster().network().stats();
+  sample.duplicates_delivered = net_stats.duplicates_delivered;
+  sample.reorders = net_stats.reorders;
+  sample.corruptions_dropped =
+      orchestrator_->fabric().dedup_stats().corruptions_dropped;
+  if (injector_ != nullptr) {
+    sample.partitions = injector_->stats().partitions;
+  }
+  for (const auto& pipeline : orchestrator_->pipelines()) {
+    sample.zombies_fenced += pipeline->metrics().zombies_fenced();
+  }
 
   for (const auto& [key, sched] : orchestrator_->schedulers()) {
     const std::string group = key.first + "/" + key.second;

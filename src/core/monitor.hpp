@@ -14,6 +14,7 @@
 
 #include "core/failure_detector.hpp"
 #include "core/orchestrator.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace vp::core {
 
@@ -36,6 +37,19 @@ struct MonitorSample {
   /// "suspect" / "down"). Empty when no detector is watched.
   std::map<std::string, std::string> device_health;
   uint64_t network_bytes = 0;
+
+  // -- fault visibility (cumulative counters) ---------------------------
+  /// Partitions started so far (watched injector; 0 without one).
+  uint64_t partitions = 0;
+  /// Extra message copies the network minted (duplication knob).
+  uint64_t duplicates_delivered = 0;
+  /// Messages the network delivered out of order (reorder knob).
+  uint64_t reorders = 0;
+  /// Corrupted frames the fabric's checksum gate dropped.
+  uint64_t corruptions_dropped = 0;
+  /// Stale-epoch runtimes fenced (messages dropped + runtimes retired),
+  /// summed across pipelines.
+  uint64_t zombies_fenced = 0;
 
   // -- serving layer (empty maps when disabled) -------------------------
   /// "device/service" → requests queued in the scheduler.
@@ -73,6 +87,13 @@ class PipelineMonitor {
     detector_ = detector;
   }
 
+  /// Include the fault injector's partition counter in every sample
+  /// (duplicates/reorders/corruptions come from the network and fabric
+  /// regardless). The injector must outlive the monitor's sampling.
+  void WatchInjector(const sim::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
   /// Publish each sample as a "telemetry" message on this fabric topic
   /// from this device (optional).
   void PublishTo(const std::string& from_device, const std::string& topic);
@@ -94,6 +115,7 @@ class PipelineMonitor {
   bool running_ = false;
   std::vector<std::pair<std::string, std::string>> watched_services_;
   const FailureDetector* detector_ = nullptr;
+  const sim::FaultInjector* injector_ = nullptr;
   std::string publish_device_;
   std::string publish_topic_;
   std::map<std::string, uint64_t> last_completed_;

@@ -488,6 +488,10 @@ Result<PipelineDeployment*> Orchestrator::Deploy(PipelineSpec spec,
       net::Message message("frame");
       message.set_sender(raw_deployment->spec_.source.module);
       message.set_seq(seq);
+      // Stamp the source module's placement epoch so receivers can
+      // fence frames from a superseded (zombie) source instance.
+      message.set_fence_epoch(
+          raw_deployment->module_epoch(raw_deployment->spec_.source.module));
       json::Value payload = json::Value::MakeObject();
       payload["seq"] = json::Value(static_cast<double>(seq));
       message.set_payload(std::move(payload));
@@ -831,6 +835,9 @@ Status Orchestrator::SendToModule(ModuleRuntime& caller,
   net::Message message("event");
   message.set_sender(caller.name());
   message.set_seq(caller.current_seq());
+  // Stamp the caller's placement epoch: if this runtime was superseded
+  // by failure recovery while partitioned away, receivers fence it.
+  message.set_fence_epoch(caller.epoch());
 
   if (auto frame_id = FrameIdOf(payload)) {
     if (target_device != caller.device()) {
@@ -887,13 +894,18 @@ Status Orchestrator::MigrateModule(PipelineDeployment& pipeline,
   }
   VP_RETURN_IF_ERROR(runtime->Initialize(extras));
   VP_RETURN_IF_ERROR(runtime->context().RestoreState(snapshot));
+  // Migration is a synchronous same-lineage handoff: the new instance
+  // keeps the epoch (no fence — in-flight frames stay valid).
+  runtime->set_epoch(old_runtime->epoch());
 
   ModuleRuntime* raw = runtime.get();
   // Ship the state over the network; the new instance goes live (binds
-  // its endpoint) when the snapshot arrives.
+  // its endpoint) when the snapshot arrives. Reliable: a transient
+  // partition or corrupted transfer must delay the cutover, not leave
+  // the module permanently unbound.
   net::Message state_transfer("migrate", snapshot);
   const size_t transfer_bytes = state_transfer.ByteSize();
-  cluster_->network().Send(
+  cluster_->network().SendReliable(
       old_device, target_device, transfer_bytes,
       [this, raw, new_address] {
         Status bound = fabric_->Bind(
@@ -1050,11 +1062,28 @@ Status Orchestrator::RestoreModule(PipelineDeployment& pipeline,
                   "no script module '" + module + "' in pipeline '" +
                       pipeline.spec_.name + "'");
   }
-  fabric_->Unbind(old_runtime->address());  // no-op if the crash got it
+  const std::string& from = ship_from.empty() ? target_device : ship_from;
+  // Unbind the dead instance's endpoint — unless its device is alive
+  // but unreachable (a partition, not a crash): the control plane
+  // cannot mutate state across a partition, so the old instance stays
+  // bound as a zombie until the heal fences it.
+  sim::Device* old_dev = cluster_->FindDevice(old_runtime->device());
+  const bool old_alive = old_dev != nullptr && old_dev->up();
+  if (!old_alive ||
+      cluster_->network().Reachable(from, old_runtime->device())) {
+    fabric_->Unbind(old_runtime->address());  // no-op if the crash got it
+  }
+
+  // Fencing: the replacement starts a new placement epoch. Anything
+  // the superseded instance still emits carries the old epoch and is
+  // dropped at receivers.
+  const uint64_t new_epoch = pipeline.module_epoch(module) + 1;
+  pipeline.module_epochs_[module] = new_epoch;
 
   const net::Address new_address{target_device, AllocatePort()};
   auto runtime = std::make_unique<ModuleRuntime>(
       this, &pipeline, spec, target_device, new_address);
+  runtime->set_epoch(new_epoch);
   std::vector<std::pair<std::string, script::HostFunction>> extras;
   if (auto it = pipeline.extra_host_functions_.find(module);
       it != pipeline.extra_host_functions_.end()) {
@@ -1062,6 +1091,16 @@ Status Orchestrator::RestoreModule(PipelineDeployment& pipeline,
   }
   VP_RETURN_IF_ERROR(runtime->Initialize(extras));
   json::Value state = json::Value::MakeObject();
+  if (checkpoint != nullptr && checkpoint->epoch + 1 < new_epoch) {
+    // The snapshot predates the previous recovery of this module:
+    // restoring it would roll back state the newer instance already
+    // superseded. Start from scratch instead.
+    pipeline.metrics_.OnCheckpointRejectedStale();
+    VP_WARN("orchestrator")
+        << "rejecting stale checkpoint for '" << module << "' (epoch "
+        << checkpoint->epoch << " < current " << (new_epoch - 1) << ")";
+    checkpoint = nullptr;
+  }
   if (checkpoint != nullptr) {
     VP_RETURN_IF_ERROR(runtime->context().RestoreState(checkpoint->state));
     pipeline.metrics_.OnCheckpointRestored(
@@ -1072,11 +1111,12 @@ Status Orchestrator::RestoreModule(PipelineDeployment& pipeline,
   ModuleRuntime* raw = runtime.get();
   // Ship the checkpointed state from the controller to the target; the
   // fresh instance goes live (binds its endpoint) on arrival. With no
-  // checkpoint the transfer is just the (tiny) init message.
+  // checkpoint the transfer is just the (tiny) init message. Reliable:
+  // dup/reorder/corruption or a transient partition must delay the
+  // bind, not lose it.
   net::Message transfer("restore", state);
   const size_t transfer_bytes = transfer.ByteSize();
-  const std::string& from = ship_from.empty() ? target_device : ship_from;
-  cluster_->network().Send(
+  cluster_->network().SendReliable(
       from, target_device, transfer_bytes, [this, raw, new_address] {
         Status bound = fabric_->Bind(
             new_address, [raw](net::Message message, net::Responder) {
@@ -1191,6 +1231,64 @@ Status Orchestrator::RecoverFromDeviceFailure(
   return worst;
 }
 
+size_t Orchestrator::FenceStaleRuntimes(const std::string& device) {
+  size_t fenced = 0;
+  for (const auto& pipeline : pipelines_) {
+    for (auto& retired : pipeline->retired_modules_) {
+      ModuleRuntime* rt = retired.runtime.get();
+      if (rt->device() != device || rt->fenced()) continue;
+      if (rt->epoch() >= pipeline->module_epoch(rt->name())) continue;
+      // A superseded instance the partition kept alive: shut it down
+      // before it can double-serve anything post-heal.
+      rt->Fence();
+      fabric_->Unbind(rt->address());
+      pipeline->metrics_.OnZombieFenced();
+      ++fenced;
+      VP_WARN("orchestrator")
+          << "fenced zombie module '" << rt->name() << "' on " << device
+          << " (epoch " << rt->epoch() << " < "
+          << pipeline->module_epoch(rt->name()) << ")";
+    }
+  }
+  // Zombie service replicas: the device still runs groups whose work
+  // was healed onto survivors (no plan maps them here anymore).
+  std::vector<std::pair<std::string, std::string>> stale_groups;
+  for (services::ServiceInstance* instance : registry_->AllReplicas()) {
+    if (instance->device() != device) continue;
+    bool planned = false;
+    for (const auto& pipeline : pipelines_) {
+      auto it = pipeline->plan_.service_device.find(instance->service_name());
+      if (it != pipeline->plan_.service_device.end() &&
+          it->second == device) {
+        planned = true;
+        break;
+      }
+    }
+    if (!planned) {
+      stale_groups.emplace_back(device, instance->service_name());
+    }
+  }
+  std::sort(stale_groups.begin(), stale_groups.end());
+  stale_groups.erase(std::unique(stale_groups.begin(), stale_groups.end()),
+                     stale_groups.end());
+  for (const auto& [dev_name, service] : stale_groups) {
+    const size_t retired =
+        registry_->RetireGroup(dev_name, service, cluster_->Now());
+    fenced += retired;
+    if (retired > 0) {
+      if (auto git = gateways_.find({dev_name, service});
+          git != gateways_.end()) {
+        fabric_->Unbind(git->second);
+        gateways_.erase(git);
+      }
+      VP_WARN("orchestrator") << "fenced " << retired
+                              << " zombie replica(s) of '" << service
+                              << "' on " << dev_name;
+    }
+  }
+  return fenced;
+}
+
 Status Orchestrator::ResumeAfterDeviceReturn(
     const std::string& device, const CheckpointLookup& checkpoints,
     const std::string& checkpoint_host) {
@@ -1202,6 +1300,10 @@ Status Orchestrator::ResumeAfterDeviceReturn(
     return Status(StatusCode::kFailedPrecondition,
                   "device '" + device + "' is still down");
   }
+  // Before resuming anything: fence what recovery superseded while the
+  // device was away. Runs for every pipeline, not just source-paused
+  // ones — any module healed off this device left a potential zombie.
+  if (options_.epoch_fencing) FenceStaleRuntimes(device);
   Status worst = Status::Ok();
   for (const auto& pipeline : pipelines_) {
     if (!pipeline->paused_by_failure_ ||

@@ -102,6 +102,12 @@ struct OrchestratorOptions {
   Duration retired_drain_window = Duration::Seconds(30);
   ServingOptions serving;
   ModelLifecycleOptions models;
+  /// Split-brain fencing: each module placement carries an epoch,
+  /// bumped on failure recovery. Receivers drop frames stamped with a
+  /// stale epoch and reconnecting zombie runtimes are shut down instead
+  /// of double-serving. Off only for the bench that measures the
+  /// exposure fencing closes.
+  bool epoch_fencing = true;
   uint64_t seed = 42;
 };
 
@@ -130,6 +136,28 @@ class PipelineDeployment {
   /// Retired runtimes (migration/recovery leftovers) not yet reclaimed.
   size_t retired_module_count() const { return retired_modules_.size(); }
 
+  /// Current placement epoch of `module` (1 until its first failure
+  /// recovery). Messages stamped with an older epoch come from a
+  /// zombie instance and are fenced at the receiver.
+  uint64_t module_epoch(const std::string& module) const {
+    auto it = module_epochs_.find(module);
+    return it == module_epochs_.end() ? 1 : it->second;
+  }
+
+  /// Live module runtimes (read-only; for monitors and the invariant
+  /// checker).
+  const std::vector<std::unique_ptr<ModuleRuntime>>& modules() const {
+    return modules_;
+  }
+  /// Retired-but-undrained runtimes (read-only; the invariant checker
+  /// verifies none of them is still live at the current epoch).
+  std::vector<const ModuleRuntime*> retired_runtimes() const {
+    std::vector<const ModuleRuntime*> out;
+    out.reserve(retired_modules_.size());
+    for (const auto& r : retired_modules_) out.push_back(r.runtime.get());
+    return out;
+  }
+
  private:
   friend class Orchestrator;
   friend class ModuleRuntime;
@@ -151,6 +179,10 @@ class PipelineDeployment {
   net::Address camera_address_;
   std::string source_device_;
   bool paused_by_failure_ = false;
+  /// module name → placement epoch (absent = 1). Bumped by
+  /// RestoreModule on every failure re-placement; NOT by live
+  /// migration (same lineage, synchronous handoff).
+  std::map<std::string, uint64_t> module_epochs_;
   std::vector<std::unique_ptr<ModuleRuntime>> modules_;
   std::vector<RetiredModule> retired_modules_;
   /// Per-module extra host functions from DeployArgs (needed again
@@ -244,6 +276,10 @@ class Orchestrator {
   struct ModuleCheckpoint {
     json::Value state;
     TimePoint taken_at;
+    /// Placement epoch of the runtime the snapshot was taken from. A
+    /// checkpoint older than the module's current epoch is stale —
+    /// restoring it would roll state back across a recovery.
+    uint64_t epoch = 1;
   };
   /// (pipeline name, module name) → latest checkpoint or nullptr.
   using CheckpointLookup = std::function<const ModuleCheckpoint*(
@@ -267,10 +303,19 @@ class Orchestrator {
   /// A dead device came back (heartbeats resumed after a reboot). The
   /// machine is cold and empty: relaunch its planned replicas, rebuild
   /// its modules (from checkpoints where available) and un-pause any
-  /// pipeline that was waiting on its source device.
+  /// pipeline that was waiting on its source device. Zombies are
+  /// fenced first (see FenceStaleRuntimes) — a device that was merely
+  /// partitioned, not crashed, comes back warm and stale.
   Status ResumeAfterDeviceReturn(const std::string& device,
                                  const CheckpointLookup& checkpoints,
                                  const std::string& checkpoint_host);
+
+  /// Split-brain cleanup on device reconnect: shut down (fence +
+  /// unbind) every retired runtime on `device` whose placement epoch
+  /// was superseded while it was unreachable, and retire service
+  /// replica groups on `device` that no pipeline plan maps there
+  /// anymore. Returns the number of zombies fenced.
+  size_t FenceStaleRuntimes(const std::string& device);
 
   /// Run `cost` on `lane`, blocking (in virtual time) until done.
   Status BlockOnLane(sim::ExecutionLane& lane, Duration cost);

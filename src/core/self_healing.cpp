@@ -70,6 +70,7 @@ void SelfHealer::CheckpointTick() {
       ++stats_.checkpoints_shipped;
       const std::string pipeline_name = pipeline->spec().name;
       const std::string module_name = m.name;
+      const uint64_t epoch = runtime->epoch();
       // Capture the state by value: the checkpoint must not reference
       // the runtime (which may be retired and reclaimed mid-flight).
       // If the shipping device dies before delivery, the network's
@@ -77,15 +78,50 @@ void SelfHealer::CheckpointTick() {
       // checkpoint, exactly like a real half-written upload.
       orchestrator_->cluster().network().Send(
           runtime->device(), controller_, bytes,
-          [this, pipeline_name, module_name, state, now] {
-            checkpoints_[{pipeline_name, module_name}] =
-                Orchestrator::ModuleCheckpoint{state, now};
-            ++stats_.checkpoints_stored;
+          [this, pipeline_name, module_name, state, now, epoch] {
+            StoreCheckpoint(pipeline_name, module_name,
+                            Orchestrator::ModuleCheckpoint{state, now, epoch});
           });
     }
   }
   orchestrator_->cluster().simulator().After(options_.checkpoint_interval,
                                              [this] { CheckpointTick(); });
+}
+
+void SelfHealer::StoreCheckpoint(const std::string& pipeline_name,
+                                 const std::string& module_name,
+                                 Orchestrator::ModuleCheckpoint incoming) {
+  // Fencing at the store: a checkpoint from a superseded placement
+  // epoch (a zombie still snapshotting across a heal, or a transfer
+  // delayed past a recovery) must never overwrite newer state.
+  for (const auto& pipeline : orchestrator_->pipelines()) {
+    if (pipeline->spec().name != pipeline_name) continue;
+    if (incoming.epoch < pipeline->module_epoch(module_name)) {
+      ++stats_.checkpoints_rejected_stale;
+      pipeline->metrics().OnCheckpointRejectedStale();
+      VP_WARN("self-healing")
+          << "rejecting stale checkpoint for " << pipeline_name << "/"
+          << module_name << " (epoch " << incoming.epoch << " < "
+          << pipeline->module_epoch(module_name) << ")";
+      return;
+    }
+    break;
+  }
+  auto it = checkpoints_.find({pipeline_name, module_name});
+  if (it != checkpoints_.end()) {
+    const Orchestrator::ModuleCheckpoint& stored = it->second;
+    // Same-lineage ordering: never replace a stored snapshot with one
+    // from an older epoch, nor an older capture of the same epoch
+    // (reordered arrivals).
+    if (incoming.epoch < stored.epoch ||
+        (incoming.epoch == stored.epoch &&
+         incoming.taken_at < stored.taken_at)) {
+      ++stats_.checkpoints_rejected_stale;
+      return;
+    }
+  }
+  checkpoints_[{pipeline_name, module_name}] = std::move(incoming);
+  ++stats_.checkpoints_stored;
 }
 
 Orchestrator::CheckpointLookup SelfHealer::MakeLookup() const {

@@ -42,6 +42,10 @@ struct SelfHealingStats {
   uint64_t recoveries = 0;
   uint64_t failed_recoveries = 0;
   uint64_t resumes = 0;
+  /// Arriving checkpoints refused because their placement epoch was
+  /// older than the module's current epoch (or older than the stored
+  /// snapshot) — split-brain and reordering protection for the store.
+  uint64_t checkpoints_rejected_stale = 0;
 };
 
 class SelfHealer {
@@ -65,6 +69,10 @@ class SelfHealer {
 
  private:
   void CheckpointTick();
+  /// Arrival path of a shipped snapshot: epoch-checked before storing.
+  void StoreCheckpoint(const std::string& pipeline_name,
+                       const std::string& module_name,
+                       Orchestrator::ModuleCheckpoint incoming);
   void OnDeviceDown(const std::string& device, TimePoint last_heard);
   void OnDeviceUp(const std::string& device);
   Orchestrator::CheckpointLookup MakeLookup() const;

@@ -4,6 +4,69 @@
 
 namespace vp::net {
 
+bool DedupWindow::Admit(uint32_t seq, bool corrupted) {
+  if (corrupted) {
+    ++stats_.corruptions_dropped;
+    return false;
+  }
+  if (seq == 0) return true;  // unstamped (loopback)
+  if (!any_) {
+    any_ = true;
+    highest_ = seq;
+    mask_ = 1;
+    return true;
+  }
+  // Serial-number arithmetic: the signed difference is correct across
+  // uint32 wraparound as long as the true gap is < 2^31.
+  const int32_t d = static_cast<int32_t>(seq - highest_);
+  if (d > 0) {
+    // New highest: slide the window forward.
+    mask_ = (d >= kWindow) ? 0 : (mask_ << d);
+    mask_ |= 1;
+    highest_ = seq;
+    return true;
+  }
+  if (d <= -kWindow) {
+    // Too old to tell a duplicate from a very late reorder — drop.
+    ++stats_.stale_dropped;
+    return false;
+  }
+  const uint64_t bit = 1ULL << (-d);
+  if (mask_ & bit) {
+    ++stats_.duplicates_dropped;
+    return false;
+  }
+  mask_ |= bit;
+  ++stats_.reorders_accepted;
+  return true;
+}
+
+void Fabric::StampLinkSeq(const std::string& from, const std::string& to,
+                          Message& m) {
+  if (from == to) return;  // loopback is not stamped
+  uint32_t& next = link_tx_seq_[{from, to}];
+  if (next == 0) next = 1;  // 0 is reserved for "unstamped"
+  m.set_link_seq(next++);
+}
+
+bool Fabric::AdmitDelivery(const std::string& from, const std::string& to,
+                           const Message& m,
+                           const sim::Network::Delivery& note) {
+  return dedup_[{from, to}].Admit(m.link_seq(), note.corrupted);
+}
+
+DedupWindow::Stats Fabric::dedup_stats() const {
+  DedupWindow::Stats total;
+  for (const auto& [link, window] : dedup_) {
+    const auto& s = window.stats();
+    total.duplicates_dropped += s.duplicates_dropped;
+    total.corruptions_dropped += s.corruptions_dropped;
+    total.stale_dropped += s.stale_dropped;
+    total.reorders_accepted += s.reorders_accepted;
+  }
+  return total;
+}
+
 Status Fabric::CheckDevice(const std::string& device) const {
   if (cluster_->FindDevice(device) == nullptr) {
     return Status(StatusCode::kNotFound, "unknown device '" + device + "'");
@@ -49,10 +112,13 @@ Status Fabric::Push(const std::string& from_device, const Address& to,
                     Message m) {
   VP_RETURN_IF_ERROR(CheckDevice(from_device));
   VP_RETURN_IF_ERROR(CheckDevice(to.device));
+  StampLinkSeq(from_device, to.device, m);
   const size_t size = m.ByteSize();
-  cluster_->network().Send(
+  cluster_->network().SendTagged(
       from_device, to.device, size,
-      [this, to, m = std::move(m)]() mutable {
+      [this, from_device, to,
+       m = std::move(m)](const sim::Network::Delivery& note) mutable {
+        if (!AdmitDelivery(from_device, to.device, m, note)) return;
         auto it = bindings_.find(to);
         if (it == bindings_.end()) {
           ++dropped_;
@@ -69,11 +135,17 @@ Status Fabric::Request(const std::string& from_device, const Address& to,
                        Message m, ResponseHandler on_reply) {
   VP_RETURN_IF_ERROR(CheckDevice(from_device));
   VP_RETURN_IF_ERROR(CheckDevice(to.device));
+  StampLinkSeq(from_device, to.device, m);
   const size_t size = m.ByteSize();
-  cluster_->network().Send(
+  cluster_->network().SendTagged(
       from_device, to.device, size,
       [this, from_device, to, m = std::move(m),
-       on_reply = std::move(on_reply)]() mutable {
+       on_reply = std::move(on_reply)](
+          const sim::Network::Delivery& note) mutable {
+        // A corrupted or duplicate request never reaches the server;
+        // the caller's timeout machinery handles the missing reply,
+        // exactly as for an in-flight liveness drop.
+        if (!AdmitDelivery(from_device, to.device, m, note)) return;
         auto it = bindings_.find(to);
         if (it == bindings_.end()) {
           ++dropped_;
@@ -84,9 +156,15 @@ Status Fabric::Request(const std::string& from_device, const Address& to,
         // the reply's own byte size.
         Responder respond = [this, from_device, to,
                              on_reply](Message reply) mutable {
-          cluster_->network().Send(
+          StampLinkSeq(to.device, from_device, reply);
+          cluster_->network().SendTagged(
               to.device, from_device, reply.ByteSize(),
-              [on_reply, reply = std::move(reply)]() mutable {
+              [this, from_device, to, on_reply, reply = std::move(reply)](
+                  const sim::Network::Delivery& reply_note) mutable {
+                if (!AdmitDelivery(to.device, from_device, reply,
+                                   reply_note)) {
+                  return;
+                }
                 on_reply(std::move(reply));
               });
         };
@@ -122,12 +200,16 @@ Status Fabric::Publish(const std::string& from_device,
   const size_t size = m.ByteSize();
   for (const Subscriber& subscriber : it->second) {
     const uint64_t token = subscriber.token;
+    const std::string sub_device = subscriber.device;
     // Cheap: payload and parts are copy-on-write, so the per-subscriber
     // copy shares them until a subscriber mutates its Message.
     Message copy = m;
-    cluster_->network().Send(
-        from_device, subscriber.device, size,
-        [this, topic, token, copy = std::move(copy)]() mutable {
+    StampLinkSeq(from_device, sub_device, copy);
+    cluster_->network().SendTagged(
+        from_device, sub_device, size,
+        [this, from_device, sub_device, topic, token, copy = std::move(copy)](
+            const sim::Network::Delivery& note) mutable {
+          if (!AdmitDelivery(from_device, sub_device, copy, note)) return;
           // Re-resolve: the subscriber may have gone away in flight.
           auto topic_it = topics_.find(topic);
           if (topic_it == topics_.end()) {

@@ -36,6 +36,40 @@ using MessageHandler = std::function<void(Message message, Responder respond)>;
 /// Callback invoked with the reply (or an error) of a Request().
 using ResponseHandler = std::function<void(Result<Message> reply)>;
 
+/// Receiver-side effectively-once filter over an at-least-once link.
+///
+/// Each directed device pair carries its own uint32 transport sequence
+/// (stamped by the fabric at send time). The window tracks the highest
+/// sequence seen plus a 64-wide bitmap of recently-seen ones, using
+/// serial-number arithmetic so the counter wraps cleanly at 2^32.
+/// Duplicates inside the window are dropped; sequences older than the
+/// window are dropped too (a reorder that late is indistinguishable
+/// from a duplicate — false-drop beats double-deliver for frames, and
+/// lost frames are already survivable). Corrupted frames never pass.
+class DedupWindow {
+ public:
+  static constexpr int kWindow = 64;
+
+  struct Stats {
+    uint64_t duplicates_dropped = 0;
+    uint64_t corruptions_dropped = 0;
+    uint64_t stale_dropped = 0;    // reordered beyond the window
+    uint64_t reorders_accepted = 0;  // late but inside the window
+  };
+
+  /// Decide whether a frame with transport sequence `seq` should be
+  /// delivered. seq == 0 means unstamped (loopback) — always admitted.
+  bool Admit(uint32_t seq, bool corrupted);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  bool any_ = false;
+  uint32_t highest_ = 0;
+  uint64_t mask_ = 0;  // bit i = (highest_ - i) seen
+  Stats stats_;
+};
+
 class Fabric {
  public:
   explicit Fabric(sim::Cluster* cluster) : cluster_(cluster) {}
@@ -87,8 +121,30 @@ class Fabric {
     return cluster_->network().stats();
   }
 
+  /// Aggregate dedup/integrity counters across all directed links.
+  DedupWindow::Stats dedup_stats() const;
+
+  /// Test hook: force the next transport sequence for the directed
+  /// link from → to (e.g. near UINT32_MAX to exercise wraparound).
+  void DebugSetLinkTxSeq(const std::string& from, const std::string& to,
+                         uint32_t next_seq) {
+    link_tx_seq_[{from, to}] = next_seq;
+  }
+
  private:
   Status CheckDevice(const std::string& device) const;
+
+  /// Stamp the per-link transport sequence on an outgoing message.
+  /// Loopback traffic is not stamped (nothing on-device can duplicate
+  /// or corrupt it).
+  void StampLinkSeq(const std::string& from, const std::string& to,
+                    Message& m);
+
+  /// Receiver-side gate: run the directed link's dedup window. Returns
+  /// false when the message must be dropped (duplicate / corrupt /
+  /// beyond-window stale).
+  bool AdmitDelivery(const std::string& from, const std::string& to,
+                     const Message& m, const sim::Network::Delivery& note);
 
   struct Subscriber {
     uint64_t token;
@@ -101,6 +157,10 @@ class Fabric {
   std::map<std::string, std::vector<Subscriber>> topics_;
   uint64_t next_token_ = 1;
   uint64_t dropped_ = 0;
+  /// Next transport sequence per directed device pair (sender side).
+  std::map<std::pair<std::string, std::string>, uint32_t> link_tx_seq_;
+  /// Dedup window per directed device pair (receiver side).
+  std::map<std::pair<std::string, std::string>, DedupWindow> dedup_;
 };
 
 }  // namespace vp::net

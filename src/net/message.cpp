@@ -6,7 +6,7 @@
 namespace vp::net {
 
 namespace {
-constexpr uint32_t kMagic = 0x56504D31;  // "VPM1"
+constexpr uint32_t kMagic = 0x56504D32;  // "VPM2"
 }
 
 const json::Value& Message::NullJson() {
@@ -59,9 +59,12 @@ size_t Message::ByteSize() const {
   size += 4 + type_.size();              // type
   size += 4 + sender_.size();            // sender
   size += 8;                             // seq
+  size += 4;                             // link_seq
+  size += 8;                             // fence_epoch
   size += 4 + payload_bytes;             // payload JSON
   size += 4;                             // part count
   for (const auto& p : parts()) size += 4 + p.size();
+  size += 4;                             // checksum
   return size;
 }
 
@@ -71,6 +74,8 @@ Bytes Message::Encode() const {
   w.WriteString(type_);
   w.WriteString(sender_);
   w.WriteU64(seq_);
+  w.WriteU32(link_seq_);
+  w.WriteU64(fence_epoch_);
   std::string payload_text = json::Write(payload());
   // ByteSize can reuse this — unless a mutable payload reference is
   // still outstanding, in which case memoizing here would go stale on
@@ -80,11 +85,23 @@ Bytes Message::Encode() const {
   const auto& ps = parts();
   w.WriteU32(static_cast<uint32_t>(ps.size()));
   for (const auto& p : ps) w.WriteBytes(p);
+  w.WriteU32(static_cast<uint32_t>(Fnv1a(w.data())));
   return w.Take();
 }
 
 Result<Message> Message::Decode(std::span<const uint8_t> data) {
-  ByteReader r(data);
+  // Verify the trailing checksum before trusting any field: a flipped
+  // bit inside a length prefix would otherwise misparse plausibly.
+  if (data.size() < 8) return ParseError("message too short");
+  const size_t body = data.size() - 4;
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<uint32_t>(data[body + i]) << (8 * i);
+  }
+  const uint32_t computed = static_cast<uint32_t>(Fnv1a(data.first(body)));
+  if (stored != computed) return ParseError("message checksum mismatch");
+
+  ByteReader r(data.first(body));
   auto magic = r.ReadU32();
   if (!magic.ok()) return magic.error();
   if (*magic != kMagic) return ParseError("bad message magic");
@@ -101,6 +118,14 @@ Result<Message> Message::Decode(std::span<const uint8_t> data) {
   auto seq = r.ReadU64();
   if (!seq.ok()) return seq.error();
   m.seq_ = *seq;
+
+  auto link_seq = r.ReadU32();
+  if (!link_seq.ok()) return link_seq.error();
+  m.link_seq_ = *link_seq;
+
+  auto fence_epoch = r.ReadU64();
+  if (!fence_epoch.ok()) return fence_epoch.error();
+  m.fence_epoch_ = *fence_epoch;
 
   auto payload_text = r.ReadString();
   if (!payload_text.ok()) return payload_text.error();

@@ -44,6 +44,19 @@ class Message {
   uint64_t seq() const { return seq_; }
   void set_seq(uint64_t s) { seq_ = s; }
 
+  /// Per-directed-link transport sequence number, stamped by the
+  /// fabric at send time. Feeds the receiver-side dedup window so
+  /// at-least-once delivery (duplication, reordering) stays
+  /// effectively-once at endpoints. 0 = unstamped (loopback).
+  uint32_t link_seq() const { return link_seq_; }
+  void set_link_seq(uint32_t s) { link_seq_ = s; }
+
+  /// Placement epoch of the sending runtime, for split-brain fencing.
+  /// A receiver drops messages whose epoch is older than the sender
+  /// module's current placement epoch. 0 = unfenced (control traffic).
+  uint64_t fence_epoch() const { return fence_epoch_; }
+  void set_fence_epoch(uint64_t e) { fence_epoch_ = e; }
+
   const json::Value& payload() const {
     return payload_ ? *payload_ : NullJson();
   }
@@ -65,7 +78,9 @@ class Message {
   /// it — the payload is immutable while shared).
   size_t ByteSize() const;
 
-  /// Binary wire format (little-endian, length-prefixed).
+  /// Binary wire format (little-endian, length-prefixed). The encoding
+  /// ends with an FNV-1a checksum over all preceding bytes; Decode
+  /// verifies it and rejects corrupted frames.
   Bytes Encode() const;
   static Result<Message> Decode(std::span<const uint8_t> data);
 
@@ -78,6 +93,8 @@ class Message {
   std::string type_;
   std::string sender_;
   uint64_t seq_ = 0;
+  uint32_t link_seq_ = 0;
+  uint64_t fence_epoch_ = 0;
   std::shared_ptr<json::Value> payload_;
   std::shared_ptr<std::vector<Bytes>> parts_;
   /// json::Write(payload).size(), or kNoSize before first use.

@@ -130,6 +130,21 @@ size_t ServiceRegistry::RetireDevice(const std::string& device,
   return retired;
 }
 
+size_t ServiceRegistry::RetireGroup(const std::string& device,
+                                    const std::string& service,
+                                    TimePoint now) {
+  auto it = groups_.find(Key{device, service});
+  if (it == groups_.end()) return 0;
+  size_t retired = 0;
+  for (auto& instance : it->second) {
+    instance->Crash(now);  // no-op if already crashed
+    graveyard_.push_back(std::move(instance));
+    ++retired;
+  }
+  groups_.erase(it);
+  return retired;
+}
+
 uint64_t ServiceRegistry::RequestCount(const std::string& device,
                                        const std::string& service) {
   uint64_t total = 0;

@@ -70,6 +70,13 @@ class ServiceRegistry {
   /// number of replicas retired.
   size_t RetireDevice(const std::string& device, TimePoint now);
 
+  /// Retire every replica of one (device, service) group — used to
+  /// fence zombie replicas on a reconnecting device whose work was
+  /// healed onto survivors during a partition. Same graveyard
+  /// semantics as RetireDevice. Returns the number retired.
+  size_t RetireGroup(const std::string& device, const std::string& service,
+                     TimePoint now);
+
   /// Scale-down: gracefully retire one idle containerized replica of
   /// the group, keeping at least `keep` replicas. The replica must be
   /// available with an empty lane (no in-flight work is interrupted);

@@ -1,0 +1,198 @@
+#include "sim/chaos.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace vp::sim {
+
+const char* ChaosEpisodeKindName(ChaosEpisode::Kind kind) {
+  switch (kind) {
+    case ChaosEpisode::Kind::kPartition: return "partition";
+    case ChaosEpisode::Kind::kDeviceCrash: return "device_crash";
+    case ChaosEpisode::Kind::kReplicaCrash: return "replica_crash";
+    case ChaosEpisode::Kind::kWedge: return "wedge";
+    case ChaosEpisode::Kind::kLinkDegrade: return "link_degrade";
+  }
+  return "unknown";
+}
+
+ChaosSchedule::ChaosSchedule(Simulator* sim, FaultInjector* injector,
+                             uint64_t seed, ChaosOptions options)
+    : sim_(sim), injector_(injector), rng_(seed),
+      options_(std::move(options)) {}
+
+Duration ChaosSchedule::DrawBetween(Duration lo, Duration hi) {
+  if (hi <= lo) return lo;
+  return lo + (hi - lo) * rng_.NextDouble();
+}
+
+Status ChaosSchedule::Arm() {
+  if (armed_) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "chaos schedule already armed");
+  }
+  armed_ = true;
+
+  const std::vector<std::string> devices = injector_->device_labels();
+  const std::vector<std::string> replicas = injector_->replica_labels();
+  std::vector<std::string> crashable;  // devices we may power-cycle
+  for (const std::string& name : devices) {
+    const bool is_protected =
+        std::find(options_.protected_devices.begin(),
+                  options_.protected_devices.end(),
+                  name) != options_.protected_devices.end();
+    if (!is_protected) crashable.push_back(name);
+  }
+
+  // Episode kinds with at least one eligible target, with their weights.
+  // A partition needs two sides; a link degrade needs two endpoints.
+  struct KindEntry {
+    ChaosEpisode::Kind kind;
+    double weight;
+  };
+  std::vector<KindEntry> kinds;
+  if (devices.size() >= 2 && !crashable.empty() &&
+      options_.partition_weight > 0) {
+    kinds.push_back({ChaosEpisode::Kind::kPartition,
+                     options_.partition_weight});
+  }
+  if (!crashable.empty() && options_.device_crash_weight > 0) {
+    kinds.push_back({ChaosEpisode::Kind::kDeviceCrash,
+                     options_.device_crash_weight});
+  }
+  if (!replicas.empty() && options_.replica_crash_weight > 0) {
+    kinds.push_back({ChaosEpisode::Kind::kReplicaCrash,
+                     options_.replica_crash_weight});
+  }
+  if (!replicas.empty() && options_.wedge_weight > 0) {
+    kinds.push_back({ChaosEpisode::Kind::kWedge, options_.wedge_weight});
+  }
+  if (devices.size() >= 2 && options_.link_degrade_weight > 0) {
+    kinds.push_back({ChaosEpisode::Kind::kLinkDegrade,
+                     options_.link_degrade_weight});
+  }
+  if (kinds.empty()) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "no eligible chaos targets registered");
+  }
+  double total_weight = 0;
+  for (const KindEntry& entry : kinds) total_weight += entry.weight;
+
+  const TimePoint start = sim_->Now();
+  const TimePoint last_heal = start + options_.horizon - options_.quiet_tail;
+  TimePoint cursor = start + DrawBetween(options_.min_gap, options_.max_gap);
+
+  // Sequential, non-overlapping episodes: each one ends (heals) before
+  // the next begins, and everything heals by `last_heal`.
+  while (true) {
+    const Duration duration =
+        DrawBetween(options_.min_duration, options_.max_duration);
+    if (cursor + duration > last_heal) break;
+
+    double roll = rng_.NextDouble() * total_weight;
+    ChaosEpisode::Kind kind = kinds.back().kind;
+    for (const KindEntry& entry : kinds) {
+      if (roll < entry.weight) {
+        kind = entry.kind;
+        break;
+      }
+      roll -= entry.weight;
+    }
+
+    ChaosEpisode episode{kind, cursor, duration, ""};
+    std::vector<std::string> side_a;
+    std::vector<std::string> side_b;
+    switch (kind) {
+      case ChaosEpisode::Kind::kPartition: {
+        // Random bipartition. Protected devices (the controller) stay
+        // together on side A; every other device flips a fair coin.
+        side_a = options_.protected_devices;
+        for (const std::string& name : crashable) {
+          (rng_.NextBool(0.5) ? side_a : side_b).push_back(name);
+        }
+        if (side_b.empty()) {  // degenerate draw: force a real split
+          side_b.push_back(side_a.back());
+          side_a.pop_back();
+        }
+        if (side_a.empty()) {
+          side_a.push_back(side_b.back());
+          side_b.pop_back();
+        }
+        episode.detail = Join(side_a, "|") + " vs " + Join(side_b, "|");
+        break;
+      }
+      case ChaosEpisode::Kind::kDeviceCrash:
+        episode.detail = crashable[static_cast<size_t>(
+            rng_.NextInt(0, static_cast<int64_t>(crashable.size()) - 1))];
+        break;
+      case ChaosEpisode::Kind::kReplicaCrash:
+      case ChaosEpisode::Kind::kWedge:
+        episode.detail = replicas[static_cast<size_t>(
+            rng_.NextInt(0, static_cast<int64_t>(replicas.size()) - 1))];
+        break;
+      case ChaosEpisode::Kind::kLinkDegrade: {
+        const size_t a = static_cast<size_t>(
+            rng_.NextInt(0, static_cast<int64_t>(devices.size()) - 1));
+        size_t b = static_cast<size_t>(
+            rng_.NextInt(0, static_cast<int64_t>(devices.size()) - 2));
+        if (b >= a) ++b;
+        episode.detail = devices[a] + "<->" + devices[b];
+        break;
+      }
+    }
+    ArmEpisode(episode, side_a, side_b);
+    episodes_.push_back(std::move(episode));
+    cursor = cursor + duration + DrawBetween(options_.min_gap,
+                                             options_.max_gap);
+  }
+
+  VP_INFO("chaos") << "armed " << episodes_.size() << " episodes over "
+                   << options_.horizon.seconds() << " s (quiet tail "
+                   << options_.quiet_tail.seconds() << " s)";
+  return Status::Ok();
+}
+
+void ChaosSchedule::ArmEpisode(const ChaosEpisode& episode,
+                               const std::vector<std::string>& side_a,
+                               const std::vector<std::string>& side_b) {
+  switch (episode.kind) {
+    case ChaosEpisode::Kind::kPartition:
+      injector_->SchedulePartition({side_a, side_b}, episode.at,
+                                   episode.duration);
+      break;
+    case ChaosEpisode::Kind::kDeviceCrash:
+      (void)injector_->ScheduleDeviceCrash(episode.detail, episode.at,
+                                           episode.duration);
+      break;
+    case ChaosEpisode::Kind::kReplicaCrash:
+      (void)injector_->ScheduleCrash(episode.detail, episode.at,
+                                     episode.duration);
+      break;
+    case ChaosEpisode::Kind::kWedge:
+      (void)injector_->ScheduleWedge(episode.detail, episode.at,
+                                     episode.duration);
+      break;
+    case ChaosEpisode::Kind::kLinkDegrade: {
+      const size_t split = episode.detail.find("<->");
+      injector_->ScheduleLinkFault(episode.detail.substr(0, split),
+                                   episode.detail.substr(split + 3),
+                                   episode.at, episode.duration,
+                                   options_.degraded);
+      break;
+    }
+  }
+}
+
+std::string ChaosSchedule::Describe() const {
+  std::string out;
+  for (const ChaosEpisode& episode : episodes_) {
+    out += Format("  t=%8.1f ms  %-13s %-32s for %.0f ms\n",
+                  episode.at.millis(), ChaosEpisodeKindName(episode.kind),
+                  episode.detail.c_str(), episode.duration.millis());
+  }
+  return out;
+}
+
+}  // namespace vp::sim

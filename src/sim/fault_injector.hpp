@@ -70,6 +70,16 @@ struct RandomFaultOptions {
   /// Per tick, per replica: probability of a wedge (hang).
   double wedge_probability = 0.0;
   Duration wedge_duration = Duration::Millis(400);
+  /// Per tick (cluster-wide): probability of a network partition. The
+  /// cluster splits into a random bipartition of registered devices and
+  /// heals `partition_duration` later. Only one partition is active at
+  /// a time.
+  double partition_probability = 0.0;
+  Duration partition_duration = Duration::Millis(800);
+  /// Per tick, per device: probability of a power-loss crash followed
+  /// by a cold reboot `device_crash_downtime` later.
+  double device_crash_probability = 0.0;
+  Duration device_crash_downtime = Duration::Millis(600);
 };
 
 struct FaultInjectorStats {
@@ -82,6 +92,8 @@ struct FaultInjectorStats {
   uint64_t device_crashes = 0;
   uint64_t device_reboots = 0;
   uint64_t model_poisons = 0;
+  uint64_t partitions = 0;
+  uint64_t partition_heals = 0;
 };
 
 class FaultInjector {
@@ -102,6 +114,7 @@ class FaultInjector {
   void RegisterDevice(const std::string& name, DeviceHooks hooks);
 
   size_t device_count() const { return device_order_.size(); }
+  std::vector<std::string> device_labels() const { return device_order_; }
 
   /// Register a model-backed replica group under "device/service".
   void RegisterModelGroup(const std::string& label, ModelHooks hooks);
@@ -132,6 +145,15 @@ class FaultInjector {
   Status ScheduleDeviceCrash(const std::string& name, TimePoint at,
                              Duration downtime);
   Status ScheduleDeviceReboot(const std::string& name, TimePoint at);
+
+  /// Partition the network into `groups` at `at`; heal `duration`
+  /// later (never, when duration is zero/negative). Overwrites any
+  /// partition already active at that time.
+  void SchedulePartition(std::vector<std::vector<std::string>> groups,
+                         TimePoint at, Duration duration);
+
+  /// Immediately heal any active partition.
+  void HealPartitionNow();
 
   /// Poison the model of group "device/service" at `at`: fires the
   /// group's poison hook, which stages a bad candidate version through
@@ -184,6 +206,9 @@ class FaultInjector {
   std::vector<std::string> model_order_;
   RandomFaultOptions random_options_;
   bool random_running_ = false;
+  /// True while a partition placed by this injector is in force —
+  /// random rolls skip starting another until the heal fires.
+  bool partition_active_ = false;
   FaultInjectorStats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <memory>
 
 namespace vp::sim {
 
@@ -34,21 +35,68 @@ Network::LinkState& Network::StateFor(const std::string& from,
   return it->second;
 }
 
+void Network::Partition(const std::vector<std::vector<std::string>>& groups) {
+  partition_group_.clear();
+  int id = 0;
+  for (const auto& group : groups) {
+    for (const auto& device : group) partition_group_[device] = id;
+    ++id;
+  }
+  // All groups empty → no partition at all (Heal semantics).
+}
+
+void Network::Heal() { partition_group_.clear(); }
+
+bool Network::Reachable(const std::string& from, const std::string& to) const {
+  if (partition_group_.empty() || from == to) return true;
+  auto it_from = partition_group_.find(from);
+  auto it_to = partition_group_.find(to);
+  const int gf = it_from == partition_group_.end() ? -1 : it_from->second;
+  const int gt = it_to == partition_group_.end() ? -1 : it_to->second;
+  return gf == gt;
+}
+
 TimePoint Network::Send(const std::string& from, const std::string& to,
                         size_t bytes, Task on_delivery) {
+  // Plain sends keep the historical contract: a corrupted copy simply
+  // never arrives (the transport's checksum eats it) and a duplicate
+  // fires the task again.
+  return SendTagged(from, to, bytes,
+                    [task = std::move(on_delivery)](const Delivery& d) {
+                      if (d.corrupted) return;
+                      if (task) task();
+                    });
+}
+
+TimePoint Network::SendTagged(const std::string& from, const std::string& to,
+                              size_t bytes, DeliveryTask on_delivery) {
   // A dead device neither transmits nor receives: drop at send time…
   if (!DeviceUp(from) || !DeviceUp(to)) {
     ++stats_.device_drops;
     return sim_->Now();
   }
-  // …and re-check the receiver at delivery time, so a message in
-  // flight when its destination dies is lost with it.
-  Task deliver = [this, to, task = std::move(on_delivery)]() mutable {
-    if (!DeviceUp(to)) {
-      ++stats_.device_drops;
-      return;
-    }
-    if (task) task();
+  // …and a partitioned link carries nothing.
+  if (!Reachable(from, to)) {
+    ++stats_.partition_drops;
+    return sim_->Now();
+  }
+  // Re-check receiver liveness and reachability at delivery time, so a
+  // message in flight when its destination dies — or when the
+  // partition lands — is lost with it.
+  auto shared_task =
+      std::make_shared<DeliveryTask>(std::move(on_delivery));
+  auto deliver = [this, from, to, shared_task](Delivery note) {
+    return [this, from, to, shared_task, note]() {
+      if (!DeviceUp(to)) {
+        ++stats_.device_drops;
+        return;
+      }
+      if (!Reachable(from, to)) {
+        ++stats_.partition_drops;
+        return;
+      }
+      if (*shared_task) (*shared_task)(note);
+    };
   };
 
   ++stats_.messages;
@@ -56,7 +104,7 @@ TimePoint Network::Send(const std::string& from, const std::string& to,
 
   if (from == to) {
     const TimePoint at = sim_->Now() + loopback_delay_;
-    sim_->At(at, std::move(deliver));
+    sim_->At(at, deliver(Delivery{}));
     return at;
   }
 
@@ -89,9 +137,59 @@ TimePoint Network::Send(const std::string& from, const std::string& to,
     link.tx_free = tx_end;
   }
 
-  const TimePoint at = tx_end + lat;
-  sim_->At(at, std::move(deliver));
+  TimePoint at = tx_end + lat;
+
+  // Adversarial-delivery knobs. Each knob's RNG draw is guarded on its
+  // probability so default (all-zero) links consume exactly the same
+  // random sequence as before these knobs existed.
+  Delivery note;
+  if (spec.reorder > 0.0 && rng_.NextBool(spec.reorder)) {
+    ++stats_.reorders;
+    at = at + spec.reorder_delay;
+  }
+  if (spec.corrupt > 0.0 && rng_.NextBool(spec.corrupt)) {
+    ++stats_.corruptions;
+    note.corrupted = true;
+  }
+  if (spec.duplicate > 0.0 && rng_.NextBool(spec.duplicate)) {
+    ++stats_.duplicates_delivered;
+    Delivery dup_note = note;
+    dup_note.duplicate = true;
+    // The duplicate trails the original by roughly one propagation
+    // delay (a retransmit-race copy).
+    sim_->At(at + spec.latency, deliver(dup_note));
+  }
+
+  sim_->At(at, deliver(note));
   return at;
+}
+
+void Network::SendReliable(const std::string& from, const std::string& to,
+                           size_t bytes, Task on_delivery) {
+  // End-to-end ARQ above the link layer: resend on a fixed timeout
+  // until one uncorrupted copy lands, bounded so a permanently dead
+  // destination cannot spin forever. The receiver sees at-least-once
+  // delivery; exactly-once is the endpoint's job (the state-transfer
+  // handlers are idempotent).
+  constexpr int kMaxAttempts = 64;
+  const Duration kRetryTimeout = Duration::Millis(200.0);
+  auto state = std::make_shared<bool>(false);  // delivered yet?
+  auto task = std::make_shared<Task>(std::move(on_delivery));
+  auto attempt = std::make_shared<std::function<void(int)>>();
+  *attempt = [this, from, to, bytes, state, task, attempt, kRetryTimeout](
+                 int tries_left) {
+    if (*state || tries_left <= 0) return;
+    SendTagged(from, to, bytes,
+               [state, task](const Delivery& d) {
+                 if (d.corrupted || *state) return;
+                 *state = true;
+                 if (*task) (*task)();
+               });
+    sim_->After(kRetryTimeout, [state, attempt, tries_left]() {
+      if (!*state) (*attempt)(tries_left - 1);
+    });
+  };
+  (*attempt)(kMaxAttempts);
 }
 
 Duration Network::EstimateDelay(const std::string& from, const std::string& to,

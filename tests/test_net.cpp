@@ -351,6 +351,132 @@ TEST_F(FabricTest, PublishFanOutIsolatesSubscribers) {
   ASSERT_EQ(m.parts().size(), 1u);
 }
 
+// -------------------------------------- checksum + dedup (adversarial)
+
+TEST(Message, DecodeRejectsBitFlipsAnywhere) {
+  // The trailing FNV-1a checksum catches a flipped bit at any offset —
+  // including inside length prefixes, where a corrupted value would
+  // otherwise misparse plausibly.
+  const Bytes wire = SampleMessage().Encode();
+  for (size_t i = 0; i < wire.size(); ++i) {
+    Bytes corrupted = wire;
+    corrupted[i] ^= 0x20;
+    EXPECT_FALSE(Message::Decode(corrupted).ok()) << "offset=" << i;
+  }
+  EXPECT_TRUE(Message::Decode(wire).ok());
+}
+
+TEST(Message, LinkSeqAndFenceEpochRoundTrip) {
+  Message m = SampleMessage();
+  m.set_link_seq(7123);
+  m.set_fence_epoch(3);
+  auto decoded = Message::Decode(m.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->link_seq(), 7123u);
+  EXPECT_EQ(decoded->fence_epoch(), 3u);
+}
+
+TEST(DedupWindow, DropsDuplicatesInWindow) {
+  DedupWindow window;
+  EXPECT_TRUE(window.Admit(5, false));
+  EXPECT_FALSE(window.Admit(5, false));  // exact duplicate
+  EXPECT_TRUE(window.Admit(6, false));
+  EXPECT_FALSE(window.Admit(5, false));  // still remembered
+  EXPECT_FALSE(window.Admit(6, false));
+  EXPECT_EQ(window.stats().duplicates_dropped, 3u);
+}
+
+TEST(DedupWindow, AcceptsReordersInsideWindowDropsBeyond) {
+  DedupWindow window;
+  EXPECT_TRUE(window.Admit(100, false));
+  EXPECT_TRUE(window.Admit(100 + DedupWindow::kWindow, false));
+  // 100 is now exactly kWindow behind the highest — beyond the bitmap.
+  EXPECT_FALSE(window.Admit(100, false));
+  EXPECT_EQ(window.stats().stale_dropped, 1u);
+  // One step inside the window: a late (reordered) first arrival.
+  EXPECT_TRUE(window.Admit(100 + DedupWindow::kWindow - 1, false));
+  EXPECT_EQ(window.stats().reorders_accepted, 1u);
+  // ... but its duplicate is still caught.
+  EXPECT_FALSE(window.Admit(100 + DedupWindow::kWindow - 1, false));
+}
+
+TEST(DedupWindow, SequenceWraparound) {
+  // Serial-number arithmetic: 1 (after the skip-zero wrap) counts as
+  // newer than 0xFFFFFFFF, not four billion messages stale.
+  DedupWindow window;
+  EXPECT_TRUE(window.Admit(0xFFFFFFFE, false));
+  EXPECT_TRUE(window.Admit(0xFFFFFFFF, false));
+  EXPECT_TRUE(window.Admit(1, false));  // transmitter skips 0 on wrap
+  EXPECT_TRUE(window.Admit(2, false));
+  // Pre-wrap seqs are still inside the window: duplicates, not fresh.
+  EXPECT_FALSE(window.Admit(0xFFFFFFFF, false));
+  EXPECT_EQ(window.stats().duplicates_dropped, 1u);
+  EXPECT_EQ(window.stats().stale_dropped, 0u);
+}
+
+TEST(DedupWindow, CorruptedAndUnstamped) {
+  DedupWindow window;
+  EXPECT_FALSE(window.Admit(9, true));  // corrupted: dropped pre-seq
+  EXPECT_EQ(window.stats().corruptions_dropped, 1u);
+  EXPECT_TRUE(window.Admit(9, false));  // clean retransmit admitted
+  // Unstamped (loopback) messages bypass dedup entirely.
+  EXPECT_TRUE(window.Admit(0, false));
+  EXPECT_TRUE(window.Admit(0, false));
+}
+
+TEST_F(FabricTest, DuplicatingLinkDeliversEffectivelyOnce) {
+  sim::LinkSpec dup;
+  dup.duplicate = 1.0;  // every message arrives twice
+  cluster_->network().SetLink("phone", "desktop", dup);
+  int hits = 0;
+  ASSERT_TRUE(fabric_.Bind(Address{"desktop", 21},
+                           [&](Message, Responder) { ++hits; })
+                  .ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        fabric_.Push("phone", Address{"desktop", 21}, Message("f")).ok());
+  }
+  cluster_->simulator().RunUntilIdle();
+  EXPECT_EQ(hits, 5);
+  EXPECT_EQ(cluster_->network().stats().duplicates_delivered, 5u);
+  EXPECT_EQ(fabric_.dedup_stats().duplicates_dropped, 5u);
+}
+
+TEST_F(FabricTest, CorruptingLinkDropsFramesAtChecksumGate) {
+  sim::LinkSpec bad;
+  bad.corrupt = 1.0;
+  cluster_->network().SetLink("phone", "desktop", bad);
+  int hits = 0;
+  ASSERT_TRUE(fabric_.Bind(Address{"desktop", 22},
+                           [&](Message, Responder) { ++hits; })
+                  .ok());
+  ASSERT_TRUE(
+      fabric_.Push("phone", Address{"desktop", 22}, Message("f")).ok());
+  cluster_->simulator().RunUntilIdle();
+  EXPECT_EQ(hits, 0);
+  EXPECT_EQ(fabric_.dedup_stats().corruptions_dropped, 1u);
+}
+
+TEST_F(FabricTest, LinkSeqWraparoundKeepsDelivering) {
+  // Force the phone→desktop transport counter to the edge of uint32
+  // and stream across the wrap: every message still arrives exactly
+  // once (the receiver's serial arithmetic does not see a 4-billion
+  // step backwards).
+  fabric_.DebugSetLinkTxSeq("phone", "desktop", 0xFFFFFFFDu);
+  int hits = 0;
+  ASSERT_TRUE(fabric_.Bind(Address{"desktop", 23},
+                           [&](Message, Responder) { ++hits; })
+                  .ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        fabric_.Push("phone", Address{"desktop", 23}, Message("f")).ok());
+    cluster_->simulator().RunUntilIdle();
+  }
+  EXPECT_EQ(hits, 8);
+  EXPECT_EQ(fabric_.dedup_stats().duplicates_dropped, 0u);
+  EXPECT_EQ(fabric_.dedup_stats().stale_dropped, 0u);
+}
+
 // --------------------------------------------------------------- Broker
 
 TEST(Broker, DoubleHopCostsMoreThanBrokerless) {
