@@ -1,0 +1,312 @@
+// Fleet-scale benchmark: staged rollout waves across a sweep of home
+// counts, blast radius with and without fleet gating, and control-
+// plane overhead per home.
+//
+// For each fleet size N (full: 4/16/64, smoke: 2/4) every home runs
+// fitness@10 with the serving layer on and offloads periodic jobs to
+// the shared cloud tier, then the FleetController drives a clean
+// 1 → 1% → 50% → all staged rollout. Measured per wave: virtual wall
+// time to the gate decision. Measured per run: controller + monitor +
+// cloud events per home as a fraction of per-home workload events
+// (must stay < 5% — the control plane reads rollups, not frames).
+//
+// Blast radius (at N = 16 full / 4 smoke): a supply-chain poison lands
+// exactly at wave 2's start. With gating, the wave's local rollbacks
+// fail the fleet gate: the rollout halts, later waves never start, the
+// promoted wave-1 homes revert, and the poisoned version serves frames
+// ONLY in wave 2's members. Without gating, every later wave stages
+// the poisoned candidate too — the blast the gate prevents.
+//
+// Results → BENCH_fleet.json.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/fitness.hpp"
+#include "fleet/controller.hpp"
+#include "fleet/fleet.hpp"
+#include "harness.hpp"
+#include "modelreg/registry.hpp"
+
+using namespace vp;
+using namespace vp::bench;
+
+namespace {
+
+enum class Mode { kClean, kPoisonGated, kPoisonUngated };
+
+modelreg::RolloutPolicy FastPolicy() {
+  modelreg::RolloutPolicy policy;
+  policy.canary_fraction = 0.5;
+  policy.traffic_share = 0.3;
+  policy.probe_interval = Duration::Millis(40);
+  policy.evaluate_interval = Duration::Millis(200);
+  policy.decision_window = Duration::Seconds(2.5);
+  policy.min_probes = 8;
+  policy.accuracy_margin = 0.15;
+  policy.latency_inflation = 4.0;
+  return policy;
+}
+
+void DeployFitnessTo(fleet::Home& home, double fps) {
+  auto spec = apps::fitness::Spec();
+  if (!spec.ok()) {
+    std::fprintf(stderr, "fitness config: %s\n",
+                 spec.status().ToString().c_str());
+    std::abort();
+  }
+  spec->source.fps = fps;
+  core::Orchestrator::DeployArgs args;
+  args.workload = apps::fitness::Workout();
+  args.placement.policy = core::PlacementPolicy::kCoLocate;
+  auto deployment =
+      home.orchestrator->Deploy(std::move(*spec), std::move(args));
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "deploy %s: %s\n", home.name.c_str(),
+                 deployment.status().ToString().c_str());
+    std::abort();
+  }
+  home.pipelines.push_back(*deployment);
+}
+
+/// Each home offloads one 50 ms cloud job every 500 ms (re-id style
+/// background work) — keeps the shared tier and its fair-share path
+/// hot for the whole run.
+void StartCloudOffload(fleet::Fleet& fleet) {
+  for (int id = 0; id < fleet.size(); ++id) {
+    const std::string tenant = fleet.home(id).name;
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [&fleet, tenant, tick]() {
+      (void)fleet.cloud()->Submit(tenant, Duration::Millis(50));
+      fleet.simulator().After(Duration::Millis(500), *tick);
+    };
+    fleet.simulator().After(Duration::Millis(500), *tick);
+  }
+}
+
+struct RunResult {
+  int homes = 0;
+  bool done = false;
+  bool halted = false;
+  int waves = 0;
+  int waves_passed = 0;
+  std::vector<double> wave_wall_ms;
+  std::vector<int> wave_sizes;
+  int blast_homes = 0;         // homes the poisoned version reached
+  int failed_wave_size = 0;    // expected blast under gating
+  bool blast_contained = false;
+  int reverted = 0;
+  double overhead_ratio = 0;   // control-plane events / workload events
+  uint64_t total_events = 0;
+  uint64_t overhead_events = 0;
+  uint64_t cloud_served = 0;
+  uint64_t registry_trainings = 0;
+  uint64_t registry_dedupe_hits = 0;
+};
+
+RunResult RunFleet(int homes, Mode mode, double fps) {
+  fleet::FleetOptions options;
+  options.homes = homes;
+  options.seed = 42;
+  options.orchestrator.serving.enabled = true;
+  options.orchestrator.models.rollout = FastPolicy();
+  options.enable_cloud = true;
+  options.cloud.slots = std::max(2, homes / 4);
+  options.cloud.speed = 4.0;
+  fleet::Fleet fleet(options);
+  for (int id = 0; id < fleet.size(); ++id) {
+    DeployFitnessTo(fleet.home(id), fps);
+  }
+
+  fleet::FleetController controller(&fleet, "activity_classifier",
+                                    Duration::Millis(400));
+  controller.RegisterModelHooks(*fleet.home(0).injector);
+  if (mode != Mode::kClean) {
+    controller.on_wave_start = [&](int wave) {
+      if (wave == 1) {
+        (void)fleet.home(0).injector->ScheduleModelPoison(
+            "fleet/activity_classifier", fleet.simulator().Now());
+      }
+    };
+  }
+
+  StartCloudOffload(fleet);
+  fleet.StartAll();
+  fleet.RunFor(Duration::Seconds(1));
+
+  modelreg::ModelSpec candidate = modelreg::DefaultActivitySpec();
+  candidate.train_seed = 4242;
+  fleet::FleetRolloutOptions rollout;
+  rollout.policy = FastPolicy();
+  rollout.gate_waves = mode != Mode::kPoisonUngated;
+  if (!controller.BeginFleetRollout(candidate, rollout).ok()) {
+    std::fprintf(stderr, "fleet rollout failed to start\n");
+    std::abort();
+  }
+
+  for (int i = 0;
+       i < 120 && !controller.rollout_done() && !controller.halted(); ++i) {
+    fleet.RunFor(Duration::Seconds(1));
+  }
+  fleet.RunFor(Duration::Seconds(2));  // let halt-path reverts settle
+
+  RunResult result;
+  result.homes = homes;
+  result.done = controller.rollout_done();
+  result.halted = controller.halted();
+  result.waves = static_cast<int>(controller.waves().size());
+  for (const auto& wave : controller.waves()) {
+    result.wave_sizes.push_back(static_cast<int>(wave.members.size()));
+    if (wave.state == fleet::FleetController::WaveState::kPassed) {
+      ++result.waves_passed;
+      result.wave_wall_ms.push_back((wave.finished - wave.started).millis());
+    } else if (wave.state == fleet::FleetController::WaveState::kFailed) {
+      result.wave_wall_ms.push_back((wave.finished - wave.started).millis());
+    } else {
+      result.wave_wall_ms.push_back(0);
+    }
+  }
+  result.reverted = controller.reverted_homes();
+
+  if (mode != Mode::kClean && result.waves > 1) {
+    const auto& poisoned_wave = controller.waves()[1];
+    result.failed_wave_size = static_cast<int>(poisoned_wave.members.size());
+    const auto exposed = fleet.HomesExposedTo(poisoned_wave.staged_version);
+    result.blast_homes = static_cast<int>(exposed.size());
+    result.blast_contained = exposed == poisoned_wave.members;
+  }
+
+  const uint64_t total = fleet.simulator().executed_events();
+  const uint64_t overhead =
+      controller.overhead_events() + fleet.SharedOverheadEvents();
+  result.total_events = total;
+  result.overhead_events = overhead;
+  result.overhead_ratio =
+      total > overhead
+          ? static_cast<double>(overhead) / static_cast<double>(total - overhead)
+          : 1.0;
+  result.cloud_served = fleet.cloud()->served_total();
+  result.registry_trainings = fleet.models().trainings();
+  result.registry_dedupe_hits = fleet.models().dedupe_hits();
+  return result;
+}
+
+json::Value ToJson(const RunResult& r) {
+  json::Value out = json::Value::MakeObject();
+  out["homes"] = json::Value(r.homes);
+  out["done"] = json::Value(r.done);
+  out["halted"] = json::Value(r.halted);
+  out["waves"] = json::Value(r.waves);
+  out["waves_passed"] = json::Value(r.waves_passed);
+  json::Value::Array walls;
+  for (double w : r.wave_wall_ms) walls.push_back(json::Value(w));
+  out["wave_wall_ms"] = json::Value(std::move(walls));
+  json::Value::Array sizes;
+  for (int s : r.wave_sizes) sizes.push_back(json::Value(s));
+  out["wave_sizes"] = json::Value(std::move(sizes));
+  out["blast_homes"] = json::Value(r.blast_homes);
+  out["failed_wave_size"] = json::Value(r.failed_wave_size);
+  out["blast_contained"] = json::Value(r.blast_contained);
+  out["reverted_homes"] = json::Value(r.reverted);
+  out["overhead_ratio"] = json::Value(r.overhead_ratio);
+  out["total_events"] = json::Value(static_cast<double>(r.total_events));
+  out["overhead_events"] =
+      json::Value(static_cast<double>(r.overhead_events));
+  out["cloud_served"] = json::Value(static_cast<double>(r.cloud_served));
+  out["registry_trainings"] =
+      json::Value(static_cast<double>(r.registry_trainings));
+  out["registry_dedupe_hits"] =
+      json::Value(static_cast<double>(r.registry_dedupe_hits));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = SmokeMode();
+  const std::vector<int> sweep = smoke ? std::vector<int>{2, 4}
+                                       : std::vector<int>{4, 16, 64};
+  const int blast_n = smoke ? 4 : 16;
+  const double fps = 10;
+
+  std::printf("=== Fleet control plane: staged rollout across home-count "
+              "sweep (fitness@%.0f) ===\n", fps);
+
+  bool all_clean_ok = true;
+  bool overhead_ok = true;
+  json::Value doc = json::Value::MakeObject();
+  doc["bench"] = json::Value("fleet");
+  json::Value::Array clean_runs;
+
+  std::printf("%-6s %6s %13s %9s %11s %11s %11s\n", "homes", "waves",
+              "wall/wave(s)", "dedupe", "cloud jobs", "overhead",
+              "rollout");
+  for (int n : sweep) {
+    const RunResult r = RunFleet(n, Mode::kClean, fps);
+    double mean_wall = 0;
+    for (double w : r.wave_wall_ms) mean_wall += w;
+    if (!r.wave_wall_ms.empty()) {
+      mean_wall /= static_cast<double>(r.wave_wall_ms.size()) * 1000.0;
+    }
+    std::printf("%-6d %6d %13.2f %9llu %11llu %10.2f%% %11s\n", n, r.waves,
+                mean_wall,
+                static_cast<unsigned long long>(r.registry_dedupe_hits),
+                static_cast<unsigned long long>(r.cloud_served),
+                r.overhead_ratio * 100.0,
+                r.done && r.waves_passed == r.waves ? "complete"
+                                                    : "INCOMPLETE");
+    all_clean_ok = all_clean_ok && r.done && r.waves_passed == r.waves &&
+                   !r.halted;
+    overhead_ok = overhead_ok && r.overhead_ratio < 0.05;
+    clean_runs.push_back(ToJson(r));
+  }
+  doc["clean"] = json::Value(std::move(clean_runs));
+
+  // Blast radius: the same poisoned wave with and without fleet gating.
+  const RunResult gated = RunFleet(blast_n, Mode::kPoisonGated, fps);
+  const RunResult ungated = RunFleet(blast_n, Mode::kPoisonUngated, fps);
+  doc["poison_gated"] = ToJson(gated);
+  doc["poison_ungated"] = ToJson(ungated);
+  overhead_ok = overhead_ok && gated.overhead_ratio < 0.05;
+
+  std::printf("\nblast radius at %d homes: gated %d/%d homes, ungated %d/%d "
+              "homes\n",
+              blast_n, gated.blast_homes, blast_n, ungated.blast_homes,
+              blast_n);
+
+  // Claim 1: every clean sweep completes all waves.
+  std::printf("clean rollouts complete at every fleet size  %s\n",
+              all_clean_ok ? "PASS" : "FAIL");
+
+  // Claim 2: gating contains the poison to the failed wave — the
+  // rollout halts, later waves never start, promoted homes revert, and
+  // no frame outside the wave ever sees the poisoned version.
+  const bool contained =
+      gated.halted && gated.blast_contained &&
+      gated.blast_homes == gated.failed_wave_size && gated.reverted >= 1;
+  std::printf("gated poison: halted, blast == wave size (%d), %d homes "
+              "reverted  %s\n",
+              gated.blast_homes, gated.reverted, contained ? "PASS" : "FAIL");
+
+  // Claim 3: without gating the poison spreads past the wave.
+  const bool spreads = ungated.blast_homes > gated.blast_homes;
+  std::printf("ungated poison spreads to %d homes (> %d)  %s\n",
+              ungated.blast_homes, gated.blast_homes,
+              spreads ? "PASS" : "FAIL");
+
+  // Claim 4: the control plane stays cheap — rollup-based collection
+  // keeps controller+monitor+cloud events under 5%% of workload events.
+  std::printf("control-plane overhead < 5%% of per-home event volume  %s\n",
+              overhead_ok ? "PASS" : "FAIL");
+
+  doc["all_clean_ok"] = json::Value(all_clean_ok);
+  doc["blast_contained"] = json::Value(contained);
+  doc["ungated_spreads"] = json::Value(spreads);
+  doc["overhead_ok"] = json::Value(overhead_ok);
+  WriteBenchJson("fleet", doc);
+
+  return (all_clean_ok && contained && spreads && overhead_ok) ? 0 : 1;
+}

@@ -180,9 +180,15 @@ void ModuleRuntime::ProcessMessage(net::Message message) {
     cost += media::DecodeCost(message.parts().front().size());
   }
   sim::Device* device = orchestrator_->cluster().FindDevice(device_);
+  // The handler runs on its own fiber so a blocking service call
+  // suspends it instead of re-entrantly pumping the (possibly shared)
+  // simulator — see sim::Fiber.
   device->module_lane().Run(
       cost, [this, message = std::move(message)]() mutable {
-        ExecuteHandler(std::move(message));
+        orchestrator_->RunOnFiber(
+            [this, message = std::move(message)]() mutable {
+              ExecuteHandler(std::move(message));
+            });
       });
 }
 
@@ -227,7 +233,7 @@ void ModuleRuntime::ExecuteHandler(net::Message message) {
 
   auto arg = script::JsonToScript(payload);
   auto result = context_->Call("event_received", {std::move(arg)});
-  if (!result.ok()) {
+  if (!result.ok() && !orchestrator_->draining_fibers()) {
     ++stats_.script_errors;
     VP_WARN("module") << name() << ": event_received failed: "
                       << result.error().ToString();

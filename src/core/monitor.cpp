@@ -6,8 +6,9 @@
 
 namespace vp::core {
 
-json::Value MonitorSample::ToJson() const {
+json::Value MonitorSample::ToJson(const std::string& home) const {
   json::Value out = json::Value::MakeObject();
+  if (!home.empty()) out["home"] = json::Value(home);
   out["t_ms"] = json::Value(when.millis());
   json::Value fps = json::Value::MakeObject();
   for (const auto& [pipeline, value] : pipeline_fps) {
@@ -80,6 +81,82 @@ json::Value MonitorSample::ToJson() const {
           list.PushBack(json::Value(v));
         }
         entry["replica_versions"] = std::move(list);
+      }
+      models[group] = std::move(entry);
+    }
+    out["models"] = std::move(models);
+  }
+  return out;
+}
+
+MonitorRollup RollupSample(const MonitorSample& sample) {
+  MonitorRollup rollup;
+  rollup.when = sample.when;
+  rollup.pipelines = static_cast<int>(sample.pipeline_fps.size());
+  for (const auto& [pipeline, fps] : sample.pipeline_fps) {
+    (void)pipeline;
+    rollup.total_fps += fps;
+  }
+  for (const auto& [pipeline, completed] : sample.frames_completed) {
+    (void)pipeline;
+    rollup.frames_completed += completed;
+  }
+  double utilization = 0;
+  for (const auto& [device, value] : sample.device_utilization) {
+    (void)device;
+    utilization += value;
+  }
+  rollup.mean_utilization =
+      sample.device_utilization.empty()
+          ? 0.0
+          : utilization /
+                static_cast<double>(sample.device_utilization.size());
+  rollup.network_bytes = sample.network_bytes;
+  for (const auto& [group, count] : sample.service_replicas) {
+    (void)group;
+    rollup.replicas += count;
+  }
+  for (const auto& [group, healths] : sample.replica_health) {
+    (void)group;
+    for (const std::string& health : healths) {
+      if (health != "healthy") ++rollup.unhealthy_replicas;
+    }
+  }
+  for (const auto& [device, health] : sample.device_health) {
+    (void)device;
+    if (health != "healthy") ++rollup.unhealthy_devices;
+  }
+  for (const auto& [group, sheds] : sample.scheduler_sheds) {
+    (void)group;
+    rollup.sheds += sheds;
+  }
+  rollup.zombies_fenced = sample.zombies_fenced;
+  rollup.model_version = sample.model_version;
+  rollup.rollout_phase = sample.rollout_phase;
+  return rollup;
+}
+
+json::Value MonitorRollup::ToJson() const {
+  json::Value out = json::Value::MakeObject();
+  out["t_ms"] = json::Value(when.millis());
+  out["pipelines"] = json::Value(pipelines);
+  out["total_fps"] = json::Value(total_fps);
+  out["frames_completed"] =
+      json::Value(static_cast<double>(frames_completed));
+  out["mean_utilization"] = json::Value(mean_utilization);
+  out["network_bytes"] = json::Value(static_cast<double>(network_bytes));
+  out["replicas"] = json::Value(replicas);
+  out["unhealthy_replicas"] = json::Value(unhealthy_replicas);
+  out["unhealthy_devices"] = json::Value(unhealthy_devices);
+  out["sheds"] = json::Value(static_cast<double>(sheds));
+  out["zombies_fenced"] = json::Value(static_cast<double>(zombies_fenced));
+  if (!model_version.empty()) {
+    json::Value models = json::Value::MakeObject();
+    for (const auto& [group, version] : model_version) {
+      json::Value entry = json::Value::MakeObject();
+      entry["version"] = json::Value(version);
+      if (auto it = rollout_phase.find(group); it != rollout_phase.end()) {
+        entry["phase"] = json::Value(it->second);
       }
       models[group] = std::move(entry);
     }

@@ -70,8 +70,41 @@ struct MonitorSample {
   /// up as a mixed list).
   std::map<std::string, std::vector<std::string>> replica_model_versions;
 
+  /// When `home` is non-empty the object carries a "home" label — a
+  /// fleet controller tags each member's telemetry with its home id so
+  /// one merged document stays attributable.
+  json::Value ToJson(const std::string& home = std::string()) const;
+};
+
+/// Aggregated snapshot of one home, rolled up from a MonitorSample.
+/// This is what crosses the home → fleet boundary: a few hundred bytes
+/// per home per interval instead of raw per-frame data, so fleet
+/// controller overhead stays bounded no matter how busy a home is.
+struct MonitorRollup {
+  TimePoint when;
+  int pipelines = 0;
+  double total_fps = 0;
+  uint64_t frames_completed = 0;
+  /// Mean module-lane utilization across the home's devices [0,1].
+  double mean_utilization = 0;
+  uint64_t network_bytes = 0;
+  int replicas = 0;
+  /// Replicas the circuit breaker sees as suspect or down.
+  int unhealthy_replicas = 0;
+  /// Devices the failure detector sees as suspect or down.
+  int unhealthy_devices = 0;
+  uint64_t sheds = 0;
+  uint64_t zombies_fenced = 0;
+  /// "device/service" → stable model version / rollout phase, for the
+  /// fleet controller's wave bookkeeping.
+  std::map<std::string, std::string> model_version;
+  std::map<std::string, std::string> rollout_phase;
+
   json::Value ToJson() const;
 };
+
+/// Fold a full sample into the aggregate a fleet controller ships.
+MonitorRollup RollupSample(const MonitorSample& sample);
 
 class PipelineMonitor {
  public:
@@ -102,6 +135,11 @@ class PipelineMonitor {
   void Stop() { running_ = false; }
 
   const std::vector<MonitorSample>& samples() const { return samples_; }
+  /// Most recent sample, or nullptr before the first tick.
+  const MonitorSample* latest() const {
+    return samples_.empty() ? nullptr : &samples_.back();
+  }
+  Duration interval() const { return interval_; }
 
   /// Multi-line text summary (min/mean/max fps per pipeline, peak
   /// backlog per service group).

@@ -128,6 +128,8 @@ Orchestrator::Orchestrator(sim::Cluster* cluster, OrchestratorOptions options)
         }
         return std::make_shared<modelreg::ModelHandle>(std::move(artifact));
       });
+  fiber_hook_ = cluster_->simulator().AddPostEventHook(
+      [this]() { PumpFiberWaiters(); });
 }
 
 serving::RequestScheduler* Orchestrator::scheduler(
@@ -145,7 +147,13 @@ serving::RequestScheduler* Orchestrator::scheduler(
   return it->second.get();
 }
 
-Orchestrator::~Orchestrator() = default;
+Orchestrator::~Orchestrator() {
+  // Unwind blocked handlers while members are still alive: each fiber
+  // holds module/pipeline state on its stack whose destructors may
+  // touch the orchestrator.
+  DrainFibers();
+  cluster_->simulator().RemovePostEventHook(fiber_hook_);
+}
 
 media::FrameStore& Orchestrator::store(const std::string& device) {
   auto it = stores_.find(device);
@@ -159,6 +167,32 @@ media::FrameStore& Orchestrator::store(const std::string& device) {
 }
 
 Status Orchestrator::Await(const bool& done) {
+  if (done) return Status::Ok();
+  if (sim::Fiber* fiber = sim::Fiber::Current()) {
+    // Handler path: suspend back to the simulator loop. The post-event
+    // hook resumes this fiber at the exact event that flips `done`.
+    // Pumping the simulator here instead would make the wait
+    // re-entrant: a nested blocked handler — possibly another home's
+    // on a shared fleet simulator — pins the stack, and this handler
+    // would resume late by an amount that depends on its co-tenants.
+    if (draining_fibers_) {
+      return Status(StatusCode::kInternal,
+                    "orchestrator shutting down while a module was blocked "
+                    "on a service response");
+    }
+    fiber_waiters_.push_back({&done, fiber});
+    sim::Fiber::Suspend();
+    if (!done) {
+      // Woken by DrainFibers, not by the response: unwind.
+      return Status(StatusCode::kInternal,
+                    "orchestrator shut down while a module was blocked on "
+                    "a service response");
+    }
+    return Status::Ok();
+  }
+  // Scheduler-stack path (deploy/bootstrap costs): no fiber to
+  // suspend, so pump re-entrantly. Nothing runs concurrently at
+  // deploy time, so the overshoot problem above does not apply.
   while (!done) {
     if (!cluster_->simulator().Step()) {
       return Status(StatusCode::kInternal,
@@ -167,6 +201,45 @@ Status Orchestrator::Await(const bool& done) {
     }
   }
   return Status::Ok();
+}
+
+void Orchestrator::RunOnFiber(std::function<void()> body) {
+  sim::Fiber* fiber = sim::Fiber::Spawn(std::move(body));
+  // A suspended fiber registered itself in fiber_waiters_ (Await) and
+  // is owned by the resume path from here on.
+  if (fiber->finished()) delete fiber;
+}
+
+void Orchestrator::PumpFiberWaiters() {
+  // Resume in suspension order. A resumed handler may finish, block
+  // again (re-registering at the back) or flip another waiter's flag,
+  // so rescan from the front until no waiter is ready.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < fiber_waiters_.size(); ++i) {
+      if (!*fiber_waiters_[i].flag) continue;
+      FiberWaiter waiter = fiber_waiters_[i];
+      fiber_waiters_.erase(fiber_waiters_.begin() +
+                           static_cast<ptrdiff_t>(i));
+      waiter.fiber->Resume();
+      if (waiter.fiber->finished()) delete waiter.fiber;
+      progress = true;
+      break;
+    }
+  }
+}
+
+void Orchestrator::DrainFibers() {
+  draining_fibers_ = true;
+  while (!fiber_waiters_.empty()) {
+    FiberWaiter waiter = fiber_waiters_.front();
+    fiber_waiters_.erase(fiber_waiters_.begin());
+    waiter.fiber->Resume();
+    // Await bounces re-blocks while draining, so the handler must have
+    // run to completion.
+    if (waiter.fiber->finished()) delete waiter.fiber;
+  }
 }
 
 Status Orchestrator::BlockOnLane(sim::ExecutionLane& lane, Duration cost) {
@@ -380,6 +453,45 @@ Status Orchestrator::BeginModelRollout(
                                 std::move(policy));
 }
 
+Status Orchestrator::AbortModelRollout(const std::string& device,
+                                       const std::string& service) {
+  if (!rollout_->Manages(device, service)) {
+    return Status(StatusCode::kNotFound,
+                  "no managed model group " + device + "/" + service);
+  }
+  if (rollout_->phase(device, service) != modelreg::RolloutPhase::kCanary) {
+    return Status::Ok();  // nothing in flight
+  }
+  return rollout_->CancelRollout(device, service);
+}
+
+Status Orchestrator::RevertModel(const std::string& device,
+                                 const std::string& service,
+                                 const std::string& version_id) {
+  if (!rollout_->Manages(device, service)) {
+    return Status(StatusCode::kNotFound,
+                  "no managed model group " + device + "/" + service);
+  }
+  auto artifact = models_->Find(version_id);
+  if (artifact == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "model version '" + version_id + "' not in the registry");
+  }
+  if (rollout_->phase(device, service) == modelreg::RolloutPhase::kCanary) {
+    VP_RETURN_IF_ERROR(rollout_->CancelRollout(device, service));
+  }
+  if (rollout_->stable_version(device, service) == version_id) {
+    // Already on (or draining back to) the requested version.
+    return Status::Ok();
+  }
+  if (rollout_->phase(device, service) != modelreg::RolloutPhase::kStable) {
+    return Status(StatusCode::kUnavailable,
+                  device + "/" + service +
+                      " is still settling a rollback; retry the revert");
+  }
+  return rollout_->UpgradeStable(device, service, artifact);
+}
+
 void Orchestrator::RegisterModelGroupsForFaults(
     sim::FaultInjector& injector) {
   for (const auto& [device, service] : rollout_->groups()) {
@@ -529,6 +641,10 @@ void Orchestrator::StartAll() {
 
 void Orchestrator::RunFor(Duration duration) {
   cluster_->simulator().RunUntil(cluster_->Now() + duration);
+  Housekeep();
+}
+
+void Orchestrator::Housekeep() {
   SyncReplicaDowntime();
   ReclaimDrained();
 }

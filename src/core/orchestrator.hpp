@@ -28,6 +28,7 @@
 #include "serving/request_scheduler.hpp"
 #include "sim/cluster.hpp"
 #include "sim/fault_injector.hpp"
+#include "sim/fiber.hpp"
 
 namespace vp::core {
 
@@ -223,6 +224,12 @@ class Orchestrator {
   /// when a blocked handler spans the boundary).
   void RunFor(Duration duration);
 
+  /// Post-run bookkeeping (replica-downtime sync, drained-runtime
+  /// reclamation). RunFor calls this automatically; a fleet driving
+  /// many orchestrators on one shared simulator advances the clock
+  /// once and then calls Housekeep on each home.
+  void Housekeep();
+
   // -- module-runtime service interface --------------------------------
   Result<json::Value> CallService(ModuleRuntime& caller,
                                   const std::string& service,
@@ -268,6 +275,30 @@ class Orchestrator {
       const std::string& device, const std::string& service,
       const modelreg::ModelSpec& candidate_spec,
       std::optional<modelreg::RolloutPolicy> policy = std::nullopt);
+
+  // -- external rollout driving (fleet control plane) --------------------
+
+  /// Operator/fleet abort of an in-flight canary on (device, service):
+  /// the group drains back to its incumbent. No-op when the group is
+  /// already stable.
+  Status AbortModelRollout(const std::string& device,
+                           const std::string& service);
+
+  /// Warm-swap the group back to `version_id` (which must exist in the
+  /// model registry — e.g. the incumbent recorded before a fleet-wide
+  /// rollout). Cancels an in-flight canary first; a group already on
+  /// `version_id` is a no-op. This is the fleet controller's blast-
+  /// radius containment path: a wave that regresses rolls every
+  /// already-promoted home back through here.
+  Status RevertModel(const std::string& device, const std::string& service,
+                     const std::string& version_id);
+
+  /// Live gate inputs for one rollout-managed group (monitor/fleet
+  /// visibility) — empty view when unmanaged.
+  modelreg::RolloutController::GroupView ModelGroupView(
+      const std::string& device, const std::string& service) const {
+    return rollout_->View(device, service);
+  }
 
   // -- self-healing ------------------------------------------------------
 
@@ -382,8 +413,27 @@ class Orchestrator {
     Result<json::Value> value{json::Value()};
   };
 
-  /// Run the simulator until `done` flips (re-entrant blocking).
+  /// Block until `done` flips. On a handler fiber this suspends and is
+  /// resumed at the exact event that flips the flag; on the scheduler
+  /// stack (deploy/bootstrap paths) it pumps the simulator re-entrantly.
   Status Await(const bool& done);
+
+  /// Run `body` (a module handler) on its own fiber so a blocking
+  /// Await inside it suspends instead of pumping the shared simulator.
+  void RunOnFiber(std::function<void()> body);
+
+  /// Resume any blocked handler whose Await flag the event that just
+  /// executed flipped (registered as a simulator post-event hook).
+  void PumpFiberWaiters();
+
+  /// Shutdown: resume every blocked handler with its wait unsatisfied
+  /// so its stack unwinds (Await returns an error) while the
+  /// orchestrator's members are still alive.
+  void DrainFibers();
+
+  /// True while DrainFibers unwinds blocked handlers at shutdown;
+  /// handler errors in that window are expected and not logged.
+  bool draining_fibers() const { return draining_fibers_; }
 
   /// Block the caller for `d` of virtual time (retry backoff).
   Status SleepFor(Duration d);
@@ -469,6 +519,17 @@ class Orchestrator {
   std::vector<Undeployed> undeployed_;
   uint16_t next_port_ = 20000;
   Rng jitter_rng_;
+  /// Handlers blocked in Await() on a fiber, in suspension order. The
+  /// post-event hook resumes them the moment their flag flips — at the
+  /// flipping event's virtual time, which is what keeps one home's
+  /// timing independent of its co-tenants on a shared simulator.
+  struct FiberWaiter {
+    const bool* flag;
+    sim::Fiber* fiber;
+  };
+  std::vector<FiberWaiter> fiber_waiters_;
+  uint64_t fiber_hook_ = 0;
+  bool draining_fibers_ = false;
 };
 
 }  // namespace vp::core

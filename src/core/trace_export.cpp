@@ -7,7 +7,8 @@
 
 namespace vp::core {
 
-json::Value ChromeTrace(const PipelineDeployment& pipeline) {
+json::Value ChromeTrace(const PipelineDeployment& pipeline,
+                        const TraceLabel& label) {
   json::Value::Array events;
 
   // Stable small integer ids for devices (lanes).
@@ -19,7 +20,7 @@ json::Value ChromeTrace(const PipelineDeployment& pipeline) {
     device_tid[device] = tid;
     return tid;
   };
-  constexpr int kPid = 1;
+  const int kPid = label.pid_base + 1;
 
   auto slice = [&](const std::string& name, const std::string& device,
                    TimePoint start, Duration duration, uint64_t seq) {
@@ -63,7 +64,7 @@ json::Value ChromeTrace(const PipelineDeployment& pipeline) {
   process_name["ph"] = json::Value("M");
   process_name["pid"] = json::Value(kPid);
   process_name["args"]["name"] =
-      json::Value("pipeline:" + pipeline.spec().name);
+      json::Value(label.process_prefix + "pipeline:" + pipeline.spec().name);
   events.push_back(std::move(process_name));
   for (const auto& [device, tid] : device_tid) {
     json::Value thread_name = json::Value::MakeObject();
@@ -82,16 +83,17 @@ json::Value ChromeTrace(const PipelineDeployment& pipeline) {
 }
 
 json::Value ChromeTrace(const PipelineDeployment& pipeline,
-                        const Orchestrator& orchestrator) {
-  json::Value doc = ChromeTrace(pipeline);
+                        const Orchestrator& orchestrator,
+                        const TraceLabel& label) {
+  json::Value doc = ChromeTrace(pipeline, label);
   json::Value::Array& events = doc["traceEvents"].AsArray();
-  constexpr int kServingPid = 2;
+  const int kServingPid = label.pid_base + 2;
 
   json::Value process_name = json::Value::MakeObject();
   process_name["name"] = json::Value("process_name");
   process_name["ph"] = json::Value("M");
   process_name["pid"] = json::Value(kServingPid);
-  process_name["args"]["name"] = json::Value("serving");
+  process_name["args"]["name"] = json::Value(label.process_prefix + "serving");
   events.push_back(std::move(process_name));
 
   int tid = 0;

@@ -9,17 +9,27 @@
 
 namespace vp::core {
 
+/// Labels applied to every emitted process. A fleet exporter merging
+/// many homes into one document gives each home a distinct prefix
+/// ("home3/") and a disjoint pid range so lanes never collide.
+struct TraceLabel {
+  std::string process_prefix;
+  int pid_base = 0;
+};
+
 /// Build the trace document: {"traceEvents": [...]}.
 /// Slices ("ph":"X") are the per-module handler spans from the
 /// pipeline's metrics; lanes (tid) are devices; the process (pid) is
 /// the pipeline.
-json::Value ChromeTrace(const PipelineDeployment& pipeline);
+json::Value ChromeTrace(const PipelineDeployment& pipeline,
+                        const TraceLabel& label = TraceLabel());
 
-/// As above, plus one lane per serving-layer scheduler (pid 2,
+/// As above, plus one lane per serving-layer scheduler (pid_base + 2,
 /// "serving") with a slice per dispatched batch — dispatch → complete,
 /// annotated with batch id, size and the per-class composition.
 json::Value ChromeTrace(const PipelineDeployment& pipeline,
-                        const Orchestrator& orchestrator);
+                        const Orchestrator& orchestrator,
+                        const TraceLabel& label = TraceLabel());
 
 /// Write ChromeTrace(pipeline) as JSON to `path`.
 Status WriteChromeTrace(const PipelineDeployment& pipeline,

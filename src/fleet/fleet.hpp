@@ -1,0 +1,115 @@
+// Fleet: many simulated homes on ONE discrete-event simulator.
+//
+// Each home is a full §5.1 testbed — its own Cluster (devices +
+// network), its own Orchestrator (fabric, services, serving layer,
+// rollout controller), its own FaultInjector and PipelineMonitor — all
+// scheduling on a single shared virtual clock. The only cross-home
+// couplings are deliberate: one content-addressed ModelRegistry (a
+// recipe trains once per fleet, not once per home) and one optional
+// CloudTier (shared slots, per-tenant fair-share/quota).
+//
+// Determinism contract: home h of a fleet seeded S derives every one
+// of its RNG streams (cluster/network jitter, orchestrator jitter,
+// container cold-start jitter, fault injector) from HomeSeed(S, h) —
+// never from fleet size or sibling state. Fleet components (monitor
+// rollups, controller, cloud) only *read* home state and draw no
+// random numbers, so home h's metrics are bit-identical whether the
+// fleet has 1, 3 or 5000 homes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "core/orchestrator.hpp"
+#include "fleet/cloud.hpp"
+#include "modelreg/registry.hpp"
+#include "sim/cluster.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/simulator.hpp"
+
+namespace vp::fleet {
+
+/// SplitMix64 over (fleet_seed, home_id): statistically independent
+/// per-home streams, stable under fleet growth (home 1's seed does not
+/// change when homes 2..N are added).
+uint64_t HomeSeed(uint64_t fleet_seed, int home_id);
+
+struct FleetOptions {
+  /// Homes created up front (AddHome() adds more later).
+  int homes = 0;
+  uint64_t seed = 42;
+  /// Use the 4-device extended testbed instead of the 3-device one.
+  bool extended_testbed = false;
+  /// Base orchestrator options. Per home, `seed` is overridden with
+  /// HomeSeed(fleet seed, home id) and `models.registry` with the
+  /// fleet-shared registry.
+  core::OrchestratorOptions orchestrator;
+  /// Per-home monitor cadence; Zero disables monitors entirely.
+  Duration monitor_interval = Duration::Millis(500);
+  /// Shared cloud tier; disabled by default.
+  bool enable_cloud = false;
+  CloudOptions cloud;
+};
+
+/// One home of the fleet.
+struct Home {
+  int id = 0;
+  std::string name;  // "home<id>" — tenant id, telemetry label
+  std::unique_ptr<sim::Cluster> cluster;
+  std::unique_ptr<core::Orchestrator> orchestrator;
+  std::unique_ptr<sim::FaultInjector> injector;
+  std::unique_ptr<core::PipelineMonitor> monitor;
+  /// Pipelines deployed into this home (owner: the orchestrator).
+  std::vector<core::PipelineDeployment*> pipelines;
+};
+
+class Fleet {
+ public:
+  explicit Fleet(FleetOptions options = {});
+  ~Fleet();
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  /// Instantiate the next home (id = current size) on the shared
+  /// simulator, with all of its RNG streams derived from the fleet
+  /// seed and that id.
+  Home& AddHome();
+
+  int size() const { return static_cast<int>(homes_.size()); }
+  Home& home(int id) { return *homes_[static_cast<size_t>(id)]; }
+  const Home& home(int id) const { return *homes_[static_cast<size_t>(id)]; }
+
+  sim::Simulator& simulator() { return *simulator_; }
+  modelreg::ModelRegistry& models() { return registry_; }
+  CloudTier* cloud() { return cloud_.get(); }
+  const FleetOptions& options() const { return options_; }
+
+  /// Start every home's cameras and monitor.
+  void StartAll();
+
+  /// Advance the shared clock once, then run each home's post-run
+  /// bookkeeping (the per-home RunFor would re-run boundary events).
+  void RunFor(Duration duration);
+
+  /// Homes in which model version `version_id` was ever live: served a
+  /// scheduler batch, or is currently bound to a replica, or is the
+  /// group's stable/candidate version. This is the rollout blast
+  /// radius of a bad version.
+  std::vector<int> HomesExposedTo(const std::string& version_id) const;
+
+  /// Simulator events spent on fleet-shared machinery so far: monitor
+  /// ticks + cloud tier events (the FleetController adds its own on
+  /// top). Everything else is per-home workload.
+  uint64_t SharedOverheadEvents() const;
+
+ private:
+  FleetOptions options_;
+  std::unique_ptr<sim::Simulator> simulator_;
+  modelreg::ModelRegistry registry_;
+  std::unique_ptr<CloudTier> cloud_;
+  std::vector<std::unique_ptr<Home>> homes_;
+};
+
+}  // namespace vp::fleet

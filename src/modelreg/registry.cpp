@@ -113,7 +113,10 @@ Result<std::shared_ptr<const ModelArtifact>> ModelRegistry::TrainOrGet(
     const ModelSpec& spec) {
   const std::string id = spec.ContentId();
   auto it = by_id_.find(id);
-  if (it != by_id_.end()) return it->second;
+  if (it != by_id_.end()) {
+    ++dedupe_hits_;
+    return it->second;
+  }
 
   Result<std::shared_ptr<ModelArtifact>> trained =
       spec.kind == kActivityKind ? TrainActivity(spec)

@@ -37,11 +37,16 @@ class ModelRegistry {
   size_t size() const { return by_id_.size(); }
   /// Cache misses — how many artifacts were actually trained here.
   uint64_t trainings() const { return trainings_; }
+  /// Cache hits — TrainOrGet calls answered without training. With one
+  /// registry shared across a fleet of orchestrators, this is the
+  /// count of re-trainings the sharing avoided.
+  uint64_t dedupe_hits() const { return dedupe_hits_; }
 
  private:
   std::map<std::string, std::shared_ptr<const ModelArtifact>> by_id_;
   std::vector<std::string> order_;
   uint64_t trainings_ = 0;
+  uint64_t dedupe_hits_ = 0;
 };
 
 /// The v0 recipe of the builtin activity kNN — field-for-field the

@@ -1,0 +1,41 @@
+// Weighted fair-share picking (stride-style), shared between the
+// request scheduler's priority classes and the fleet tier's per-tenant
+// cloud capacity sharing.
+//
+// The invariant both layers want is the same: among contenders that
+// currently have work, serve the one furthest *behind* its weighted
+// share of completed dispatches. Tracking served/weight per contender
+// makes the share exact over any window (not probabilistic) and fully
+// deterministic — ties go to the lowest index, which callers keep in a
+// fixed registration order.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace vp::serving {
+
+/// Pick the index in [0, n) furthest behind its weighted share.
+/// `served(i)` is how many dispatches contender i has received,
+/// `weight(i)` its share weight (values < 1 are clamped to 1), and
+/// `eligible(i)` whether it has work right now. Returns -1 when no
+/// contender is eligible. The caller increments its served counter for
+/// the returned index.
+template <typename ServedFn, typename WeightFn, typename EligibleFn>
+int PickFairShare(int n, ServedFn&& served, WeightFn&& weight,
+                  EligibleFn&& eligible) {
+  int best = -1;
+  double best_progress = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!eligible(i)) continue;
+    const double w = std::max(1, weight(i));
+    const double progress = static_cast<double>(served(i)) / w;
+    if (best < 0 || progress < best_progress) {
+      best = i;
+      best_progress = progress;
+    }
+  }
+  return best;
+}
+
+}  // namespace vp::serving

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "serving/fair_share.hpp"
 
 namespace vp::serving {
 
@@ -244,19 +245,17 @@ services::ServiceInstance* RequestScheduler::PickReplica(
 
 int RequestScheduler::PickClass(TimePoint now) const {
   if (options_.policy == SchedulingPolicy::kWeightedFair) {
-    // Stride-style: serve the class furthest behind its weighted share.
-    int best = -1;
-    double best_progress = 0;
-    for (int cls = 0; cls < kNumPriorityClasses; ++cls) {
-      if (queues_[cls].empty()) continue;
-      const double weight = std::max(1, options_.class_weights[cls]);
-      const double progress = static_cast<double>(served_[cls]) / weight;
-      if (best < 0 || progress < best_progress) {
-        best = cls;
-        best_progress = progress;
-      }
-    }
-    return best;
+    // Stride-style: serve the class furthest behind its weighted share
+    // (same machinery the fleet tier uses per tenant).
+    return PickFairShare(
+        kNumPriorityClasses,
+        [this](int cls) { return served_[static_cast<size_t>(cls)]; },
+        [this](int cls) {
+          return options_.class_weights[static_cast<size_t>(cls)];
+        },
+        [this](int cls) {
+          return !queues_[static_cast<size_t>(cls)].empty();
+        });
   }
   // Strict priority — but a request that has waited past the
   // starvation grace beats everything (oldest such head first).

@@ -1,15 +1,28 @@
 #include "sim/cluster.hpp"
 
 namespace vp::sim {
+namespace {
 
-Cluster::Cluster(uint64_t seed) {
-  network_ = std::make_unique<Network>(&sim_, seed);
+void InstallLiveness(Cluster* cluster) {
   // The network's notion of liveness is the device's power state:
   // unknown names (e.g. test-only endpoints) count as up.
-  network_->set_liveness_check([this](const std::string& name) {
-    const Device* device = FindDevice(name);
+  cluster->network().set_liveness_check([cluster](const std::string& name) {
+    const Device* device = cluster->FindDevice(name);
     return device == nullptr || device->up();
   });
+}
+
+}  // namespace
+
+Cluster::Cluster(uint64_t seed)
+    : owned_sim_(std::make_unique<Simulator>()), sim_(owned_sim_.get()) {
+  network_ = std::make_unique<Network>(sim_, seed);
+  InstallLiveness(this);
+}
+
+Cluster::Cluster(Simulator* simulator, uint64_t seed) : sim_(simulator) {
+  network_ = std::make_unique<Network>(sim_, seed);
+  InstallLiveness(this);
 }
 
 Result<Device*> Cluster::AddDevice(DeviceSpec spec) {
@@ -17,7 +30,7 @@ Result<Device*> Cluster::AddDevice(DeviceSpec spec) {
     return AlreadyExists("device '" + spec.name + "' already exists");
   }
   const std::string name = spec.name;
-  auto device = std::make_unique<Device>(&sim_, std::move(spec));
+  auto device = std::make_unique<Device>(sim_, std::move(spec));
   Device* ptr = device.get();
   devices_[name] = std::move(device);
   order_.push_back(name);
@@ -51,22 +64,22 @@ std::vector<Device*> Cluster::container_devices() {
   return out;
 }
 
-std::unique_ptr<Cluster> MakeHomeTestbed(uint64_t seed) {
-  auto cluster = std::make_unique<Cluster>(seed);
+namespace {
 
+void PopulateHomeTestbed(Cluster& cluster) {
   DeviceSpec phone;
   phone.name = "phone";
   phone.cpu_speed = 0.35;
   phone.supports_containers = false;
   phone.capabilities = {"camera"};
-  (void)cluster->AddDevice(phone);
+  (void)cluster.AddDevice(phone);
 
   DeviceSpec desktop;
   desktop.name = "desktop";
   desktop.cpu_speed = 1.0;
   desktop.supports_containers = true;
   desktop.container_cores = 6;
-  (void)cluster->AddDevice(desktop);
+  (void)cluster.AddDevice(desktop);
 
   DeviceSpec tv;
   tv.name = "tv";
@@ -74,27 +87,48 @@ std::unique_ptr<Cluster> MakeHomeTestbed(uint64_t seed) {
   tv.supports_containers = true;
   tv.container_cores = 2;
   tv.capabilities = {"display"};
-  (void)cluster->AddDevice(tv);
+  (void)cluster.AddDevice(tv);
 
   LinkSpec wifi;
   wifi.latency = Duration::Millis(3.5);
   wifi.bandwidth_bps = 80e6;
   wifi.jitter = Duration::Millis(0.8);
-  cluster->network().set_default_link(wifi);
-
-  return cluster;
+  cluster.network().set_default_link(wifi);
 }
 
-std::unique_ptr<Cluster> MakeExtendedTestbed(uint64_t seed) {
-  auto cluster = MakeHomeTestbed(seed);
-
+void AddNuc(Cluster& cluster) {
   DeviceSpec nuc;
   nuc.name = "nuc";
   nuc.cpu_speed = 0.8;
   nuc.supports_containers = true;
   nuc.container_cores = 4;
-  (void)cluster->AddDevice(nuc);
+  (void)cluster.AddDevice(nuc);
+}
 
+}  // namespace
+
+std::unique_ptr<Cluster> MakeHomeTestbed(uint64_t seed) {
+  auto cluster = std::make_unique<Cluster>(seed);
+  PopulateHomeTestbed(*cluster);
+  return cluster;
+}
+
+std::unique_ptr<Cluster> MakeHomeTestbed(Simulator* simulator, uint64_t seed) {
+  auto cluster = std::make_unique<Cluster>(simulator, seed);
+  PopulateHomeTestbed(*cluster);
+  return cluster;
+}
+
+std::unique_ptr<Cluster> MakeExtendedTestbed(uint64_t seed) {
+  auto cluster = MakeHomeTestbed(seed);
+  AddNuc(*cluster);
+  return cluster;
+}
+
+std::unique_ptr<Cluster> MakeExtendedTestbed(Simulator* simulator,
+                                             uint64_t seed) {
+  auto cluster = MakeHomeTestbed(simulator, seed);
+  AddNuc(*cluster);
   return cluster;
 }
 

@@ -1,0 +1,82 @@
+#include "sim/fiber.hpp"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace vp::sim {
+
+namespace {
+
+// One stack per concurrently-live fiber. Blocked handlers dominate the
+// count and each block is bounded by the service-call timeout, so the
+// pool stays small. 256 KiB comfortably fits a vpscript dispatch loop
+// plus codec/JSON recursion.
+constexpr size_t kStackSize = 256 * 1024;
+
+Fiber* g_current = nullptr;
+
+std::vector<std::unique_ptr<char[]>>& StackPool() {
+  static std::vector<std::unique_ptr<char[]>> pool;
+  return pool;
+}
+
+std::unique_ptr<char[]> AcquireStack() {
+  auto& pool = StackPool();
+  if (!pool.empty()) {
+    std::unique_ptr<char[]> stack = std::move(pool.back());
+    pool.pop_back();
+    return stack;
+  }
+  return std::make_unique<char[]>(kStackSize);
+}
+
+}  // namespace
+
+Fiber::Fiber(Fn fn) : fn_(std::move(fn)), stack_(AcquireStack()) {}
+
+Fiber::~Fiber() {
+  assert(finished_ && "destroying a suspended fiber leaks its stack frames");
+  StackPool().push_back(std::move(stack_));
+}
+
+Fiber* Fiber::Spawn(Fn fn) {
+  Fiber* fiber = new Fiber(std::move(fn));
+  getcontext(&fiber->ctx_);
+  fiber->ctx_.uc_stack.ss_sp = fiber->stack_.get();
+  fiber->ctx_.uc_stack.ss_size = kStackSize;
+  fiber->ctx_.uc_link = &fiber->link_;
+  makecontext(&fiber->ctx_, &Fiber::Trampoline, 0);
+  fiber->Enter();
+  return fiber;
+}
+
+Fiber* Fiber::Current() { return g_current; }
+
+void Fiber::Trampoline() {
+  Fiber* self = g_current;
+  self->fn_();
+  self->fn_ = nullptr;  // release captures before the owner deletes us
+  self->finished_ = true;
+  // Returning lands on uc_link == link_, i.e. back inside Enter().
+}
+
+void Fiber::Enter() {
+  prev_current_ = g_current;
+  g_current = this;
+  swapcontext(&link_, &ctx_);
+  g_current = prev_current_;
+}
+
+void Fiber::Suspend() {
+  Fiber* self = g_current;
+  assert(self != nullptr && "Suspend() outside a fiber");
+  swapcontext(&self->ctx_, &self->link_);
+}
+
+void Fiber::Resume() {
+  assert(!finished_ && "resuming a finished fiber");
+  Enter();
+}
+
+}  // namespace vp::sim

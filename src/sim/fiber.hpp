@@ -1,0 +1,63 @@
+// Stackful coroutines for blocking-style event handlers.
+//
+// A module handler that issues a blocking service call must wait for a
+// simulator event that has not executed yet. Pumping the simulator
+// from inside the handler makes that wait *re-entrant*: a nested
+// blocked handler pins the C++ stack, so the outer handler's resume
+// point drifts past the virtual time its response actually arrived —
+// and how far it drifts depends on which other pipelines (or, in a
+// fleet, which other homes) happen to be blocked at the same moment.
+// Fibers remove the re-entrancy: a blocked handler suspends back to
+// the simulator loop and is resumed at exactly the event that
+// satisfied its wait, so co-tenants sharing one simulator cannot
+// perturb each other's timing.
+#pragma once
+
+#include <ucontext.h>
+
+#include <functional>
+#include <memory>
+
+namespace vp::sim {
+
+class Fiber {
+ public:
+  using Fn = std::function<void()>;
+
+  /// Start `fn` on its own stack and run it until it finishes or calls
+  /// Suspend(). The caller owns the fiber: delete it once finished()
+  /// is true; a suspended fiber must be driven to completion with
+  /// Resume() first (destroying one mid-flight would leak every object
+  /// live on its stack).
+  static Fiber* Spawn(Fn fn);
+
+  /// The fiber currently executing, or nullptr on the scheduler stack.
+  static Fiber* Current();
+
+  /// Suspend the current fiber: control returns to the Spawn() or
+  /// Resume() call that entered it. Must be called from inside a fiber.
+  static void Suspend();
+
+  /// Re-enter a suspended fiber until it finishes or suspends again.
+  void Resume();
+
+  bool finished() const { return finished_; }
+
+  ~Fiber();
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+ private:
+  explicit Fiber(Fn fn);
+  void Enter();
+  static void Trampoline();
+
+  Fn fn_;
+  bool finished_ = false;
+  std::unique_ptr<char[]> stack_;
+  ucontext_t ctx_;   // the fiber's saved execution state
+  ucontext_t link_;  // where Suspend()/completion returns to
+  Fiber* prev_current_ = nullptr;
+};
+
+}  // namespace vp::sim

@@ -41,6 +41,9 @@ void Simulator::PopAndRun() {
     Task task = std::move(ev->task);
     delete ev;
     task();
+    for (size_t i = 0; i < post_event_hooks_.size(); ++i) {
+      post_event_hooks_[i].second();
+    }
   } else {
     delete ev;  // cancelled
   }
@@ -71,6 +74,22 @@ void Simulator::RunUntil(TimePoint until) {
     PopAndRun();
   }
   if (now_ < until) now_ = until;
+}
+
+uint64_t Simulator::AddPostEventHook(Task hook) {
+  const uint64_t id = next_hook_id_++;
+  post_event_hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void Simulator::RemovePostEventHook(uint64_t id) {
+  for (auto it = post_event_hooks_.begin(); it != post_event_hooks_.end();
+       ++it) {
+    if (it->first == id) {
+      post_event_hooks_.erase(it);
+      return;
+    }
+  }
 }
 
 void Simulator::RunUntilIdle() {

@@ -10,6 +10,7 @@
 #include <functional>
 #include <queue>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/time.hpp"
@@ -51,6 +52,14 @@ class Simulator {
   /// Execute at most one event. Returns false if the queue is empty.
   bool Step();
 
+  /// Register `hook` to run after every executed event, at that
+  /// event's virtual time. Orchestrators use this to resume suspended
+  /// handler fibers at the exact event that satisfied their wait (see
+  /// sim::Fiber) — never earlier, never at some later unwind point.
+  /// Returns an id for RemovePostEventHook.
+  uint64_t AddPostEventHook(Task hook);
+  void RemovePostEventHook(uint64_t id);
+
   size_t pending_events() const { return live_events_; }
   uint64_t executed_events() const { return executed_; }
 
@@ -79,6 +88,8 @@ class Simulator {
   // without a scan; ownership stays with the priority queue.
   std::priority_queue<Event*, std::vector<Event*>, EventPtrLess> queue_;
   std::unordered_map<uint64_t, Event*> by_id_;  // live (uncancelled) events
+  std::vector<std::pair<uint64_t, Task>> post_event_hooks_;
+  uint64_t next_hook_id_ = 1;
 };
 
 }  // namespace vp::sim
